@@ -1,0 +1,56 @@
+package neat
+
+import (
+	"fmt"
+	"testing"
+
+	"neat/internal/app"
+	"neat/internal/core"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// defaultTCP is the engine configuration used by the ablation benches.
+func defaultTCP() tcpeng.Config { return tcpeng.DefaultConfig() }
+
+// runWeb attaches `webs` lighttpd+httperf pairs to an already-booted NEaT
+// system, runs a short measured window and returns krps.
+func runWeb(b *testing.B, n *testbed.Net, server, client *testbed.Host, sys *core.System, webs int) float64 {
+	b.Helper()
+	clisys, err := client.BuildClientSystem(server, webs, defaultTCP())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gens []*app.Loadgen
+	base := server.Machine.NumCores() - webs
+	for i := 0; i < webs; i++ {
+		h := app.NewHTTPD(server.AppThread(base+i), fmt.Sprintf("web%d", i),
+			sys.SyscallProc(), ipc.DefaultCosts(), app.HTTPDConfig{
+				Port: uint16(8000 + i), Files: map[string]int{"/f": 20},
+			})
+		h.Start()
+		lg := app.NewLoadgen(client.AppThread(2+webs+i), fmt.Sprintf("gen%d", i),
+			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/f",
+				Conns: 24, ReqPerConn: 100,
+			})
+		gens = append(gens, lg)
+	}
+	n.Sim.RunFor(2 * sim.Millisecond)
+	for _, g := range gens {
+		g.Start()
+	}
+	n.Sim.RunFor(25 * sim.Millisecond)
+	for _, g := range gens {
+		g.BeginMeasure()
+	}
+	window := 50 * sim.Millisecond
+	n.Sim.RunFor(window)
+	var good uint64
+	for _, g := range gens {
+		good += g.GoodResponses()
+	}
+	return float64(good) / window.Seconds() / 1000
+}

@@ -1,0 +1,53 @@
+// Command neat-bench regenerates every table and figure of the paper's
+// evaluation (§6) and prints them with the paper's reported numbers
+// alongside. Expect a few minutes of wall-clock time for the full run;
+// -quick trades precision for speed.
+//
+// Usage:
+//
+//	neat-bench [-quick] [-seed N] [-only table1|fig4|fig5|fig7|fig9|fig11|fig12|table2|table3|fig13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neat/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter warmup/measurement windows and fewer fault-injection runs")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "run a single experiment (table1, fig4, fig5, fig7, fig9, fig11, fig12, table2, table3, fig13)")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	drivers := map[string]func(experiments.Options) *experiments.Result{
+		"table1": experiments.Table1,
+		"fig4":   experiments.Figure4,
+		"fig5":   experiments.Figure5,
+		"fig7":   experiments.Figure7,
+		"fig9":   experiments.Figure9,
+		"fig11":  experiments.Figure11,
+		"fig12":  experiments.Figure12,
+		"table2": experiments.Table2,
+		"table3": experiments.Table3,
+		"fig13":  experiments.Figure13,
+	}
+
+	if *only != "" {
+		fn, ok := drivers[strings.ToLower(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		fmt.Print(fn(o).String())
+		return
+	}
+	for _, res := range experiments.All(o) {
+		fmt.Print(res.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,27 @@
+// Command neat-faults runs the §6.6 fault-injection campaign standalone:
+// N failing runs against a multi-component NEaT stack under web load,
+// classifying each recovery, and printing the Table 3 breakdown.
+//
+// Usage:
+//
+//	neat-faults [-runs N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"neat/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", 100, "number of failing runs to collect")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	quick := flag.Bool("quick", false, "shorter observation windows")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick || *runs < 100, Seed: *seed}
+	res := experiments.Table3(o)
+	fmt.Print(res.String())
+	fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
+}

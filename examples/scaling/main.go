@@ -1,0 +1,110 @@
+// Scaling: §3.4's dynamic replica management.
+//
+// The system boots with one replica, detects overload (its core pegged at
+// 100 %), spawns new replicas one by one, and finally scales down using
+// lazy termination — the terminating replica leaves the RSS set, keeps
+// serving its existing connections, and is garbage-collected once its
+// connection count drops to zero.
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"neat"
+	"neat/internal/app"
+	"neat/internal/ipc"
+	"neat/internal/metrics"
+	"neat/internal/sim"
+)
+
+func main() {
+	net := neat.NewNetwork(5)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, 4)
+
+	// Four slots, only one active at boot.
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 4})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sys.ScaleDown(); err != nil {
+			panic(err)
+		}
+	}
+	clisys, err := neat.StartClientSystem(client, server, 4)
+	if err != nil {
+		panic(err)
+	}
+
+	// Heavy web load: 4 lighttpd instances, far more than one replica can
+	// serve.
+	var gens []*app.Loadgen
+	for i := 0; i < 4; i++ {
+		h := app.NewHTTPD(server.AppThread(6+i), fmt.Sprintf("web%d", i),
+			sys.SyscallProc(), ipc.DefaultCosts(), app.HTTPDConfig{
+				Port: uint16(8000 + i), Files: map[string]int{"/f": 20},
+			})
+		h.Start()
+		lg := app.NewLoadgen(client.AppThread(6+i), fmt.Sprintf("gen%d", i),
+			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/f",
+				Conns: 24, ReqPerConn: 100,
+			})
+		gens = append(gens, lg)
+	}
+	net.Sim.RunFor(2 * sim.Millisecond)
+	for _, g := range gens {
+		g.Start()
+	}
+
+	measure := func() (krps float64, stackUtil float64) {
+		sampler := metrics.NewCPUSampler(server.Machine)
+		for _, g := range gens {
+			g.BeginMeasure()
+		}
+		window := 80 * sim.Millisecond
+		net.Sim.RunFor(window)
+		var good uint64
+		for _, g := range gens {
+			good += g.GoodResponses()
+		}
+		// Utilization of the busiest replica thread (cores 2..5).
+		u := sampler.Utilization()
+		for c := 2; c <= 5; c++ {
+			if u[c] > stackUtil {
+				stackUtil = u[c]
+			}
+		}
+		return float64(good) / window.Seconds() / 1000, stackUtil
+	}
+
+	fmt.Println("replicas   krps    busiest-replica-core")
+	fmt.Println("--------   -----   --------------------")
+	net.Sim.RunFor(30 * sim.Millisecond)
+	for {
+		krps, util := measure()
+		fmt.Printf("%8d   %5.1f   %19.0f%%\n", sys.NumActive(), krps, util*100)
+		// Overload policy (§3.4): spawn another replica while the
+		// existing ones are saturated.
+		if util < 0.95 {
+			break
+		}
+		if _, err := sys.ScaleUp(); err != nil {
+			break // out of slots
+		}
+	}
+
+	fmt.Println("\nscaling down two replicas (lazy termination)...")
+	sys.ScaleDown()
+	sys.ScaleDown()
+	fmt.Printf("slot states right after:  %v\n", sys.SlotStates())
+	net.Sim.RunFor(400 * sim.Millisecond)
+	fmt.Printf("after connections drained: %v (%d PCBs live incl. TIME_WAIT)\n",
+		sys.SlotStates(), sys.TotalConns())
+	krps, _ := measure()
+	fmt.Printf("rate with %d replica(s):   %.1f krps — existing connections never broke\n",
+		sys.NumActive(), krps)
+}

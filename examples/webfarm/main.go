@@ -1,0 +1,81 @@
+// Webfarm: the paper's evaluation scenario in miniature (§6.3).
+//
+// A NEaT stack with three single-component replicas serves an increasing
+// number of lighttpd instances, each driven by an httperf-like load
+// generator requesting a 20-byte file 100 times per connection. The output
+// is the scaling curve of Figure 7's "NEaT 3x" series.
+//
+// Run with: go run ./examples/webfarm
+package main
+
+import (
+	"fmt"
+
+	"neat"
+	"neat/internal/app"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+)
+
+func main() {
+	fmt.Println("lighttpd instances vs request rate (NEaT 3x on the simulated 12-core AMD):")
+	fmt.Println()
+	fmt.Println("#webs   krps    errors")
+	fmt.Println("-----   -----   ------")
+	for webs := 1; webs <= 6; webs++ {
+		krps, errs := runFarm(webs)
+		fmt.Printf("%5d   %5.1f   %6d\n", webs, krps, errs)
+	}
+	fmt.Println()
+	fmt.Println("paper reference (Figure 7): NEaT 3x scales to 6 instances at ≈302 krps")
+}
+
+// runFarm builds a fresh deterministic testbed with the given number of
+// lighttpd instances and measures the request rate.
+func runFarm(webs int) (krps float64, errors uint64) {
+	net := neat.NewNetwork(42)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, webs)
+
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 3})
+	if err != nil {
+		panic(err)
+	}
+	clisys, err := neat.StartClientSystem(client, server, webs)
+	if err != nil {
+		panic(err)
+	}
+
+	var gens []*app.Loadgen
+	for i := 0; i < webs; i++ {
+		h := app.NewHTTPD(server.AppThread(5+i), fmt.Sprintf("lighttpd%d", i),
+			sys.SyscallProc(), ipc.DefaultCosts(), app.HTTPDConfig{
+				Port: uint16(8000 + i), Files: map[string]int{"/f20": 20},
+				CyclesPerRequest: 36000,
+			})
+		h.Start()
+		lg := app.NewLoadgen(client.AppThread(2+webs+i), fmt.Sprintf("httperf%d", i),
+			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/f20",
+				Conns: 24, ReqPerConn: 100,
+			})
+		gens = append(gens, lg)
+	}
+	net.Sim.RunFor(2 * sim.Millisecond)
+	for _, g := range gens {
+		g.Start()
+	}
+	net.Sim.RunFor(40 * sim.Millisecond) // warmup
+	for _, g := range gens {
+		g.BeginMeasure()
+	}
+	window := 100 * sim.Millisecond
+	net.Sim.RunFor(window)
+
+	var good uint64
+	for _, g := range gens {
+		good += g.GoodResponses()
+		errors += g.Stats().ConnErrors
+	}
+	return float64(good) / window.Seconds() / 1000, errors
+}

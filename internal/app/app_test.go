@@ -1,0 +1,294 @@
+package app
+
+import (
+	"testing"
+
+	"neat/internal/core"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/stack"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// webBed is a full web-serving testbed: AMD server running NEaT +
+// N httpd instances, client host running M loadgen instances.
+type webBed struct {
+	net     *testbed.Net
+	server  *testbed.Host
+	client  *testbed.Host
+	sys     *core.System
+	clisys  *core.System
+	servers []*HTTPD
+	gens    []*Loadgen
+}
+
+func newWebBed(t *testing.T, replicas, httpds, loadgens int, tcp tcpeng.Config,
+	hcfg HTTPDConfig, lcfg LoadgenConfig) *webBed {
+	t.Helper()
+	n := testbed.New(11)
+	server := testbed.DefaultAMDHost(n, 0, replicas)
+	client := testbed.DefaultClientHost(n, 1, loadgens)
+	sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+		Kind: stack.Single, TCP: tcp,
+		Slots:   testbed.SingleSlots(2, replicas),
+		Syscall: testbed.ThreadLoc{Core: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, loadgens, tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &webBed{net: n, server: server, client: client, sys: sys, clisys: clisys}
+
+	if hcfg.Files == nil {
+		hcfg.Files = map[string]int{"/f20": 20}
+	}
+	if hcfg.Port == 0 {
+		hcfg.Port = 80
+	}
+	for i := 0; i < httpds; i++ {
+		h := NewHTTPD(server.AppThread(2+replicas+i), "lighttpd", sys.SyscallProc(),
+			ipc.DefaultCosts(), hcfg)
+		h.Start()
+		b.servers = append(b.servers, h)
+	}
+	n.Sim.RunFor(sim.Millisecond)
+	for i, h := range b.servers {
+		if !h.Ready() {
+			t.Fatalf("httpd %d not ready", i)
+		}
+	}
+
+	if lcfg.Target == (testbed.Netmask) { // placeholder never true
+		t.Fatal("unreachable")
+	}
+	lcfg.Target = server.IP
+	if lcfg.Port == 0 {
+		lcfg.Port = 80
+	}
+	if lcfg.URI == "" {
+		lcfg.URI = "/f20"
+	}
+	appBase := 2 + loadgens
+	for i := 0; i < loadgens; i++ {
+		lg := NewLoadgen(client.AppThread(appBase+i), "httperf", clisys.SyscallProc(),
+			ipc.DefaultCosts(), lcfg)
+		b.gens = append(b.gens, lg)
+	}
+	return b
+}
+
+func (b *webBed) start() {
+	for _, g := range b.gens {
+		g.Start()
+	}
+}
+func (b *webBed) run(d sim.Time) { b.net.Sim.RunFor(d) }
+func (b *webBed) responses() uint64 {
+	var n uint64
+	for _, g := range b.gens {
+		n += g.Stats().ResponsesOK
+	}
+	return n
+}
+func (b *webBed) errors() uint64 {
+	var n uint64
+	for _, g := range b.gens {
+		n += g.Stats().ConnErrors
+	}
+	return n
+}
+
+func TestHTTPKeepAliveEndToEnd(t *testing.T) {
+	b := newWebBed(t, 2, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{}, LoadgenConfig{Conns: 4, ReqPerConn: 10})
+	b.start()
+	b.run(200 * sim.Millisecond)
+	resp := b.responses()
+	if resp < 100 {
+		t.Fatalf("responses=%d (errors=%d)", resp, b.errors())
+	}
+	if b.errors() != 0 {
+		t.Fatalf("errors=%d", b.errors())
+	}
+	if got := b.servers[0].Stats().Requests; got < resp || got > resp+64 {
+		// A few requests may be in flight when the window ends.
+		t.Fatalf("server saw %d requests, client got %d responses", got, resp)
+	}
+	// Persistent connections actually persisted: far fewer conns than
+	// requests.
+	var opened uint64
+	for _, g := range b.gens {
+		opened += g.Stats().ConnsOpened
+	}
+	if opened*5 > resp {
+		t.Fatalf("keep-alive broken: %d conns for %d responses", opened, resp)
+	}
+}
+
+func TestHTTPServerKeepAliveLimit(t *testing.T) {
+	b := newWebBed(t, 1, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{MaxRequestsPerConn: 5},
+		LoadgenConfig{Conns: 2, ReqPerConn: 100})
+	b.start()
+	b.run(100 * sim.Millisecond)
+	if b.errors() != 0 {
+		t.Fatalf("server-side close caused %d client errors", b.errors())
+	}
+	var completed uint64
+	for _, g := range b.gens {
+		completed += g.Stats().ConnsCompleted
+	}
+	if completed < 5 {
+		t.Fatalf("completed conns=%d — server limit never engaged?", completed)
+	}
+	resp := b.responses()
+	if resp < completed*5 {
+		t.Fatalf("responses=%d for %d completed conns", resp, completed)
+	}
+}
+
+func TestHTTPLargeFileWithTSO(t *testing.T) {
+	tcp := tcpeng.DefaultConfig()
+	tcp.TSO = true
+	b := newWebBed(t, 1, 1, 1, tcp,
+		HTTPDConfig{Files: map[string]int{"/big": 100 << 10}},
+		LoadgenConfig{Conns: 2, ReqPerConn: 5, URI: "/big"})
+	b.start()
+	for _, g := range b.gens {
+		g.BeginMeasure()
+	}
+	b.run(300 * sim.Millisecond)
+	resp := b.responses()
+	if resp < 10 {
+		t.Fatalf("responses=%d errors=%d", resp, b.errors())
+	}
+	var bytesIn uint64
+	for _, g := range b.gens {
+		bytesIn += g.Stats().WindowBytes
+	}
+	if bytesIn != resp*(100<<10) {
+		t.Fatalf("bytes=%d for %d responses (corrupt bodies?)", bytesIn, resp)
+	}
+	// TSO engaged on the server NIC.
+	if b.server.NIC.Stats().TSORequests == 0 {
+		t.Fatal("TSO never used")
+	}
+}
+
+func TestHTTP404Counted(t *testing.T) {
+	b := newWebBed(t, 1, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{}, LoadgenConfig{Conns: 1, ReqPerConn: 3, URI: "/missing"})
+	b.start()
+	b.run(50 * sim.Millisecond)
+	if b.servers[0].Stats().NotFound == 0 {
+		t.Fatal("no 404s recorded")
+	}
+	// 404 responses still complete the HTTP exchange.
+	if b.responses() == 0 {
+		t.Fatal("client got no responses")
+	}
+}
+
+func TestSingleRequestPerConnection(t *testing.T) {
+	// Figure 12's workload: every request pays the full handshake.
+	b := newWebBed(t, 2, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{}, LoadgenConfig{Conns: 8, ReqPerConn: 1})
+	b.start()
+	b.run(200 * sim.Millisecond)
+	resp := b.responses()
+	if resp < 50 {
+		t.Fatalf("responses=%d errors=%d", resp, b.errors())
+	}
+	var opened uint64
+	for _, g := range b.gens {
+		opened += g.Stats().ConnsOpened
+	}
+	if opened < resp {
+		t.Fatalf("1 req/conn but %d conns for %d responses", opened, resp)
+	}
+	// Under 1-req/conn churn the server holds a steady-state TIME_WAIT
+	// population (rate × TimeWait) — the §4 control-plane tunable. Once
+	// the load stops, reaping must drain everything.
+	if n := b.sys.TotalConns(); n < 100 {
+		t.Fatalf("expected a TIME_WAIT population under churn, got %d", n)
+	}
+	for _, g := range b.gens {
+		g.Stop()
+	}
+	b.run(2 * sim.Second)
+	if n := b.sys.TotalConns(); n != 0 {
+		t.Fatalf("PCBs leaked after load stopped: %d", n)
+	}
+}
+
+func TestLoadgenSurvivesServerCrash(t *testing.T) {
+	b := newWebBed(t, 2, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{}, LoadgenConfig{Conns: 8, ReqPerConn: 1000, Timeout: 100 * sim.Millisecond})
+	b.start()
+	b.run(50 * sim.Millisecond)
+	if b.responses() == 0 {
+		t.Fatal("no traffic before crash")
+	}
+	// Crash one replica mid-run.
+	b.sys.Replicas()[0].Procs()[0].Crash(sim.ErrKilled)
+	b.run(500 * sim.Millisecond)
+	if b.errors() == 0 {
+		t.Fatal("crash produced no client-visible errors")
+	}
+	// Traffic continues after recovery.
+	before := b.responses()
+	b.run(200 * sim.Millisecond)
+	if b.responses() <= before {
+		t.Fatalf("no progress after recovery: %d", b.responses())
+	}
+	if b.sys.Stats().Recoveries == 0 {
+		t.Fatal("no recovery recorded")
+	}
+}
+
+func TestMeasurementWindowing(t *testing.T) {
+	b := newWebBed(t, 1, 1, 1, tcpeng.DefaultConfig(),
+		HTTPDConfig{}, LoadgenConfig{Conns: 4, ReqPerConn: 100})
+	b.start()
+	b.run(100 * sim.Millisecond) // warmup
+	lg := b.gens[0]
+	warm := lg.Stats().ResponsesOK
+	lg.BeginMeasure()
+	b.run(100 * sim.Millisecond)
+	st := lg.Stats()
+	if st.WindowResponses == 0 {
+		t.Fatal("window empty")
+	}
+	if st.WindowResponses >= st.ResponsesOK || st.ResponsesOK <= warm {
+		t.Fatalf("windowing broken: window=%d total=%d warm=%d",
+			st.WindowResponses, st.ResponsesOK, warm)
+	}
+	if lg.Latency().Count() != st.WindowResponses {
+		t.Fatalf("latency samples=%d, window=%d", lg.Latency().Count(), st.WindowResponses)
+	}
+	if lg.Latency().Mean() <= 0 {
+		t.Fatal("nonpositive latency")
+	}
+	if lg.GoodResponses() != st.WindowResponses-st.WindowDiscarded {
+		t.Fatal("GoodResponses arithmetic")
+	}
+}
+
+func TestSyntheticBody(t *testing.T) {
+	for _, n := range []int{0, 1, 20, 4096, 10000} {
+		b := SyntheticBody(n)
+		if len(b) != n {
+			t.Fatalf("len=%d want %d", len(b), n)
+		}
+	}
+	if parseContentLength([]byte("HTTP/1.1 200 OK\r\nContent-Length: 123\r\n")) != 123 {
+		t.Fatal("content-length parse")
+	}
+	if parseContentLength([]byte("junk")) != 0 {
+		t.Fatal("missing content-length should be 0")
+	}
+}

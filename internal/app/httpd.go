@@ -1,0 +1,278 @@
+// Package app provides the workload applications of the paper's
+// evaluation: a lighttpd-like static web server (httpd) and an
+// httperf-like load generator (loadgen). Both are event-driven processes
+// built on the socketlib fast-path sockets, and both charge application
+// cycles so the CPU-load split between stack and application matches the
+// paper's analysis (§3.2: roughly 70-80 % of a loaded web server's cycles
+// are spent inside the OS).
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/socketlib"
+)
+
+// HTTPDConfig configures a web server instance (one lighttpd process).
+type HTTPDConfig struct {
+	Port    uint16
+	Backlog int
+	// Files maps URI path → content size in bytes (content is synthetic,
+	// cached in memory as in the paper's evaluation).
+	Files map[string]int
+	// MaxRequestsPerConn closes the connection after N requests, like the
+	// paper's lighttpd configured for 1000 requests per connection.
+	MaxRequestsPerConn int
+	// CyclesPerRequest is the application work per request (parse +
+	// dispatch + logging). Calibrated in experiments/calibrate.go.
+	CyclesPerRequest int64
+	// CyclesPerKB is the application copy cost per KiB of response body.
+	CyclesPerKB int64
+	// ChunkSize bounds how much of a large response is handed to the
+	// socket per send-space window (default 64 KiB).
+	ChunkSize int
+}
+
+// HTTPDStats counts server activity.
+type HTTPDStats struct {
+	Accepted  uint64
+	Requests  uint64
+	Responses uint64
+	BytesOut  uint64
+	BadReqs   uint64
+	NotFound  uint64
+	Resets    uint64
+	Closed    uint64
+}
+
+// HTTPD is one web server process.
+type HTTPD struct {
+	proc *sim.Proc
+	lib  *socketlib.Lib
+	cfg  HTTPDConfig
+
+	ready bool
+	stats HTTPDStats
+}
+
+type httpConn struct {
+	srv    *HTTPD
+	sock   *socketlib.Socket
+	inbuf  []byte
+	served int
+	// sendRemaining counts body bytes of a large response still to be
+	// generated and sent; bodies are synthetic, so they are produced
+	// lazily chunk by chunk instead of being buffered.
+	sendRemaining int
+	closing       bool
+}
+
+// NewHTTPD creates a web server process on thread th, issuing socket calls
+// through syscallProc. Call Start to listen.
+func NewHTTPD(th *sim.HWThread, name string, syscallProc *sim.Proc, ipcCosts ipc.Costs, cfg HTTPDConfig) *HTTPD {
+	if cfg.Backlog == 0 {
+		cfg.Backlog = 1024
+	}
+	if cfg.MaxRequestsPerConn == 0 {
+		cfg.MaxRequestsPerConn = 1000
+	}
+	if cfg.CyclesPerRequest == 0 {
+		cfg.CyclesPerRequest = 30000
+	}
+	if cfg.CyclesPerKB == 0 {
+		cfg.CyclesPerKB = 600
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = 64 << 10
+	}
+	h := &HTTPD{cfg: cfg}
+	h.proc = sim.NewProc(th, name, h, sim.ProcConfig{
+		Component: "app", WakeCycles: 1400, HaltCycles: 900, DispatchCycles: 60,
+	})
+	h.lib = socketlib.New(h.proc, syscallProc, ipcCosts)
+	return h
+}
+
+// Proc returns the server process.
+func (h *HTTPD) Proc() *sim.Proc { return h.proc }
+
+// Ready reports whether the listen completed.
+func (h *HTTPD) Ready() bool { return h.ready }
+
+// Stats returns a snapshot of the server counters.
+func (h *HTTPD) Stats() HTTPDStats { return h.stats }
+
+// Start begins listening (deliver any message to kick the process).
+func (h *HTTPD) Start() { h.proc.Deliver(startMsg{}) }
+
+type startMsg struct{}
+
+// HandleMessage implements sim.Handler.
+func (h *HTTPD) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	if h.lib.HandleEvent(ctx, msg) {
+		return
+	}
+	if _, ok := msg.(startMsg); ok {
+		ln := h.lib.Listen(ctx, h.cfg.Port, h.cfg.Backlog)
+		ln.OnReady = func(ctx *sim.Context, err error) { h.ready = err == nil }
+		ln.OnAccept = h.accept
+	}
+}
+
+func (h *HTTPD) accept(ctx *sim.Context, s *socketlib.Socket) {
+	h.stats.Accepted++
+	c := &httpConn{srv: h, sock: s}
+	s.Ctx = c
+	s.OnData = c.onData
+	s.OnSendSpace = c.onSendSpace
+	s.OnClosed = func(ctx *sim.Context, reset bool, err error) {
+		if reset {
+			h.stats.Resets++
+		}
+		h.stats.Closed++
+	}
+}
+
+// onData buffers and parses pipelined HTTP/1.1 requests.
+func (c *httpConn) onData(ctx *sim.Context, data []byte, eof bool) {
+	c.inbuf = append(c.inbuf, data...)
+	for !c.closing {
+		end := bytes.Index(c.inbuf, []byte("\r\n\r\n"))
+		if end < 0 {
+			break
+		}
+		req := c.inbuf[:end]
+		c.inbuf = c.inbuf[end+4:]
+		c.handleRequest(ctx, req)
+	}
+	if eof && !c.closing {
+		c.closing = true
+		c.sock.Close(ctx)
+	}
+}
+
+// handleRequest serves one parsed request head.
+func (c *httpConn) handleRequest(ctx *sim.Context, req []byte) {
+	h := c.srv
+	h.stats.Requests++
+	ctx.Charge(h.cfg.CyclesPerRequest)
+
+	line := req
+	if i := bytes.IndexByte(line, '\r'); i >= 0 {
+		line = line[:i]
+	}
+	parts := bytes.SplitN(line, []byte(" "), 3)
+	if len(parts) < 3 || string(parts[0]) != "GET" {
+		h.stats.BadReqs++
+		c.respond(ctx, 400, []byte("bad request"), true)
+		return
+	}
+	path := string(parts[1])
+	wantClose := bytes.Contains(req, []byte("Connection: close"))
+
+	size, ok := h.cfg.Files[path]
+	if !ok {
+		h.stats.NotFound++
+		c.respond(ctx, 404, []byte("not found"), wantClose)
+		return
+	}
+	c.served++
+	if c.served >= h.cfg.MaxRequestsPerConn {
+		wantClose = true
+	}
+	c.respondFile(ctx, size, wantClose)
+}
+
+// respond sends a small literal response.
+func (c *httpConn) respond(ctx *sim.Context, code int, body []byte, closeAfter bool) {
+	h := c.srv
+	head := fmt.Sprintf("HTTP/1.1 %d X\r\nContent-Length: %d\r\n%s\r\n",
+		code, len(body), connHeader(closeAfter))
+	h.stats.Responses++
+	h.stats.BytesOut += uint64(len(head) + len(body))
+	c.sock.Send(ctx, append([]byte(head), body...))
+	if closeAfter {
+		c.closing = true
+		c.sock.Close(ctx)
+	}
+}
+
+// respondFile streams a synthetic file of the given size, chunking large
+// bodies lazily on send-space notifications.
+func (c *httpConn) respondFile(ctx *sim.Context, size int, closeAfter bool) {
+	h := c.srv
+	head := "HTTP/1.1 200 OK\r\nContent-Length: " + strconv.Itoa(size) +
+		"\r\n" + connHeader(closeAfter) + "\r\n"
+	ctx.Charge(h.cfg.CyclesPerKB * int64(size/1024+1))
+	h.stats.Responses++
+	h.stats.BytesOut += uint64(len(head) + size)
+
+	if closeAfter {
+		c.closing = true
+	}
+	if len(head)+size <= h.cfg.ChunkSize {
+		c.sock.Send(ctx, append([]byte(head), SyntheticBody(size)...))
+		if closeAfter {
+			c.sock.Close(ctx)
+		}
+		return
+	}
+	c.sock.Send(ctx, []byte(head))
+	c.sendRemaining = size
+	c.pump(ctx)
+}
+
+// pump generates and pushes body chunks within the socket's credit.
+func (c *httpConn) pump(ctx *sim.Context) {
+	for c.sendRemaining > 0 {
+		n := c.srv.cfg.ChunkSize
+		if n > c.sendRemaining {
+			n = c.sendRemaining
+		}
+		c.sock.Send(ctx, SyntheticBody(n))
+		c.sendRemaining -= n
+		if c.sock.Credit() < socketlib.SendLowWater {
+			// The Send above requested a space notification; resume in
+			// OnSendSpace.
+			return
+		}
+	}
+	if c.closing && c.sendRemaining == 0 {
+		c.sock.Close(ctx)
+	}
+}
+
+func (c *httpConn) onSendSpace(ctx *sim.Context, avail int) {
+	if c.sendRemaining > 0 {
+		c.pump(ctx)
+	}
+}
+
+func connHeader(closeAfter bool) string {
+	if closeAfter {
+		return "Connection: close\r\n"
+	}
+	return "Connection: keep-alive\r\n"
+}
+
+// syntheticChunk is shared source material for generated file bodies.
+var syntheticChunk = func() []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = 'a' + byte(i%26)
+	}
+	return b
+}()
+
+// SyntheticBody returns a deterministic body of exactly size bytes.
+func SyntheticBody(size int) []byte {
+	out := make([]byte, size)
+	for off := 0; off < size; off += len(syntheticChunk) {
+		copy(out[off:], syntheticChunk)
+	}
+	return out
+}

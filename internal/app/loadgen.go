@@ -1,0 +1,348 @@
+package app
+
+import (
+	"bytes"
+	"strconv"
+
+	"neat/internal/ipc"
+	"neat/internal/metrics"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/socketlib"
+)
+
+// LoadgenConfig configures one httperf-like load generator process.
+type LoadgenConfig struct {
+	Target proto.Addr
+	Port   uint16
+	// URI requested repeatedly (must exist in the server's file map).
+	URI string
+	// Conns is the number of concurrent connections kept open (httperf's
+	// session concurrency).
+	Conns int
+	// ReqPerConn requests are issued per connection before it is closed
+	// and replaced (the paper uses 1000 for Table 1, 100 for §6.3/§6.4,
+	// and 1 for Figure 12).
+	ReqPerConn int
+	// CloseFromClient makes the client half responsible for the active
+	// close (server closes otherwise via Connection: close).
+	CloseFromClient bool
+	// ThinkTime inserts a pause between a response and the next request
+	// on the connection (0 = closed-loop as fast as possible). Used to
+	// drive the partial-load points of the paper's Table 2.
+	ThinkTime sim.Time
+	// Timeout aborts a request that got no full response (default 2 s);
+	// like httperf, the connection's replies are then discarded from the
+	// measured rate.
+	Timeout sim.Time
+	// CyclesPerRequest is the client-side application cost.
+	CyclesPerRequest int64
+}
+
+// LoadgenStats is the httperf-style report.
+type LoadgenStats struct {
+	ConnsOpened    uint64
+	ConnsCompleted uint64
+	ConnErrors     uint64 // timeouts + resets + failed connects
+	RequestsSent   uint64
+	ResponsesOK    uint64
+	BytesIn        uint64
+
+	// Windowed measurement (between BeginMeasure and snapshot):
+	WindowResponses uint64
+	WindowDiscarded uint64 // responses on connections that later errored
+	WindowBytes     uint64
+}
+
+// Loadgen is one load generator process.
+type Loadgen struct {
+	proc *sim.Proc
+	lib  *socketlib.Lib
+	cfg  LoadgenConfig
+
+	stats     LoadgenStats
+	latency   metrics.Histogram
+	measuring bool
+	running   bool
+	gen       uint64
+}
+
+type lgConn struct {
+	lg         *Loadgen
+	sock       *socketlib.Socket
+	gen        uint64
+	sent       int
+	inbuf      []byte
+	expect     int  // bytes remaining of current response body, -1 = header
+	bodySeen   int  // body bytes already consumed of the current response
+	closeAfter bool // server announced Connection: close on this response
+	reqStart   sim.Time
+	timer      *sim.Timer
+	// windowResponses counts replies during the measuring window for
+	// httperf-style discarding on error.
+	windowResponses uint64
+	done            bool
+}
+
+type lgTimeout struct {
+	c   *lgConn
+	gen uint64
+}
+
+type lgThinkDone struct {
+	c   *lgConn
+	gen uint64
+}
+
+type lgStart struct{}
+type lgStop struct{}
+
+// NewLoadgen creates a load generator on thread th.
+func NewLoadgen(th *sim.HWThread, name string, syscallProc *sim.Proc, ipcCosts ipc.Costs, cfg LoadgenConfig) *Loadgen {
+	if cfg.Conns == 0 {
+		cfg.Conns = 8
+	}
+	if cfg.ReqPerConn == 0 {
+		cfg.ReqPerConn = 100
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * sim.Second
+	}
+	if cfg.CyclesPerRequest == 0 {
+		cfg.CyclesPerRequest = 2500
+	}
+	lg := &Loadgen{cfg: cfg}
+	lg.proc = sim.NewProc(th, name, lg, sim.ProcConfig{
+		Component: "app", WakeCycles: 1400, HaltCycles: 900, DispatchCycles: 60,
+	})
+	lg.lib = socketlib.New(lg.proc, syscallProc, ipcCosts)
+	return lg
+}
+
+// Proc returns the generator process.
+func (lg *Loadgen) Proc() *sim.Proc { return lg.proc }
+
+// Start opens the configured number of connections and begins issuing
+// requests.
+func (lg *Loadgen) Start() { lg.proc.Deliver(lgStart{}) }
+
+// Stop ceases opening replacement connections (existing ones finish).
+func (lg *Loadgen) Stop() { lg.proc.Deliver(lgStop{}) }
+
+// BeginMeasure starts the measurement window (call after warmup).
+func (lg *Loadgen) BeginMeasure() {
+	lg.measuring = true
+	lg.stats.WindowResponses = 0
+	lg.stats.WindowDiscarded = 0
+	lg.stats.WindowBytes = 0
+	lg.latency.Reset()
+}
+
+// Stats returns a snapshot of the counters.
+func (lg *Loadgen) Stats() LoadgenStats { return lg.stats }
+
+// Latency returns the response-latency histogram of the current window.
+func (lg *Loadgen) Latency() *metrics.Histogram { return &lg.latency }
+
+// GoodResponses returns windowed responses minus httperf-style discards.
+func (lg *Loadgen) GoodResponses() uint64 {
+	if lg.stats.WindowDiscarded > lg.stats.WindowResponses {
+		return 0
+	}
+	return lg.stats.WindowResponses - lg.stats.WindowDiscarded
+}
+
+// HandleMessage implements sim.Handler.
+func (lg *Loadgen) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	if lg.lib.HandleEvent(ctx, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case lgStart:
+		lg.running = true
+		for i := 0; i < lg.cfg.Conns; i++ {
+			lg.openConn(ctx)
+		}
+	case lgStop:
+		lg.running = false
+	case lgTimeout:
+		if m.c.gen == m.gen && !m.c.done {
+			lg.connError(ctx, m.c, true)
+		}
+	case lgThinkDone:
+		if m.c.gen == m.gen && !m.c.done {
+			lg.sendRequest(ctx, m.c)
+		}
+	}
+}
+
+// openConn starts one new connection.
+func (lg *Loadgen) openConn(ctx *sim.Context) {
+	if !lg.running {
+		return
+	}
+	lg.gen++
+	lg.stats.ConnsOpened++
+	c := &lgConn{lg: lg, gen: lg.gen, expect: -1}
+	s := lg.lib.Connect(ctx, lg.cfg.Target, lg.cfg.Port)
+	c.sock = s
+	s.Ctx = c
+	s.OnConnect = func(ctx *sim.Context, err error) {
+		if err != nil {
+			lg.connError(ctx, c, false)
+			return
+		}
+		lg.sendRequest(ctx, c)
+	}
+	s.OnData = func(ctx *sim.Context, data []byte, eof bool) { lg.onData(ctx, c, data, eof) }
+	s.OnClosed = func(ctx *sim.Context, reset bool, err error) {
+		if !c.done {
+			lg.connError(ctx, c, false)
+		}
+	}
+}
+
+// sendRequest issues the next GET on the connection.
+func (lg *Loadgen) sendRequest(ctx *sim.Context, c *lgConn) {
+	ctx.Charge(lg.cfg.CyclesPerRequest)
+	c.sent++
+	lg.stats.RequestsSent++
+	closeHdr := ""
+	if c.sent >= lg.cfg.ReqPerConn && !lg.cfg.CloseFromClient {
+		closeHdr = "Connection: close\r\n"
+	}
+	req := "GET " + lg.cfg.URI + " HTTP/1.1\r\nHost: sut\r\n" + closeHdr + "\r\n"
+	c.reqStart = ctx.Sim.Now()
+	c.expect = -1
+	c.sock.Send(ctx, []byte(req))
+	c.timer = ctx.TimerAfter(lg.cfg.Timeout, lgTimeout{c: c, gen: c.gen})
+}
+
+// onData consumes response bytes, completing requests as bodies fill.
+func (lg *Loadgen) onData(ctx *sim.Context, c *lgConn, data []byte, eof bool) {
+	c.inbuf = append(c.inbuf, data...)
+	for {
+		if c.expect == -1 {
+			// Parse response head.
+			end := bytes.Index(c.inbuf, []byte("\r\n\r\n"))
+			if end < 0 {
+				break
+			}
+			head := c.inbuf[:end]
+			c.inbuf = c.inbuf[end+4:]
+			c.expect = parseContentLength(head)
+			c.closeAfter = bytes.Contains(head, []byte("Connection: close"))
+		}
+		if c.expect > len(c.inbuf) {
+			// Consume (and discard) partial body bytes so huge responses
+			// never accumulate in the buffer.
+			c.bodySeen += len(c.inbuf)
+			c.expect -= len(c.inbuf)
+			c.inbuf = nil
+			break
+		}
+		// Rest of the response body is here.
+		c.bodySeen += c.expect
+		c.inbuf = c.inbuf[c.expect:]
+		body := c.bodySeen
+		c.bodySeen = 0
+		c.expect = -1
+		lg.completeResponse(ctx, c, body)
+		if c.done {
+			return
+		}
+		if c.closeAfter {
+			// The server ends the connection here (its keep-alive limit or
+			// our Connection: close); close our half so the PCB and the
+			// ephemeral port are released, then open a replacement.
+			c.done = true
+			lg.stats.ConnsCompleted++
+			c.sock.Close(ctx)
+			lg.openConn(ctx)
+			return
+		}
+		if c.sent < lg.cfg.ReqPerConn {
+			if lg.cfg.ThinkTime > 0 {
+				ctx.TimerAfter(lg.cfg.ThinkTime, lgThinkDone{c: c, gen: c.gen})
+				break
+			}
+			lg.sendRequest(ctx, c)
+			// Responses cannot be pipelined beyond what we requested.
+			if len(c.inbuf) == 0 {
+				break
+			}
+			continue
+		}
+		// Connection complete.
+		c.done = true
+		lg.stats.ConnsCompleted++
+		c.sock.Close(ctx)
+		lg.openConn(ctx)
+		return
+	}
+	if eof && !c.done {
+		// Server closed early (e.g. its keep-alive limit) — only an error
+		// if a request was outstanding.
+		if c.expect != -1 || c.sent < lg.cfg.ReqPerConn {
+			lg.connError(ctx, c, false)
+		} else {
+			c.sock.Close(ctx)
+		}
+	}
+}
+
+// completeResponse accounts one successful reply.
+func (lg *Loadgen) completeResponse(ctx *sim.Context, c *lgConn, bodyBytes int) {
+	ctx.Charge(lg.cfg.CyclesPerRequest / 2)
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	lg.stats.ResponsesOK++
+	lg.stats.BytesIn += uint64(bodyBytes)
+	if lg.measuring {
+		lg.stats.WindowResponses++
+		lg.stats.WindowBytes += uint64(bodyBytes)
+		c.windowResponses++
+		lg.latency.Observe(ctx.Sim.Now() - c.reqStart)
+	}
+}
+
+// connError aborts and replaces a failed connection, discarding its
+// windowed replies like httperf does.
+func (lg *Loadgen) connError(ctx *sim.Context, c *lgConn, timeout bool) {
+	if c.done {
+		return
+	}
+	c.done = true
+	lg.stats.ConnErrors++
+	if lg.measuring {
+		lg.stats.WindowDiscarded += c.windowResponses
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.sock.State() == socketlib.SockOpen {
+		c.sock.Abort(ctx)
+	}
+	lg.openConn(ctx)
+}
+
+// parseContentLength extracts the Content-Length header value (or 0).
+func parseContentLength(head []byte) int {
+	const key = "Content-Length: "
+	i := bytes.Index(head, []byte(key))
+	if i < 0 {
+		return 0
+	}
+	rest := head[i+len(key):]
+	if j := bytes.IndexByte(rest, '\r'); j >= 0 {
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(string(rest))
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+// Package baseline implements the comparator of the paper's evaluation: a
+// monolithic, shared-everything network stack in the style of Linux
+// (§6.1). It reuses the exact same protocol engines as NEaT — the
+// difference is purely architectural, which is the paper's point:
+//
+//   - ONE shared TCP/IP instance serves every core. K kernel contexts
+//     (softirq/syscall execution, one per core) operate on the shared
+//     state concurrently; the applications time-share the same cores.
+//   - Sharing costs are modeled explicitly per operation: lock
+//     acquisition whose cost grows with the number of contending contexts
+//     (the non-scalable ticket-lock behaviour of [16]), cache-line
+//     bouncing proportional to the number of other active cores, and a
+//     locality penalty when a connection's RX queue, kernel context and
+//     application do not sit on the same core.
+//   - The NIC runs in per-queue IRQ mode: no dedicated driver core;
+//     each queue interrupts the core its affinity names (Table 1's
+//     irqAff/rxAff knobs).
+//
+// The Tuning knobs reproduce the configuration ladder of Table 1.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"neat/internal/ipc"
+	"neat/internal/ipeng"
+	"neat/internal/nicdev"
+	"neat/internal/pfilter"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+	"neat/internal/udpeng"
+)
+
+// Tuning is the Table 1 configuration ladder.
+type Tuning struct {
+	// SchedDeadline switches the scheduler policy to deadline (slightly
+	// cheaper wakeups).
+	SchedDeadline bool
+	// Ethtool turns auto-negotiation off and TSO on.
+	Ethtool bool
+	// IRQAffinity pins queue i's IRQ to core i (otherwise irqbalance
+	// shuffles; modeled as a stable spread with worse locality).
+	IRQAffinity bool
+	// RxAffinity pins receive-queue processing explicitly.
+	RxAffinity bool
+	// ServerPinning pins lighttpd instance i to core i, aligning the
+	// application with its connections' RX queues.
+	ServerPinning bool
+}
+
+// LocalityFactor returns the kernel-cycle multiplier for the tuning level:
+// how much extra cache-miss work every kernel operation pays because data
+// structures follow processes across cores (§2.2). Calibrated against
+// Table 1 (defaults 184.1 → full tuning 224.0 krps).
+func (t Tuning) LocalityFactor() float64 {
+	switch {
+	case t.ServerPinning && t.IRQAffinity:
+		return 1.0 // app, queue and kernel context aligned
+	case t.IRQAffinity && t.RxAffinity:
+		// Queues pinned but apps float: lighttpd is scheduled away from
+		// the cores its connections arrive on (the rxAff dip of §6.1).
+		return 1.30
+	case t.IRQAffinity:
+		return 1.29
+	default:
+		return 1.325
+	}
+}
+
+// Costs parameterizes the kernel cycle model. Values are cycles.
+type Costs struct {
+	SoftirqPerPacket int64 // NAPI poll + ring handling per packet
+	IPIn, IPOut      int64
+	TCPSegIn         int64
+	TCPSegOut        int64
+	TCPConnSetup     int64
+	SyscallOp        int64 // syscall entry/exit + copy per socket call
+	SockEvent        int64 // data delivery to the app (copyout + wakeup)
+	TimerOp          int64
+
+	// LockBase is the uncontended lock/unlock cost charged per locked
+	// operation; LockPerContender is added per additional active kernel
+	// context; CacheBouncePerContender models false sharing and hot
+	// cache-line migration per op per other context.
+	LockBase                int64
+	LockPerContender        int64
+	CacheBouncePerContender int64
+}
+
+// DefaultCosts returns the calibrated kernel cost model (see
+// internal/experiments/calibrate.go for the derivations).
+func DefaultCosts() Costs {
+	return Costs{
+		SoftirqPerPacket: 1800,
+		IPIn:             2600,
+		IPOut:            2800,
+		TCPSegIn:         11800,
+		TCPSegOut:        10300,
+		TCPConnSetup:     9000,
+		SyscallOp:        3200,
+		SockEvent:        2800,
+		TimerOp:          500,
+
+		LockBase:                1000,
+		LockPerContender:        660,
+		CacheBouncePerContender: 280,
+	}
+}
+
+// Config assembles a baseline system.
+type Config struct {
+	// KernelThreads lists the hardware threads hosting the kernel
+	// contexts (one per core in use). Applications are colocated on the
+	// same threads by the caller.
+	KernelThreads []*sim.HWThread
+	NIC           *nicdev.NIC
+	IP            ipeng.Config
+	TCP           tcpeng.Config
+	Tuning        Tuning
+	Costs         Costs
+	IPC           ipc.Costs
+}
+
+// Stats aggregates baseline-wide counters.
+type Stats struct {
+	IRQs       uint64
+	PacketsIn  uint64
+	PacketsOut uint64
+	LockedOps  uint64
+	LockCycles int64
+	SyscallsIn uint64
+}
+
+// System is the monolithic stack: K kernel contexts around one shared
+// engine set.
+type System struct {
+	cfg   Config
+	procs []*sim.Proc
+	host  *kernelHost
+}
+
+// New boots a baseline system.
+func New(cfg Config) (*System, error) {
+	if len(cfg.KernelThreads) == 0 {
+		return nil, errors.New("baseline: need at least one kernel context")
+	}
+	if cfg.NIC == nil {
+		return nil, errors.New("baseline: NIC required")
+	}
+	if cfg.NIC.NumQueues() < len(cfg.KernelThreads) {
+		return nil, fmt.Errorf("baseline: %d kernel contexts but NIC has %d queues",
+			len(cfg.KernelThreads), cfg.NIC.NumQueues())
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	cfg.TCP.TSO = cfg.TCP.TSO || cfg.Tuning.Ethtool
+
+	s := &System{cfg: cfg}
+	s.host = newKernelHost(s)
+	for i, th := range cfg.KernelThreads {
+		pc := sim.ProcConfig{Component: "kernel",
+			WakeCycles: 2600, HaltCycles: 1600, DispatchCycles: 150}
+		if cfg.Tuning.SchedDeadline {
+			pc.WakeCycles, pc.HaltCycles = 2200, 1400
+		}
+		p := sim.NewProc(th, fmt.Sprintf("kernel%d", i), &kernelHandler{s.host, i}, pc)
+		s.procs = append(s.procs, p)
+	}
+	s.host.finishInit()
+
+	// IRQ routing per tuning: with affinity queue i → core i; otherwise
+	// irqbalance's stable-but-arbitrary spread (rotated by one, denying
+	// queue/app alignment).
+	k := len(s.procs)
+	for q := 0; q < cfg.NIC.NumQueues(); q++ {
+		idx := q % k
+		if !cfg.Tuning.IRQAffinity {
+			idx = (q + 1) % k
+		}
+		cfg.NIC.SetQueueIRQTarget(q, s.procs[idx])
+	}
+	return s, nil
+}
+
+// KernelProc returns kernel context i — the syscall target for the
+// application pinned to core i.
+func (s *System) KernelProc(i int) *sim.Proc { return s.procs[i] }
+
+// NumContexts returns the number of kernel contexts.
+func (s *System) NumContexts() int { return len(s.procs) }
+
+// TCP exposes the shared TCP engine.
+func (s *System) TCP() *tcpeng.Engine { return s.host.tcp }
+
+// IP exposes the shared IP engine.
+func (s *System) IP() *ipeng.Engine { return s.host.ip }
+
+// UDP exposes the shared UDP engine.
+func (s *System) UDP() *udpeng.Engine { return s.host.udp }
+
+// Filter exposes the netfilter-equivalent packet filter.
+func (s *System) Filter() *pfilter.Filter { return s.host.filter }
+
+// Stats returns baseline counters.
+func (s *System) Stats() Stats { return s.host.stats }

@@ -1,0 +1,146 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"neat/internal/app"
+	"neat/internal/baseline"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// linuxBed: AMD host running the monolithic baseline with K cores, one
+// lighttpd per core (own port, colocated with its kernel context), 12
+// httperf processes on the client host, one per lighttpd port.
+type linuxBed struct {
+	net     *testbed.Net
+	sys     *baseline.System
+	servers []*app.HTTPD
+	gens    []*app.Loadgen
+}
+
+func flatten(slots [][]testbed.ThreadLoc) []testbed.ThreadLoc {
+	var out []testbed.ThreadLoc
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func buildLinuxBed(t *testing.T, cores int, tuning baseline.Tuning, conns, reqPerConn, fileSize int) *linuxBed {
+	t.Helper()
+	n := testbed.New(33)
+	server := testbed.DefaultAMDHost(n, 0, cores)
+	client := testbed.DefaultClientHost(n, 1, cores)
+	sys, err := server.BuildBaseline(client, tuning, tcpeng.DefaultConfig(),
+		flatten(testbed.SingleSlots(0, cores)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, cores, tcpeng.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &linuxBed{net: n, sys: sys}
+	for i := 0; i < cores; i++ {
+		// lighttpd i colocated with kernel context i, own port (§6.1).
+		h := app.NewHTTPD(server.Machine.Thread(i, 0), "lighttpd", sys.KernelProc(i),
+			ipc.DefaultCosts(), app.HTTPDConfig{
+				Port:  uint16(8000 + i),
+				Files: map[string]int{"/file": fileSize},
+			})
+		h.Start()
+		b.servers = append(b.servers, h)
+	}
+	n.Sim.RunFor(sim.Millisecond)
+	for i, h := range b.servers {
+		if !h.Ready() {
+			t.Fatalf("lighttpd %d not ready", i)
+		}
+	}
+	for i := 0; i < cores; i++ {
+		lg := app.NewLoadgen(client.AppThread(2+cores+i), "httperf", clisys.SyscallProc(),
+			ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/file",
+				Conns: conns, ReqPerConn: reqPerConn,
+			})
+		b.gens = append(b.gens, lg)
+	}
+	return b
+}
+
+func (b *linuxBed) run(warm, window sim.Time) (krps float64) {
+	for _, g := range b.gens {
+		g.Start()
+	}
+	b.net.Sim.RunFor(warm)
+	for _, g := range b.gens {
+		g.BeginMeasure()
+	}
+	b.net.Sim.RunFor(window)
+	var good uint64
+	for _, g := range b.gens {
+		good += g.GoodResponses()
+	}
+	return float64(good) / window.Seconds() / 1000
+}
+
+func TestBaselineServesTraffic(t *testing.T) {
+	b := buildLinuxBed(t, 4, baseline.Tuning{SchedDeadline: true, Ethtool: true,
+		IRQAffinity: true, RxAffinity: true, ServerPinning: true}, 8, 100, 20)
+	rate := b.run(20*sim.Millisecond, 60*sim.Millisecond)
+	if rate < 10 {
+		t.Fatalf("baseline rate = %.1f krps — too low", rate)
+	}
+	var errs uint64
+	for _, g := range b.gens {
+		errs += g.Stats().ConnErrors
+	}
+	if errs != 0 {
+		t.Fatalf("errors=%d", errs)
+	}
+	if b.sys.Stats().LockedOps == 0 {
+		t.Fatal("lock model never charged")
+	}
+	if b.sys.Stats().IRQs == 0 {
+		t.Fatal("per-queue IRQ path unused")
+	}
+}
+
+func TestBaselineTuningLadderImproves(t *testing.T) {
+	defaults := buildLinuxBed(t, 4, baseline.Tuning{}, 8, 100, 20)
+	rDefaults := defaults.run(20*sim.Millisecond, 60*sim.Millisecond)
+
+	full := buildLinuxBed(t, 4, baseline.Tuning{SchedDeadline: true, Ethtool: true,
+		IRQAffinity: true, RxAffinity: true, ServerPinning: true}, 8, 100, 20)
+	rFull := full.run(20*sim.Millisecond, 60*sim.Millisecond)
+
+	if rFull <= rDefaults {
+		t.Fatalf("tuning did not help: defaults=%.1f full=%.1f", rDefaults, rFull)
+	}
+	// Table 1 shows roughly +22 % from defaults to full tuning.
+	gain := rFull / rDefaults
+	if gain < 1.05 || gain > 1.6 {
+		t.Fatalf("tuning gain %.2fx outside plausible band", gain)
+	}
+}
+
+func TestBaselineSharedListenerAndEngine(t *testing.T) {
+	b := buildLinuxBed(t, 2, baseline.Tuning{ServerPinning: true, IRQAffinity: true}, 4, 10, 20)
+	_ = b.run(10*sim.Millisecond, 30*sim.Millisecond)
+	// All connections live in ONE engine (shared everything).
+	if b.sys.TCP().Stats().AcceptedConns == 0 {
+		t.Fatal("no accepts")
+	}
+	if b.sys.TCP().NumConns() == 0 {
+		t.Fatal("no live conns in the shared engine")
+	}
+}
+
+func TestBaselineConfigValidation(t *testing.T) {
+	if _, err := baseline.New(baseline.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"neat/internal/sim"
+)
+
+// AutoScaler implements §3.4's dynamic scaling policy: the system boots
+// with the minimum number of replicas and, when the stack becomes
+// overloaded, automatically spawns a new replica; when the load drops it
+// lazily terminates replicas again. Decisions are made from periodic
+// utilization samples of the replica hardware threads.
+type AutoScaler struct {
+	sys  *System
+	proc *sim.Proc
+	cfg  AutoScalerConfig
+
+	lastBusy map[*sim.HWThread]sim.Time
+	lastAt   sim.Time
+	stats    AutoScalerStats
+}
+
+// AutoScalerConfig tunes the scaling policy.
+type AutoScalerConfig struct {
+	// Interval between utilization samples (default 20 ms).
+	Interval sim.Time
+	// HighWater: scale up when any replica's busiest thread exceeds it
+	// (default 0.92).
+	HighWater float64
+	// LowWater: scale down when the whole stack's average utilization
+	// would stay below HighWater even with one replica fewer
+	// (default 0.55).
+	LowWater float64
+	// Cooldown samples to skip after a scaling action (default 2); lets
+	// the NIC's RSS rebalancing and connection churn settle (§3.4: "we
+	// expect the system to rebalance itself as soon as existing
+	// connections terminate and new connections appear").
+	Cooldown int
+}
+
+// AutoScalerStats counts scaling decisions.
+type AutoScalerStats struct {
+	Samples    uint64
+	ScaleUps   uint64
+	ScaleDowns uint64
+}
+
+type scalerTick struct{}
+
+// StartAutoScaler attaches the policy process to the system on thread th
+// (in the paper this logic lives with the other management processes on
+// the OS core).
+func (sys *System) StartAutoScaler(th *sim.HWThread, cfg AutoScalerConfig) *AutoScaler {
+	if cfg.Interval == 0 {
+		cfg.Interval = 20 * sim.Millisecond
+	}
+	if cfg.HighWater == 0 {
+		cfg.HighWater = 0.92
+	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = 0.55
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2
+	}
+	a := &AutoScaler{sys: sys, cfg: cfg, lastBusy: map[*sim.HWThread]sim.Time{}}
+	cooldown := 0
+	a.proc = sim.NewProc(th, "autoscaler", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
+		ctx.Charge(800)
+		maxU, avgU, n := a.sample(ctx.Sim.Now())
+		a.stats.Samples++
+		defer ctx.TimerAfter(cfg.Interval, scalerTick{})
+		if a.stats.Samples == 1 {
+			return // first sample only primes the counters
+		}
+		if cooldown > 0 {
+			cooldown--
+			return
+		}
+		switch {
+		case maxU > cfg.HighWater:
+			if _, err := sys.ScaleUp(); err == nil {
+				a.stats.ScaleUps++
+				cooldown = cfg.Cooldown
+			}
+		case n > 1 && avgU < cfg.LowWater && avgU*float64(n)/float64(n-1) < cfg.HighWater:
+			if err := sys.ScaleDown(); err == nil {
+				a.stats.ScaleDowns++
+				cooldown = cfg.Cooldown
+			}
+		}
+	}), sim.ProcConfig{Component: "mgmt"})
+	a.proc.Deliver(scalerTick{})
+	return a
+}
+
+// sample returns (max, average) utilization across active replica threads
+// since the previous sample, plus the active replica count.
+func (a *AutoScaler) sample(now sim.Time) (maxU, avgU float64, replicas int) {
+	var sum float64
+	var threads int
+	for _, sl := range a.sys.slots {
+		if sl.state != SlotActive {
+			continue
+		}
+		replicas++
+		for _, p := range sl.replica.Procs() {
+			th := p.Thread()
+			busy := th.BusyTotal()
+			if prev, ok := a.lastBusy[th]; ok && now > a.lastAt {
+				u := sim.Utilization(prev, busy, a.lastAt, now)
+				sum += u
+				threads++
+				if u > maxU {
+					maxU = u
+				}
+			}
+			a.lastBusy[th] = busy
+		}
+	}
+	a.lastAt = now
+	if threads > 0 {
+		avgU = sum / float64(threads)
+	}
+	return maxU, avgU, replicas
+}
+
+// Stats returns a snapshot of the scaler counters.
+func (a *AutoScaler) Stats() AutoScalerStats { return a.stats }

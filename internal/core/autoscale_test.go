@@ -1,0 +1,321 @@
+package core_test
+
+import (
+	"testing"
+
+	"neat/internal/app"
+	"neat/internal/core"
+	"neat/internal/ipc"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/socketlib"
+	"neat/internal/stack"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// TestAutoScalerGrowsAndShrinks drives §3.4's dynamic policy end to end:
+// one replica under heavy web load → the scaler spawns more; load stops →
+// lazy termination shrinks the system back.
+func TestAutoScalerGrowsAndShrinks(t *testing.T) {
+	n := testbed.New(3)
+	server := testbed.DefaultAMDHost(n, 0, 3)
+	client := testbed.DefaultClientHost(n, 1, 3)
+	sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+		Kind: stack.Single, TCP: tcpeng.DefaultConfig(),
+		Slots:           testbed.SingleSlots(2, 3),
+		Syscall:         testbed.ThreadLoc{Core: 1},
+		InitialReplicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, 3, tcpeng.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler := sys.StartAutoScaler(server.Machine.Thread(11, 0), core.AutoScalerConfig{})
+
+	var gens []*app.Loadgen
+	for i := 0; i < 3; i++ {
+		h := app.NewHTTPD(server.AppThread(6+i), "web", sys.SyscallProc(),
+			ipc.DefaultCosts(), app.HTTPDConfig{Port: uint16(8000 + i), Files: map[string]int{"/f": 20}})
+		h.Start()
+		lg := app.NewLoadgen(client.AppThread(6+i), "gen", clisys.SyscallProc(),
+			ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/f",
+				Conns: 24, ReqPerConn: 100, Timeout: 300 * sim.Millisecond,
+			})
+		gens = append(gens, lg)
+	}
+	n.Sim.RunFor(2 * sim.Millisecond)
+	for _, g := range gens {
+		g.Start()
+	}
+
+	// Under load: one replica saturates; the scaler must grow the system.
+	n.Sim.RunFor(400 * sim.Millisecond)
+	grown := sys.NumActive()
+	if grown < 2 {
+		t.Fatalf("autoscaler never scaled up: active=%d stats=%+v", grown, scaler.Stats())
+	}
+	if scaler.Stats().ScaleUps == 0 {
+		t.Fatalf("stats: %+v", scaler.Stats())
+	}
+
+	// Load off: the scaler must lazily shrink back down.
+	for _, g := range gens {
+		g.Stop()
+	}
+	n.Sim.RunFor(1500 * sim.Millisecond)
+	if sys.NumActive() >= grown {
+		t.Fatalf("autoscaler never scaled down: active=%d (was %d) stats=%+v",
+			sys.NumActive(), grown, scaler.Stats())
+	}
+	if scaler.Stats().ScaleDowns == 0 {
+		t.Fatalf("stats: %+v", scaler.Stats())
+	}
+}
+
+// TestNICFlowTrackingReplacesSoftwareFilters exercises the paper's §4
+// proposal: with hardware flow tracking, NEaT needs no software-managed
+// per-connection filters, and lazy termination still keeps existing
+// connections on their replica after the RSS set shrinks.
+func TestNICFlowTrackingReplacesSoftwareFilters(t *testing.T) {
+	n := testbed.New(13)
+	server := testbed.DefaultAMDHost(n, 0, 2)
+	client := testbed.DefaultClientHost(n, 1, 2)
+	sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+		Kind: stack.Single, TCP: tcpeng.DefaultConfig(),
+		Slots:              testbed.SingleSlots(2, 2),
+		Syscall:            testbed.ThreadLoc{Core: 1},
+		DisableFlowFilters: true,
+		UseNICFlowTracking: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, 2, tcpeng.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := app.NewHTTPD(server.AppThread(6), "web", sys.SyscallProc(),
+		ipc.DefaultCosts(), app.HTTPDConfig{Port: 8000, Files: map[string]int{"/f": 20}})
+	h.Start()
+	lg := app.NewLoadgen(client.AppThread(6), "gen", clisys.SyscallProc(),
+		ipc.DefaultCosts(), app.LoadgenConfig{
+			Target: server.IP, Port: 8000, URI: "/f",
+			Conns: 16, ReqPerConn: 1 << 30, // effectively endless keep-alive
+			Timeout: 300 * sim.Millisecond,
+		})
+	n.Sim.RunFor(2 * sim.Millisecond)
+	lg.Start()
+	n.Sim.RunFor(100 * sim.Millisecond)
+
+	if server.NIC.NumFilters() != 0 {
+		t.Fatalf("software filters installed despite tracking: %d", server.NIC.NumFilters())
+	}
+	if server.NIC.NumTrackedFlows() == 0 {
+		t.Fatal("hardware tracking table empty")
+	}
+	usedBoth := 0
+	for _, r := range sys.Replicas() {
+		if r.TCP().NumEstablished() > 0 {
+			usedBoth++
+		}
+	}
+	if usedBoth != 2 {
+		t.Skip("seed placed all connections on one replica")
+	}
+
+	// Lazy termination: the terminating replica leaves RSS but its tracked
+	// flows keep arriving; existing connections must keep completing
+	// requests with zero errors.
+	if err := sys.ScaleDown(); err != nil {
+		t.Fatal(err)
+	}
+	before := lg.Stats().ResponsesOK
+	n.Sim.RunFor(150 * sim.Millisecond)
+	if lg.Stats().ConnErrors != 0 {
+		t.Fatalf("tracking failed during lazy termination: %d errors", lg.Stats().ConnErrors)
+	}
+	if lg.Stats().ResponsesOK <= before {
+		t.Fatal("no progress during lazy termination")
+	}
+	if got := sys.SlotStates()[1]; got != core.SlotTerminating {
+		t.Fatalf("slot state: %v", sys.SlotStates())
+	}
+}
+
+// TestCheckpointedRecoveryKeepsConnections enables checkpoint-based
+// stateful recovery: connections survive a TCP crash, the applications
+// are rehomed to the new process, and traffic continues.
+func TestCheckpointedRecoveryKeepsConnections(t *testing.T) {
+	n := testbed.New(21)
+	server := testbed.DefaultAMDHost(n, 0, 2)
+	client := testbed.DefaultClientHost(n, 1, 2)
+	scfg := server.StackConfig(stack.Multi, tcpeng.DefaultConfig(), client)
+	sys, err := core.New(n.Sim, core.Config{
+		Stack: scfg,
+		Threads: [][]*sim.HWThread{
+			{server.Machine.Thread(2, 0), server.Machine.Thread(3, 0)},
+			{server.Machine.Thread(4, 0), server.Machine.Thread(5, 0)},
+		},
+		NIC: server.NIC, Driver: server.Driver,
+		SyscallThread:      server.Machine.Thread(1, 0),
+		AutoRecover:        true,
+		UseFlowFilters:     true,
+		CheckpointInterval: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, 2, tcpeng.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Echo server + clients doing periodic request/response on held conns.
+	b := &bed{net: n, server: server, client: client, sys: sys, clisys: clisys}
+	b.app = newSrvApp(server.AppThread(7), sys.SyscallProc())
+	b.cli = newCliApp(client.AppThread(7), clisys.SyscallProc(), server)
+	b.app.proc.Deliver("listen")
+	n.Sim.RunFor(sim.Millisecond)
+	holder := newHolderApp(b)
+	for i := 0; i < 10; i++ {
+		holder.proc.Deliver("hold")
+	}
+	n.Sim.RunFor(60 * sim.Millisecond) // several checkpoints elapse
+	if holder.open != 10 {
+		t.Fatalf("held=%d", holder.open)
+	}
+	if sys.Stats().Checkpoints < 4 {
+		t.Fatalf("checkpoints=%d", sys.Stats().Checkpoints)
+	}
+
+	victim := sys.Replicas()[0]
+	if victim.TCP().NumConns() == 0 {
+		victim = sys.Replicas()[1]
+	}
+	held := victim.TCP().NumEstablished()
+	victim.SockProc().Crash(sim.ErrKilled)
+	n.Sim.RunFor(200 * sim.Millisecond)
+
+	st := sys.Stats()
+	if st.TCPStateLost != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if int(st.ConnectionsRestored) < held {
+		t.Fatalf("restored %d of %d", st.ConnectionsRestored, held)
+	}
+	if st.ConnectionsLost != 0 {
+		t.Fatalf("stateful recovery lost %d connections", st.ConnectionsLost)
+	}
+	if b.app.failures != 0 {
+		t.Fatalf("server app saw %d failures despite checkpointing", b.app.failures)
+	}
+	if victim.TCP().NumEstablished() < held {
+		t.Fatalf("restored engine holds %d, want >= %d", victim.TCP().NumEstablished(), held)
+	}
+
+	// Traffic still flows: echo round-trips on fresh connections AND the
+	// restored listener.
+	b.connect(10)
+	n.Sim.RunFor(2 * sim.Second)
+	if b.cli.done != 10 {
+		t.Fatalf("post-restore echo: done=%d failed=%d resets=%d",
+			b.cli.done, b.cli.failed, b.cli.resets)
+	}
+}
+
+// TestListenerCloseEndToEnd closes a listening socket through the library:
+// subsequent connects are refused and the listen is no longer replayed to
+// recovered replicas.
+func TestListenerCloseEndToEnd(t *testing.T) {
+	b := newBed(t, stack.Single, testbed.SingleSlots(2, 2), 2)
+	b.connect(4)
+	b.net.Sim.RunFor(sim.Second)
+	if b.cli.done != 4 {
+		t.Fatalf("warmup: %d", b.cli.done)
+	}
+	b.app.proc.Deliver("closeListener")
+	b.net.Sim.RunFor(10 * sim.Millisecond)
+	b.connect(3)
+	b.net.Sim.RunFor(sim.Second)
+	if b.cli.resets != 3 && b.cli.failed != 3 {
+		t.Fatalf("connects to a closed listener succeeded: done=%d resets=%d failed=%d",
+			b.cli.done, b.cli.resets, b.cli.failed)
+	}
+	// A crashed replica must not resurrect the closed listener.
+	b.sys.Replicas()[0].Procs()[0].Crash(sim.ErrKilled)
+	b.net.Sim.RunFor(50 * sim.Millisecond)
+	before := b.cli.done
+	b.connect(2)
+	b.net.Sim.RunFor(sim.Second)
+	if b.cli.done != before {
+		t.Fatalf("closed listener replayed after recovery: done=%d", b.cli.done)
+	}
+}
+
+// TestUDPThroughSyscallServer binds a UDP socket via the SYSCALL server
+// and exchanges datagrams with a remote peer through the full path.
+func TestUDPThroughSyscallServer(t *testing.T) {
+	b := newBed(t, stack.Single, testbed.SingleSlots(2, 1), 1)
+	var srvGot, cliGot []string
+	srvU := newUDPApp(b.server.AppThread(9), b.sys.SyscallProc(), &srvGot, true)
+	srvU.proc.Deliver(uint16(5353))
+	b.net.Sim.RunFor(2 * sim.Millisecond)
+	if srvU.sock == nil || srvU.sock.Port != 5353 {
+		t.Fatal("server UDP bind failed")
+	}
+	cliU := newUDPApp(b.client.AppThread(9), b.clisys.SyscallProc(), &cliGot, false)
+	cliU.dst = b.server.IP
+	cliU.proc.Deliver(uint16(0))
+	b.net.Sim.RunFor(2 * sim.Millisecond)
+	cliU.proc.Deliver("send")
+	b.net.Sim.RunFor(50 * sim.Millisecond)
+	if len(srvGot) != 1 || srvGot[0] != "ping" {
+		t.Fatalf("server got %v", srvGot)
+	}
+	if len(cliGot) != 1 || cliGot[0] != "re:ping" {
+		t.Fatalf("client got %v", cliGot)
+	}
+}
+
+type udpApp struct {
+	proc *sim.Proc
+	lib  *socketlib.Lib
+	sock *socketlib.UDPSocket
+	got  *[]string
+	echo bool
+	dst  proto.Addr
+}
+
+func newUDPApp(th *sim.HWThread, syscall *sim.Proc, got *[]string, echo bool) *udpApp {
+	a := &udpApp{got: got, echo: echo}
+	a.proc = sim.NewProc(th, "udpapp", a, sim.ProcConfig{})
+	a.lib = socketlib.New(a.proc, syscall, ipc.DefaultCosts())
+	return a
+}
+
+func (a *udpApp) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	ctx.Charge(300)
+	if a.lib.HandleEvent(ctx, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case uint16:
+		a.sock = a.lib.BindUDP(ctx, m)
+		sock := a.sock
+		a.sock.OnData = func(ctx *sim.Context, src proto.Addr, sport uint16, data []byte) {
+			*a.got = append(*a.got, string(data))
+			if a.echo {
+				sock.SendTo(ctx, src, sport, append([]byte("re:"), data...))
+			}
+		}
+	case string:
+		if m == "send" && a.sock != nil {
+			a.sock.SendTo(ctx, a.dst, 5353, []byte("ping"))
+		}
+	}
+}

@@ -1,0 +1,546 @@
+// Package core implements NEaT itself: the management plane that turns a
+// set of isolated stack replicas into one logical network stack (§3).
+//
+// It owns:
+//
+//   - replica lifecycle — spawning replicas on dedicated hardware threads,
+//     binding each to its NIC queue, and replaying listening sockets to new
+//     incarnations;
+//   - connection steering — installing exact flow-director filters in the
+//     NIC as connections establish, removing them as connections die, and
+//     maintaining the RSS set for new connections (§4);
+//   - failure recovery — a crashed component is replaced by a fresh
+//     process; stateless components (PF/IP/UDP) recover transparently,
+//     while a TCP (or single-component) crash loses exactly that replica's
+//     connections and nothing else (§3.6, Table 3);
+//   - scaling — spawning replicas under load and lazily terminating them
+//     when load drops: terminating replicas leave the RSS set but serve
+//     their existing connections until the count drops to zero (§3.4);
+//   - the SYSCALL server, which fans out listens and routes connects to a
+//     random replica — the address-space re-randomization of §3.8 falls
+//     out of that choice because every replica incarnation has a fresh
+//     ASLR seed.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"neat/internal/nicdev"
+	"neat/internal/sim"
+	"neat/internal/stack"
+	"neat/internal/sysserver"
+	"neat/internal/tcpeng"
+)
+
+// SlotState is the lifecycle state of a replica slot.
+type SlotState int
+
+// Slot states.
+const (
+	SlotEmpty SlotState = iota
+	SlotActive
+	SlotTerminating // lazy termination: draining connections (§3.4)
+	SlotRecovering
+)
+
+// String names the state.
+func (s SlotState) String() string {
+	switch s {
+	case SlotEmpty:
+		return "empty"
+	case SlotActive:
+		return "active"
+	case SlotTerminating:
+		return "terminating"
+	case SlotRecovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// Config assembles a NEaT system.
+type Config struct {
+	// Stack is the replica template (Name is overridden per replica).
+	Stack stack.Config
+	// Threads lists, per replica slot, the hardware threads its processes
+	// run on (1 for single-component, 2 for multi-component). The number
+	// of slots bounds the replica count and must not exceed the NIC queue
+	// count.
+	Threads [][]*sim.HWThread
+	// InitialReplicas is the number of slots activated at boot (default:
+	// all).
+	InitialReplicas int
+	// NIC and Driver are the shared device and its driver process.
+	NIC    *nicdev.NIC
+	Driver *nicdev.Driver
+	// SyscallThread hosts the SYSCALL server.
+	SyscallThread *sim.HWThread
+	// RecoveryDelay models the time the reincarnation server needs to
+	// spawn a replacement process (default 500 µs).
+	RecoveryDelay sim.Time
+	// AutoRecover enables crash-triggered recovery.
+	AutoRecover bool
+	// UseFlowFilters steers established connections with exact NIC
+	// filters; disabling it is the pure-RSS ablation.
+	UseFlowFilters bool
+	// CheckpointInterval enables checkpoint-based stateful TCP recovery
+	// (§2.1's alternative to stateless recovery): every interval each
+	// replica snapshots its TCP state, and after a TCP crash the new
+	// incarnation restores the latest snapshot instead of losing the
+	// connections. 0 disables (the paper's default, stateless recovery).
+	CheckpointInterval sim.Time
+	// UseNICFlowTracking enables the paper's proposed hardware extension
+	// (§4): the NIC itself pins every flow to the queue RSS first assigned
+	// it, removing the need for software-managed per-connection filters.
+	// NICTrackingTableSize bounds the hardware table (default 8192, the
+	// capacity the paper quotes for Intel 10G filters).
+	UseNICFlowTracking   bool
+	NICTrackingTableSize int
+}
+
+// Stats counts management-plane events.
+type Stats struct {
+	Recoveries          uint64 // replica/component restarts
+	TCPStateLost        uint64 // recoveries that lost TCP connections
+	TransparentRecov    uint64 // recoveries with no visible state loss
+	ConnectionsLost     uint64 // connections dropped by failures
+	Checkpoints         uint64
+	ConnectionsRestored uint64
+	ScaleUps            uint64
+	ScaleDowns          uint64
+	ReplicasGarbage     uint64 // lazily terminated replicas collected
+	FiltersInstalled    uint64
+	FiltersRemoved      uint64
+}
+
+// ErrNoFreeSlot is returned by ScaleUp when every slot is in use.
+var ErrNoFreeSlot = errors.New("core: no free replica slot")
+
+// System is one NEaT network stack: N replicas, a SYSCALL server, a NIC.
+type System struct {
+	s   *sim.Simulator
+	cfg Config
+
+	slots []*slot
+	sys   *sysserver.Server
+
+	listens []stack.OpListen
+
+	// conns tracks (replica, connID) → owning app for crash notification.
+	conns map[*stack.Replica]map[uint64]*sim.Proc
+
+	// checkpoints holds the latest TCP snapshot per slot (stateful
+	// recovery mode).
+	checkpoints map[int]*tcpeng.Snapshot
+
+	// expectedKills marks processes being killed intentionally (GC of
+	// terminated replicas) so the crash watcher ignores them.
+	expectedKills map[*sim.Proc]bool
+
+	stats Stats
+}
+
+type slot struct {
+	index   int
+	state   SlotState
+	replica *stack.Replica
+	threads []*sim.HWThread
+}
+
+// New boots a NEaT system.
+func New(s *sim.Simulator, cfg Config) (*System, error) {
+	if cfg.NIC == nil || cfg.Driver == nil {
+		return nil, errors.New("core: NIC and Driver are required")
+	}
+	if len(cfg.Threads) == 0 {
+		return nil, errors.New("core: at least one replica slot required")
+	}
+	if len(cfg.Threads) > cfg.NIC.NumQueues() {
+		return nil, fmt.Errorf("core: %d slots but NIC has %d queues",
+			len(cfg.Threads), cfg.NIC.NumQueues())
+	}
+	if cfg.InitialReplicas == 0 {
+		cfg.InitialReplicas = len(cfg.Threads)
+	}
+	if cfg.RecoveryDelay == 0 {
+		cfg.RecoveryDelay = 500 * sim.Microsecond
+	}
+	sys := &System{
+		s: s, cfg: cfg,
+		conns:         map[*stack.Replica]map[uint64]*sim.Proc{},
+		expectedKills: map[*sim.Proc]bool{},
+		checkpoints:   map[int]*tcpeng.Snapshot{},
+	}
+	for i := range cfg.Threads {
+		sys.slots = append(sys.slots, &slot{index: i, threads: cfg.Threads[i]})
+	}
+	if cfg.UseNICFlowTracking {
+		size := cfg.NICTrackingTableSize
+		if size == 0 {
+			size = 8192
+		}
+		cfg.NIC.EnableFlowTracking(size)
+		sys.cfg = cfg
+	}
+	sys.sys = sysserver.New(cfg.SyscallThread, sys, cfg.Stack.IPC)
+	for i := 0; i < cfg.InitialReplicas && i < len(sys.slots); i++ {
+		sys.activate(sys.slots[i])
+	}
+	sys.updateRSS()
+	if cfg.CheckpointInterval > 0 {
+		sys.scheduleCheckpoints()
+	}
+	if cfg.AutoRecover {
+		s.OnCrash(sys.onCrash)
+	}
+	return sys, nil
+}
+
+// SyscallProc returns the SYSCALL server process — the address
+// applications send control-plane socket calls to.
+func (sys *System) SyscallProc() *sim.Proc { return sys.sys.Proc() }
+
+// Syscall returns the SYSCALL server.
+func (sys *System) Syscall() *sysserver.Server { return sys.sys }
+
+// Stats returns a snapshot of the management counters.
+func (sys *System) Stats() Stats { return sys.stats }
+
+// Replicas returns the live replicas (active and terminating).
+func (sys *System) Replicas() []*stack.Replica {
+	var out []*stack.Replica
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive || sl.state == SlotTerminating || sl.state == SlotRecovering {
+			out = append(out, sl.replica)
+		}
+	}
+	return out
+}
+
+// NumActive returns the number of active (non-terminating) replicas.
+func (sys *System) NumActive() int {
+	n := 0
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive {
+			n++
+		}
+	}
+	return n
+}
+
+// SlotStates reports each slot's state (for tests and topology dumps).
+func (sys *System) SlotStates() []SlotState {
+	out := make([]SlotState, len(sys.slots))
+	for i, sl := range sys.slots {
+		out[i] = sl.state
+	}
+	return out
+}
+
+// TotalConns sums live PCBs across replicas.
+func (sys *System) TotalConns() int {
+	n := 0
+	for _, r := range sys.Replicas() {
+		n += r.TCP().NumConns()
+	}
+	return n
+}
+
+// activate builds a replica in an empty slot and wires it up.
+func (sys *System) activate(sl *slot) {
+	cfg := sys.cfg.Stack
+	cfg.Name = fmt.Sprintf("neat%d", sl.index)
+	// Partition the ephemeral port space across slots: replicas share the
+	// host IP, so distinct ranges guarantee collision-free 4-tuples for
+	// active opens — the port-space analogue of NEaT's state partitioning.
+	span := (65536 - 32768) / len(sys.slots)
+	cfg.TCP.EphemeralLo = uint16(32768 + sl.index*span)
+	cfg.TCP.EphemeralHi = uint16(32768 + (sl.index+1)*span - 1)
+	r := stack.NewReplica(sl.threads, sys.cfg.Driver.Proc(), cfg)
+	sl.replica = r
+	sl.state = SlotActive
+	sys.conns[r] = map[uint64]*sim.Proc{}
+	sys.installHooks(sl)
+	sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
+	sys.replayListens(r)
+}
+
+// installHooks wires connection-lifecycle hooks for NIC steering, crash
+// bookkeeping and lazy termination.
+func (sys *System) installHooks(sl *slot) {
+	r := sl.replica
+	r.OnCheckpoint = func(rr *stack.Replica, snap *tcpeng.Snapshot) {
+		sys.stats.Checkpoints++
+		sys.checkpoints[sl.index] = snap
+	}
+	r.OnRestored = func(rr *stack.Replica, n int) {
+		sys.stats.ConnectionsRestored += uint64(n)
+	}
+	r.OnConnCreated = func(rr *stack.Replica, c *tcpeng.Conn) {
+		// Steer the reply path to this replica before the SYN leaves.
+		sys.conns[rr][c.ID] = rr.ConnApp(c)
+		if sys.cfg.UseFlowFilters {
+			if err := sys.cfg.NIC.InstallFilter(c.InboundFlow(), sl.index); err == nil {
+				sys.stats.FiltersInstalled++
+			}
+		}
+	}
+	r.OnConnEstablished = func(rr *stack.Replica, c *tcpeng.Conn) {
+		sys.conns[rr][c.ID] = rr.ConnApp(c)
+		if sys.cfg.UseFlowFilters {
+			if err := sys.cfg.NIC.InstallFilter(c.InboundFlow(), sl.index); err == nil {
+				sys.stats.FiltersInstalled++
+			}
+		}
+	}
+	r.OnConnRemoved = func(rr *stack.Replica, c *tcpeng.Conn) {
+		delete(sys.conns[rr], c.ID)
+		if sys.cfg.UseFlowFilters {
+			sys.cfg.NIC.RemoveFilter(c.InboundFlow())
+			sys.stats.FiltersRemoved++
+		}
+		if sl.state == SlotTerminating && rr.TCP().NumConns() == 0 {
+			sys.collect(sl)
+		}
+	}
+}
+
+// replayListens re-announces every registered listening socket to a new
+// replica incarnation.
+func (sys *System) replayListens(r *stack.Replica) {
+	for _, op := range sys.listens {
+		fanned := op
+		// Acks land in the SYSCALL server, which ignores requests it
+		// already acknowledged.
+		fanned.ReplyTo = sys.sys.Proc()
+		r.SockProc().Deliver(fanned)
+	}
+}
+
+// ---- sysserver.Manager ----
+
+// ConnectTarget implements sysserver.Manager: a random active replica
+// (§3.8: random placement gives load balancing and unpredictability).
+func (sys *System) ConnectTarget() *sim.Proc {
+	var candidates []*slot
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive {
+			candidates = append(candidates, sl)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sl := candidates[sys.s.Rand().Intn(len(candidates))]
+	return sl.replica.SockProc()
+}
+
+// ListenTargets implements sysserver.Manager.
+func (sys *System) ListenTargets() []*sim.Proc {
+	var out []*sim.Proc
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive {
+			out = append(out, sl.replica.SockProc())
+		}
+	}
+	return out
+}
+
+// UDPTarget implements sysserver.Manager.
+func (sys *System) UDPTarget() *sim.Proc {
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive {
+			return sl.replica.EntryProc()
+		}
+	}
+	return nil
+}
+
+// RegisterListen implements sysserver.Manager.
+func (sys *System) RegisterListen(op stack.OpListen) {
+	sys.listens = append(sys.listens, op)
+}
+
+// UnregisterListen implements sysserver.Manager.
+func (sys *System) UnregisterListen(reqID uint64) {
+	for i, op := range sys.listens {
+		if op.ReqID == reqID {
+			sys.listens = append(sys.listens[:i], sys.listens[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- scaling (§3.4) ----
+
+// ScaleUp activates one empty slot and returns its replica. New
+// connections immediately include it via RSS; existing connections are
+// untouched because their exact filters pin them to their replicas.
+func (sys *System) ScaleUp() (*stack.Replica, error) {
+	for _, sl := range sys.slots {
+		if sl.state == SlotEmpty {
+			sys.activate(sl)
+			sys.updateRSS()
+			sys.stats.ScaleUps++
+			return sl.replica, nil
+		}
+	}
+	return nil, ErrNoFreeSlot
+}
+
+// ScaleDown marks the highest-indexed active replica as terminating: it
+// stops receiving new connections (removed from RSS and from connect
+// selection) but keeps serving existing ones until they drain, then is
+// collected — the lazy termination strategy of §3.4.
+func (sys *System) ScaleDown() error {
+	for i := len(sys.slots) - 1; i >= 0; i-- {
+		sl := sys.slots[i]
+		if sl.state != SlotActive {
+			continue
+		}
+		if sys.NumActive() == 1 {
+			return errors.New("core: cannot scale below one replica")
+		}
+		sl.state = SlotTerminating
+		sys.stats.ScaleDowns++
+		sys.updateRSS()
+		if sl.replica.TCP().NumConns() == 0 {
+			sys.collect(sl)
+		}
+		return nil
+	}
+	return errors.New("core: no active replica to terminate")
+}
+
+// collect garbage-collects a drained terminating replica.
+func (sys *System) collect(sl *slot) {
+	for _, p := range sl.replica.Procs() {
+		sys.expectedKills[p] = true
+	}
+	sys.cfg.Driver.BindQueue(sl.index, nil)
+	sl.replica.Kill()
+	delete(sys.conns, sl.replica)
+	sl.replica = nil
+	sl.state = SlotEmpty
+	sys.stats.ReplicasGarbage++
+}
+
+// updateRSS points the NIC's RSS indirection at the active replicas only.
+func (sys *System) updateRSS() {
+	var queues []int
+	for _, sl := range sys.slots {
+		if sl.state == SlotActive {
+			queues = append(queues, sl.index)
+		}
+	}
+	if len(queues) > 0 {
+		sys.cfg.NIC.SetRSSQueues(queues)
+	}
+}
+
+// scheduleCheckpoints drives the periodic OpCheckpoint ticks.
+func (sys *System) scheduleCheckpoints() {
+	sys.s.After(sys.cfg.CheckpointInterval, func() {
+		for _, sl := range sys.slots {
+			if sl.state == SlotActive || sl.state == SlotTerminating {
+				sl.replica.SockProc().Deliver(stack.OpCheckpoint{})
+			}
+		}
+		sys.scheduleCheckpoints()
+	})
+}
+
+// ---- recovery (§3.6) ----
+
+// onCrash is the failure detector: the microkernel notifies us of a dead
+// process and we spawn a replacement after RecoveryDelay.
+func (sys *System) onCrash(p *sim.Proc, cause error) {
+	if sys.expectedKills[p] {
+		delete(sys.expectedKills, p)
+		return
+	}
+	for _, sl := range sys.slots {
+		if sl.replica == nil {
+			continue
+		}
+		for _, rp := range sl.replica.Procs() {
+			if rp == p {
+				sys.recover(sl, p)
+				return
+			}
+		}
+	}
+}
+
+// recover replaces the dead component. The driver stops passing packets to
+// the dead process automatically (deliveries to dead processes are
+// dropped) until the replacement announces itself — the paper's "driver
+// does not pass any packets to the recovering replica until it announces
+// itself again" (§3.6).
+func (sys *System) recover(sl *slot, dead *sim.Proc) {
+	if sl.state == SlotRecovering {
+		return
+	}
+	prev := sl.state
+	sl.state = SlotRecovering
+	r := sl.replica
+	sys.stats.Recoveries++
+
+	tcpLost := r.Kind() == stack.Single || dead == r.SockProc()
+	snap := sys.checkpoints[sl.index]
+	stateful := tcpLost && sys.cfg.CheckpointInterval > 0 && snap != nil
+	if tcpLost && stateful {
+		// Stateful recovery: connections will be restored from the last
+		// checkpoint — do not declare them lost.
+		sys.stats.TCPStateLost++
+		sys.conns[r] = map[uint64]*sim.Proc{}
+	} else if tcpLost {
+		sys.stats.TCPStateLost++
+		// All connections of this replica are gone. Tell the owning apps:
+		// their libraries observe the shared-memory channels tearing down.
+		for connID, app := range sys.conns[r] {
+			sys.stats.ConnectionsLost++
+			if app != nil {
+				app.Deliver(stack.EvClosed{Stack: dead, ConnID: connID,
+					Reset: true, Err: stack.ErrReplicaFailure})
+			}
+		}
+		sys.conns[r] = map[uint64]*sim.Proc{}
+	} else {
+		sys.stats.TransparentRecov++
+	}
+
+	sys.s.After(sys.cfg.RecoveryDelay, func() {
+		if r.Kind() == stack.Single {
+			r.Rebuild(sl.threads[0])
+		} else {
+			// Restart whichever components are dead (both, if the whole
+			// replica was killed).
+			if r.SockProc().Dead() {
+				r.RestartTCP(sl.threads[1])
+			}
+			if r.EntryProc().Dead() {
+				r.RestartIP(sl.threads[0])
+			}
+		}
+		sys.installHooks(sl)
+		sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
+		if tcpLost && stateful {
+			// The snapshot carries the listener table; only genuinely new
+			// listens (registered after the snapshot) need replaying, and
+			// replaying all is harmless (duplicates are rejected).
+			r.SockProc().Deliver(stack.OpRestore{Snap: snap})
+			sys.replayListens(r)
+		} else if tcpLost {
+			sys.replayListens(r)
+		}
+		if prev == SlotTerminating {
+			sl.state = SlotTerminating
+		} else {
+			sl.state = SlotActive
+		}
+		sys.updateRSS()
+	})
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neat/internal/app"
+	"neat/internal/baseline"
+	"neat/internal/core"
+	"neat/internal/ipc"
+	"neat/internal/metrics"
+	"neat/internal/sim"
+	"neat/internal/stack"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// MachineKind selects the system-under-test machine of §6.
+type MachineKind int
+
+// The two testbed machines.
+const (
+	AMD  MachineKind = iota // 12 cores, 1.9 GHz, no SMT
+	Xeon                    // 8 cores × 2 threads, 2.26 GHz
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks warmup/measurement windows and run counts so the unit
+	// tests stay fast; the full harness (cmd/neat-bench, benchmarks) runs
+	// with Quick=false.
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) warm() sim.Time {
+	if o.Quick {
+		return 25 * sim.Millisecond
+	}
+	return 80 * sim.Millisecond
+}
+
+func (o Options) window() sim.Time {
+	if o.Quick {
+		return 50 * sim.Millisecond
+	}
+	return 200 * sim.Millisecond
+}
+
+// BedConfig describes one measured configuration: a server system (NEaT or
+// the Linux baseline), its lighttpd instances and the matching httperf
+// load generators.
+type BedConfig struct {
+	Seed    int64
+	Machine MachineKind
+
+	// NEaT configuration (used when LinuxCores == 0).
+	Kind         stack.Kind
+	ReplicaSlots [][]testbed.ThreadLoc
+	SyscallLoc   testbed.ThreadLoc
+	DriverLoc    testbed.ThreadLoc // Xeon only (AMD pins the driver to core 0)
+
+	// Linux baseline configuration (used when LinuxCores > 0): kernel
+	// contexts on threads LinuxLocs, web i colocated with context i.
+	LinuxCores       int
+	LinuxLocs        []testbed.ThreadLoc
+	LinuxTuning      baseline.Tuning
+	LinuxKernelScale float64
+
+	// Workload.
+	WebLocs     []testbed.ThreadLoc // lighttpd i at WebLocs[i], port 8000+i
+	FileSize    int                 // default 20 bytes
+	ConnsPerGen int                 // default 16
+	ReqPerConn  int                 // default 100
+	ThinkTime   sim.Time
+	TSO         bool
+	Timeout     sim.Time
+}
+
+// Bed is an instantiated configuration ready to measure.
+type Bed struct {
+	Net    *testbed.Net
+	Server *testbed.Host
+	Client *testbed.Host
+	NEaT   *core.System
+	CliSys *core.System
+	Linux  *baseline.System
+	Webs   []*app.HTTPD
+	Gens   []*app.Loadgen
+}
+
+// NewBed builds and boots a configuration.
+func NewBed(cfg BedConfig) (*Bed, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.FileSize == 0 {
+		cfg.FileSize = 20
+	}
+	if cfg.ConnsPerGen == 0 {
+		cfg.ConnsPerGen = 16
+	}
+	if cfg.ReqPerConn == 0 {
+		cfg.ReqPerConn = 100
+	}
+	n := testbed.New(cfg.Seed)
+
+	queues := len(cfg.ReplicaSlots)
+	if cfg.LinuxCores > 0 {
+		queues = cfg.LinuxCores
+	}
+	var server *testbed.Host
+	switch cfg.Machine {
+	case AMD:
+		server = testbed.DefaultAMDHost(n, 0, queues)
+	case Xeon:
+		server = testbed.DefaultXeonHost(n, 0, queues, cfg.DriverLoc)
+	}
+	client := testbed.DefaultClientHost(n, 1, len(cfg.WebLocs))
+
+	tcp := tcpeng.DefaultConfig()
+	tcp.TSO = cfg.TSO
+
+	b := &Bed{Net: n, Server: server, Client: client}
+
+	if cfg.LinuxCores > 0 {
+		scale := cfg.LinuxKernelScale
+		if scale == 0 {
+			scale = 1.0
+		}
+		bl, err := baselineOn(server, client, cfg, tcp, scale)
+		if err != nil {
+			return nil, err
+		}
+		b.Linux = bl
+	} else {
+		scfg := server.StackConfig(cfg.Kind, tcp, client)
+		scfg.Costs = ServerStackCosts()
+		sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+			Kind: cfg.Kind, TCP: tcp,
+			Slots:   cfg.ReplicaSlots,
+			Syscall: cfg.SyscallLoc,
+			Stack:   &scfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.NEaT = sys
+	}
+
+	clisys, err := client.BuildClientSystem(server, len(cfg.WebLocs), tcpeng.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	b.CliSys = clisys
+
+	// Web servers.
+	for i, loc := range cfg.WebLocs {
+		var syscallProc = clisys.SyscallProc() // placeholder; replaced below
+		if b.NEaT != nil {
+			syscallProc = b.NEaT.SyscallProc()
+		} else {
+			syscallProc = b.Linux.KernelProc(i % b.Linux.NumContexts())
+		}
+		h := app.NewHTTPD(server.Thread(loc), fmt.Sprintf("lighttpd%d", i), syscallProc,
+			ipc.DefaultCosts(), app.HTTPDConfig{
+				Port:             uint16(8000 + i),
+				Files:            map[string]int{"/file": cfg.FileSize},
+				CyclesPerRequest: AppCyclesPerRequest,
+			})
+		h.Start()
+		b.Webs = append(b.Webs, h)
+	}
+	n.Sim.RunFor(2 * sim.Millisecond)
+	for i, h := range b.Webs {
+		if !h.Ready() {
+			return nil, fmt.Errorf("experiments: lighttpd %d failed to listen", i)
+		}
+	}
+
+	// Load generators: one per web instance/port.
+	for i := range cfg.WebLocs {
+		lg := app.NewLoadgen(client.AppThread(2+len(cfg.WebLocs)+i), fmt.Sprintf("httperf%d", i),
+			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
+				Target: server.IP, Port: uint16(8000 + i), URI: "/file",
+				Conns: cfg.ConnsPerGen, ReqPerConn: cfg.ReqPerConn,
+				ThinkTime: cfg.ThinkTime, Timeout: cfg.Timeout,
+			})
+		b.Gens = append(b.Gens, lg)
+	}
+	return b, nil
+}
+
+// baselineOn boots the Linux model with web colocation.
+func baselineOn(server, client *testbed.Host, cfg BedConfig, tcp tcpeng.Config, scale float64) (*baseline.System, error) {
+	locs := cfg.LinuxLocs
+	if locs == nil {
+		for i := 0; i < cfg.LinuxCores; i++ {
+			locs = append(locs, testbed.ThreadLoc{Core: i})
+		}
+	}
+	threads := make([]*sim.HWThread, len(locs))
+	for i, loc := range locs {
+		threads[i] = server.Thread(loc)
+	}
+	return baseline.New(baseline.Config{
+		KernelThreads: threads,
+		NIC:           server.NIC,
+		IP:            server.StackConfig(stack.Single, tcp, client).IP,
+		TCP:           tcp,
+		Tuning:        cfg.LinuxTuning,
+		Costs:         ScaleBaselineCosts(LinuxCosts(), scale),
+		IPC:           ipc.DefaultCosts(),
+	})
+}
+
+// Measurement is one httperf-style report plus server-side observations.
+type Measurement struct {
+	KRPS    float64 // good responses (errors discarded) per second / 1000
+	RawKRPS float64
+	Errors  uint64
+	MBps    float64 // body throughput
+	MeanLat sim.Time
+	P99Lat  sim.Time
+	Window  sim.Time
+	Latency metrics.Histogram
+}
+
+// Run starts the load, warms up, measures for window and reports.
+func (b *Bed) Run(warm, window sim.Time) Measurement {
+	for _, g := range b.Gens {
+		g.Start()
+	}
+	b.Net.Sim.RunFor(warm)
+	for _, g := range b.Gens {
+		g.BeginMeasure()
+	}
+	b.Net.Sim.RunFor(window)
+
+	var m Measurement
+	m.Window = window
+	var good, raw, bytes uint64
+	for _, g := range b.Gens {
+		good += g.GoodResponses()
+		st := g.Stats()
+		raw += st.WindowResponses
+		bytes += st.WindowBytes
+		m.Errors += st.ConnErrors
+		m.Latency.Merge(g.Latency())
+	}
+	m.KRPS = metrics.KRate(good, window)
+	m.RawKRPS = metrics.KRate(raw, window)
+	m.MBps = float64(bytes) / (1 << 20) / window.Seconds()
+	m.MeanLat = m.Latency.Mean()
+	m.P99Lat = m.Latency.Quantile(0.99)
+	return m
+}

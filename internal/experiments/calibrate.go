@@ -1,0 +1,90 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6), plus the calibration constants that map the
+// simulator's cycle model onto the paper's measured throughput anchors.
+//
+// We calibrate to the paper's *anchor points* and let the shape — who
+// wins, where curves flatten, where crossovers fall — emerge from the
+// simulation (queueing, message passing, hyperthread contention, link
+// serialization are all simulated, not scripted).
+package experiments
+
+import (
+	"neat/internal/baseline"
+	"neat/internal/stack"
+)
+
+// Calibration anchors, all from §6 of the paper:
+//
+//	a1. One lighttpd instance saturates a 1.9 GHz AMD core at ≈50 krps
+//	    (Figure 7: 6 instances ≈ 302 krps ⇒ ≈50 krps each).
+//	    ⇒ application cost ≈ 1.9e9/50e3 = 38 k cycles per request.
+//	a2. One single-component NEaT replica saturates at ≈125-130 krps
+//	    (Figure 7: NEaT 2x serves 5 instances ≈ 250 krps).
+//	    ⇒ stack cost ≈ 1.9e9/128e3 ≈ 14.8 k cycles per request,
+//	    split over: request in (filter+IP+TCP), response out (TCP+IP),
+//	    ~0.5 ACK in per request (delayed ACKs), socket events, IPC.
+//	a3. The TCP process of a multi-component replica saturates at
+//	    ≈200 krps (Figure 7: Multi 1x scales linearly to 4 instances).
+//	    ⇒ TCP-only cost ≈ 9.5 k cycles per request. This falls out of a2
+//	    once the IP/filter share moves to the IP process.
+//	a4. Fully tuned Linux on the 12-core AMD peaks at 224 krps (Table 1)
+//	    ⇒ ≈101.8 k cycles per request across kernel+application;
+//	    app is 38 k (a1) ⇒ kernel ≈64 k, of which ≈30 k is the
+//	    contention share at 12 contexts (locks + cache-line bouncing).
+//	a5. Linux on the 8-core/16-thread Xeon peaks at 328 krps (§6.4)
+//	    with 16 lighttpd instances ⇒ per-request cost ≈25 % lower in
+//	    cycles than on the AMD (Nehalem vs K10 microarchitecture);
+//	    applied as XeonKernelScale on the baseline cost model only.
+//	a6. Hyperthreads: the paper's §6.4 treats 2 threads ≈ 1.3-1.4× one
+//	    core; the machine model uses HTPenalty 1.45 (each thread runs at
+//	    1/1.45 speed when its sibling is busy ⇒ 2 threads = 1.38× core).
+
+// AppCyclesPerRequest is anchor a1 minus the library/dispatch overhead the
+// application process pays per request (~2 k cycles measured in the sim).
+const AppCyclesPerRequest = 36000
+
+// XeonKernelScale is anchor a5.
+const XeonKernelScale = 0.75
+
+// ServerStackCosts returns the NEaT per-operation stack costs satisfying
+// anchors a2/a3.
+func ServerStackCosts() stack.Costs {
+	return stack.Costs{
+		FilterCheck:  300,
+		IPIn:         1000,
+		IPOut:        1100,
+		TCPSegIn:     4700,
+		TCPSegOut:    3900,
+		TCPConnSetup: 3500,
+		UDPIn:        800,
+		UDPOut:       800,
+		SockOp:       1000,
+		SockEvent:    500,
+		TimerOp:      400,
+	}
+}
+
+// LinuxCosts returns the baseline kernel cost model satisfying anchor a4.
+func LinuxCosts() baseline.Costs {
+	return baseline.DefaultCosts()
+}
+
+// ScaleBaselineCosts returns c with every cycle figure scaled by f
+// (anchor a5's microarchitecture adjustment).
+func ScaleBaselineCosts(c baseline.Costs, f float64) baseline.Costs {
+	s := func(v int64) int64 { return int64(float64(v) * f) }
+	return baseline.Costs{
+		SoftirqPerPacket:        s(c.SoftirqPerPacket),
+		IPIn:                    s(c.IPIn),
+		IPOut:                   s(c.IPOut),
+		TCPSegIn:                s(c.TCPSegIn),
+		TCPSegOut:               s(c.TCPSegOut),
+		TCPConnSetup:            s(c.TCPConnSetup),
+		SyscallOp:               s(c.SyscallOp),
+		SockEvent:               s(c.SockEvent),
+		TimerOp:                 s(c.TimerOp),
+		LockBase:                s(c.LockBase),
+		LockPerContender:        s(c.LockPerContender),
+		CacheBouncePerContender: s(c.CacheBouncePerContender),
+	}
+}

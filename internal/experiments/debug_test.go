@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+
+	"neat/internal/stack"
+)
+
+// TestDebugFig12LightLoad is a diagnostic for the light-load ordering of
+// Figure 12 (not part of the reproduction assertions).
+func TestDebugFig12LightLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, c := range []struct {
+		label    string
+		replicas int
+	}{{"Multi 1x", 1}, {"Multi 2x", 2}} {
+		m, err := amdFig7Config(Options{Quick: true}, stack.Multi, c.replicas, 1, 8, 1, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s 8conns: krps=%.1f raw=%.1f errors=%d mean=%v p99=%v",
+			c.label, m.KRPS, m.RawKRPS, m.Errors, m.MeanLat, m.P99Lat)
+	}
+}

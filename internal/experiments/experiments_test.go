@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+// cell parses a float out of a table cell like "224.0" or "53.8%".
+func cell(s string) float64 {
+	s = strings.TrimSuffix(s, "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := Table1(quick)
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("table shape: %+v", res)
+	}
+	rows := res.Tables[0].Rows
+	defaults, mid, serv := cell(rows[0][1]), cell(rows[1][1]), cell(rows[2][1])
+	t.Logf("Table1: defaults=%.1f mid=%.1f serv=%.1f (paper 184.1/186.7/224.0)", defaults, mid, serv)
+	if !(serv > mid && mid >= defaults*0.97) {
+		t.Fatalf("tuning ladder out of order: %.1f %.1f %.1f", defaults, mid, serv)
+	}
+	if serv/defaults < 1.08 || serv/defaults > 1.45 {
+		t.Fatalf("serv gain %.2fx vs paper's 1.22x", serv/defaults)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res := Figure7(quick)
+	fig := res.Figures[0]
+	byLabel := map[string]float64{}
+	at6 := map[string]float64{}
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s.MaxY()
+		for i, x := range s.X {
+			if x == 6 {
+				at6[s.Label] = s.Y[i]
+			}
+		}
+	}
+	t.Logf("Figure7 peaks: %+v (at 6 webs: %+v)", byLabel, at6)
+	// NEaT 3x must scale further than Multi 1x (one TCP proc saturates).
+	if byLabel["NEaT 3x"] <= byLabel["Multi 1x"] {
+		t.Fatalf("NEaT 3x (%.1f) should beat Multi 1x (%.1f)", byLabel["NEaT 3x"], byLabel["Multi 1x"])
+	}
+	// NEaT 3x peak in the paper's ballpark (302 krps).
+	if byLabel["NEaT 3x"] < 240 || byLabel["NEaT 3x"] > 360 {
+		t.Fatalf("NEaT 3x peak %.1f outside [240,360] (paper 302)", byLabel["NEaT 3x"])
+	}
+	// NEaT 3x above NEaT 2x at 6 instances (2 replicas saturate).
+	if at6["NEaT 3x"] <= at6["NEaT 2x"] {
+		t.Fatalf("no benefit from 3rd replica at 6 webs: %.1f vs %.1f", at6["NEaT 3x"], at6["NEaT 2x"])
+	}
+	// Headline: NEaT 3x beats the paper-calibrated Linux peak (≈224).
+	if byLabel["NEaT 3x"] < 224*1.1 {
+		t.Fatalf("NEaT 3x (%.1f) not clearly above Linux 224", byLabel["NEaT 3x"])
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res := Figure9(quick)
+	fig := res.Figures[0]
+	peaks := map[string]float64{}
+	for _, s := range fig.Series {
+		peaks[s.Label] = s.MaxY()
+	}
+	t.Logf("Figure9 peaks: %+v (paper peak 322)", peaks)
+	if peaks["Multi 2x"] <= peaks["Multi 1x"] {
+		t.Fatalf("second replica did not help: %+v", peaks)
+	}
+	if peaks["Multi 2x"] < 250 || peaks["Multi 2x"] > 400 {
+		t.Fatalf("Multi 2x peak %.1f outside [250,400] (paper 322)", peaks["Multi 2x"])
+	}
+	// HT colocation reaches comparable throughput with half the cores.
+	if peaks["Multi 2x HT"] < peaks["Multi 2x"]*0.75 {
+		t.Fatalf("HT colocation collapsed: %+v", peaks)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	res := Figure11(quick)
+	fig := res.Figures[0]
+	peaks := map[string]float64{}
+	for _, s := range fig.Series {
+		peaks[s.Label] = s.MaxY()
+	}
+	t.Logf("Figure11 peaks: %+v (paper best 372)", peaks)
+	best := peaks["NEaT 4x HT"]
+	if best < 300 || best > 450 {
+		t.Fatalf("NEaT 4x HT peak %.1f outside [300,450] (paper 372)", best)
+	}
+	if best <= peaks["NEaT 1x"] || best <= peaks["NEaT 2x"] {
+		t.Fatalf("4 replicas not better: %+v", peaks)
+	}
+	// Paper headline: +13.4% over Linux's 328 on the Xeon.
+	if best < 328 {
+		t.Logf("warning: best %.1f below paper's Linux 328 — shape holds, magnitude low", best)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	res := Figure12(quick)
+	fig := res.Figures[0]
+	if len(fig.Series) != 5 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	get := func(label string, x float64) float64 {
+		for _, s := range fig.Series {
+			if s.Label != label {
+				continue
+			}
+			for i, sx := range s.X {
+				if sx == x {
+					return s.Y[i]
+				}
+			}
+		}
+		return 0
+	}
+	// At light load (8 conns) the single multi-component replica beats two
+	// (lightly loaded components sleep; extra replicas only add latency).
+	// The paper reports Multi 1x slightly AHEAD of Multi 2x here because
+	// lightly loaded components sleep and pay wake latency; our wake model
+	// is shallower, so we only require the two to be comparable (see
+	// EXPERIMENTS.md).
+	l1, l2 := get("Multi 1x", 8), get("Multi 2x", 8)
+	t.Logf("Figure12 at 8 conns: Multi1x=%.1f Multi2x=%.1f", l1, l2)
+	if l1 < l2*0.7 {
+		t.Fatalf("light-load ordering unexpected: Multi1x=%.1f Multi2x=%.1f", l1, l2)
+	}
+	// At the heaviest workload more replicas win.
+	h2, h1 := get("NEaT 3x", 164), get("NEaT 1x", 164)
+	t.Logf("Figure12 at 4srv,64: NEaT1x=%.1f NEaT3x=%.1f", h1, h2)
+	if h2 <= h1 {
+		t.Fatalf("heavy-load ordering: NEaT3x=%.1f <= NEaT1x=%.1f", h2, h1)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := Table2(quick)
+	rows := res.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i, r := range rows {
+		t.Logf("Table2 row %d: %v", i, r)
+	}
+	// CPU load grows down the table; kernel and polling shares shrink.
+	loadFirst, loadLast := cell(rows[0][0]), cell(rows[3][0])
+	if loadLast <= loadFirst {
+		t.Fatalf("load not increasing: %v", rows)
+	}
+	kernFirst, kernLast := cell(rows[0][1]), cell(rows[3][1])
+	if kernLast >= kernFirst {
+		t.Fatalf("kernel share not shrinking: %v", rows)
+	}
+	pollFirst, pollLast := cell(rows[0][2]), cell(rows[3][2])
+	if pollLast >= pollFirst {
+		t.Fatalf("polling share not shrinking: %v", rows)
+	}
+	// Idle driver: most active time is overhead (kernel+polling > 50%).
+	if kernFirst+pollFirst < 40 {
+		t.Fatalf("idle driver overhead only %.1f%%", kernFirst+pollFirst)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3(quick)
+	rows := res.Tables[0].Rows
+	transparent, lost := cell(rows[0][2]), cell(rows[1][2])
+	t.Logf("Table3: transparent=%.1f%% lost=%.1f%% (paper 53.8/46.2)", transparent, lost)
+	if transparent+lost < 99 {
+		t.Fatalf("shares do not add up: %v", rows)
+	}
+	// With 24 quick runs the binomial noise is ±20 points.
+	if lost < 20 || lost > 75 {
+		t.Fatalf("TCP-loss share %.1f%% implausible vs paper's 46.2%%", lost)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "unreachable") {
+			t.Fatalf("recovery failed in some runs: %s", n)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	res := Figure13(quick)
+	rows := res.Tables[0].Rows
+	if len(rows) != 7 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byLabel := map[string][2]float64{}
+	for _, r := range rows {
+		byLabel[r[0]] = [2]float64{cell(r[1]), cell(r[2])}
+		t.Logf("Figure13: %-32s preserved=%5.1f%% max=%6.1f krps", r[0], cell(r[1]), cell(r[2]))
+	}
+	n1 := byLabel["NEaT 1x (1 core)"]
+	n4 := byLabel["NEaT 4x (2 cores, 4 threads)"]
+	if n1[0] != 0 {
+		t.Fatalf("NEaT 1x should preserve 0%%: %v", n1)
+	}
+	if n4[0] != 75 {
+		t.Fatalf("NEaT 4x should preserve 75%%: %v", n4)
+	}
+	// The paper's punchline: more replicas give more preserved state AND
+	// more throughput.
+	if !(n4[0] > n1[0] && n4[1] > n1[1]) {
+		t.Fatalf("reliability and performance do not co-improve: %v vs %v", n1, n4)
+	}
+	m1 := byLabel["Multi 1x (2 cores)"]
+	if m1[0] < 50 || m1[0] > 58 {
+		t.Fatalf("Multi 1x preserved %.1f%%, want ≈53.8%%", m1[0])
+	}
+}

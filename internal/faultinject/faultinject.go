@@ -1,0 +1,145 @@
+// Package faultinject reproduces the fault-injection methodology of §6.6:
+// faults are injected into randomly selected parts of the network stack
+// code, with each component's selection probability proportional to its
+// code size (the paper assumes uniform failure probability throughout the
+// code). The injected fault crashes the owning process; the observation
+// phase then classifies the run:
+//
+//   - fully transparent recovery — the fault hit a stateless component
+//     (packet filter, IP, UDP); the replacement process is respawned and
+//     no application or user observes anything worse than a packet delay;
+//   - TCP connections lost — the fault hit the TCP component; that
+//     replica's connections are gone (and only that replica's).
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+
+	"neat/internal/core"
+	"neat/internal/sim"
+	"neat/internal/stack"
+)
+
+// ErrInjected is the crash cause used for injected faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Component is one fault-injection target with its code-size weight.
+// The weights are the paper-calibrated estimate of each stack component's
+// share of the code (Table 3 derives 46.2 % of failing runs from TCP):
+// TCP dominates with roughly 12 kLoC against ~14 kLoC for the stateless
+// components combined.
+type Component struct {
+	Name   string
+	Weight float64 // proportional to estimated code size
+}
+
+// DefaultComponents is the per-component code-size model.
+var DefaultComponents = []Component{
+	{Name: "pf", Weight: 155},
+	{Name: "ip", Weight: 230},
+	{Name: "udp", Weight: 153},
+	{Name: "tcp", Weight: 462},
+}
+
+// Outcome classifies one failing run.
+type Outcome int
+
+// Outcomes of a fault-injection run (Table 3 rows).
+const (
+	// OutcomeTransparent: recovery was fully transparent.
+	OutcomeTransparent Outcome = iota
+	// OutcomeTCPLost: TCP connections of one replica were lost.
+	OutcomeTCPLost
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if o == OutcomeTransparent {
+		return "fully transparent recovery"
+	}
+	return "TCP connections lost"
+}
+
+// Injector selects components by code-size weight and crashes the
+// corresponding process of a randomly chosen replica.
+type Injector struct {
+	rng        *rand.Rand
+	components []Component
+	total      float64
+}
+
+// New creates an injector drawing from rng (pass the simulation's).
+func New(rng *rand.Rand, components []Component) *Injector {
+	if len(components) == 0 {
+		components = DefaultComponents
+	}
+	inj := &Injector{rng: rng, components: components}
+	for _, c := range components {
+		inj.total += c.Weight
+	}
+	return inj
+}
+
+// Pick selects a component name with probability proportional to weight.
+func (inj *Injector) Pick() string {
+	x := inj.rng.Float64() * inj.total
+	for _, c := range inj.components {
+		x -= c.Weight
+		if x < 0 {
+			return c.Name
+		}
+	}
+	return inj.components[len(inj.components)-1].Name
+}
+
+// TCPShare returns the probability a fault lands in the TCP component —
+// the expected "TCP connections lost" fraction of Table 3 and the state
+// survival model of Figure 13.
+func (inj *Injector) TCPShare() float64 {
+	for _, c := range inj.components {
+		if c.Name == "tcp" {
+			return c.Weight / inj.total
+		}
+	}
+	return 0
+}
+
+// Injection records what one injection did.
+type Injection struct {
+	Component string
+	Replica   *stack.Replica
+	Proc      *sim.Proc
+	// ExpectTCPLoss is true when the crashed process held TCP state
+	// (always true for single-component replicas).
+	ExpectTCPLoss bool
+}
+
+// Inject crashes the component's process in a random live replica of sys.
+func (inj *Injector) Inject(sys *core.System) (Injection, bool) {
+	replicas := sys.Replicas()
+	if len(replicas) == 0 {
+		return Injection{}, false
+	}
+	r := replicas[inj.rng.Intn(len(replicas))]
+	comp := inj.Pick()
+	var target *sim.Proc
+	switch {
+	case r.Kind() == stack.Single:
+		// Everything lives in one process; any component fault kills it.
+		target = r.Procs()[0]
+	case comp == "tcp":
+		target = r.SockProc()
+	default:
+		// pf, ip and udp share the IP process in the two-process layout.
+		target = r.EntryProc()
+	}
+	injection := Injection{
+		Component:     comp,
+		Replica:       r,
+		Proc:          target,
+		ExpectTCPLoss: r.Kind() == stack.Single || comp == "tcp",
+	}
+	target.Crash(ErrInjected)
+	return injection, true
+}

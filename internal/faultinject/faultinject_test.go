@@ -1,0 +1,50 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightsMatchPaper(t *testing.T) {
+	inj := New(rand.New(rand.NewSource(1)), nil)
+	share := inj.TCPShare()
+	// Table 3: 46.2 % of failing runs lose TCP connections.
+	if math.Abs(share-0.462) > 0.005 {
+		t.Fatalf("TCP code share = %.3f, want ≈0.462", share)
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	inj := New(rand.New(rand.NewSource(7)), nil)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[inj.Pick()]++
+	}
+	got := float64(counts["tcp"]) / n
+	if math.Abs(got-0.462) > 0.02 {
+		t.Fatalf("empirical tcp share %.3f, want ≈0.462", got)
+	}
+	for _, c := range DefaultComponents {
+		if counts[c.Name] == 0 {
+			t.Fatalf("component %s never picked", c.Name)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomeTransparent.String() == OutcomeTCPLost.String() {
+		t.Fatal("outcome names collide")
+	}
+}
+
+func TestCustomComponents(t *testing.T) {
+	inj := New(rand.New(rand.NewSource(1)), []Component{{Name: "only", Weight: 1}})
+	if inj.Pick() != "only" {
+		t.Fatal("single component not picked")
+	}
+	if inj.TCPShare() != 0 {
+		t.Fatal("no tcp component should mean zero share")
+	}
+}

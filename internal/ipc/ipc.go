@@ -1,0 +1,89 @@
+// Package ipc models the user-space communication channels of NewtOS
+// (§3.2, §4 of the paper; detailed in Hruby et al., "On Sockets and System
+// Calls", TRIOS 2014). A channel is a shared-memory queue between exactly
+// two processes. When both endpoints run on dedicated cores, the receiver
+// halts in MWAIT and the sender's memory write wakes it without kernel
+// assistance — the fast path. When the endpoints share a core (or hardware
+// thread), the kernel must be involved to switch processes, which is the
+// slow path NEaT falls back to under low load.
+//
+// The package charges the sender the enqueue cost and delays delivery by
+// the path-appropriate notification latency. Endpoints are rebindable so
+// the recovery manager can splice a restarted replica into existing
+// channels.
+package ipc
+
+import "neat/internal/sim"
+
+// Costs parameterizes a channel.
+type Costs struct {
+	// SendCycles is charged to the sender per message (queue write +
+	// doorbell).
+	SendCycles int64
+	// FastLatency is the notification latency when the receiver owns its
+	// hardware thread (MWAIT wake: a cache-line transfer).
+	FastLatency sim.Time
+	// SlowLatency is the latency when sender and receiver share a hardware
+	// thread and the kernel must schedule the receiver.
+	SlowLatency sim.Time
+}
+
+// DefaultCosts returns the calibrated channel costs: a ~200-cycle enqueue,
+// ~0.3 µs MWAIT wake, ~2.5 µs kernel-assisted switch.
+func DefaultCosts() Costs {
+	return Costs{
+		SendCycles:  200,
+		FastLatency: 300 * sim.Nanosecond,
+		SlowLatency: 2500 * sim.Nanosecond,
+	}
+}
+
+// Conn is one direction of a channel: a handle through which the owning
+// process sends messages to a peer process.
+type Conn struct {
+	peer  *sim.Proc
+	costs Costs
+	stats Stats
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Sent     uint64
+	SlowPath uint64
+}
+
+// New creates a connection towards peer.
+func New(peer *sim.Proc, costs Costs) *Conn {
+	return &Conn{peer: peer, costs: costs}
+}
+
+// Peer returns the current destination process.
+func (c *Conn) Peer() *sim.Proc { return c.peer }
+
+// Rebind points the connection at a new peer process. The recovery manager
+// uses this to splice a freshly spawned replica into the channels of the
+// crashed one.
+func (c *Conn) Rebind(peer *sim.Proc) { c.peer = peer }
+
+// Stats returns a snapshot of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Send transmits msg from the running process (ctx) to the peer. The
+// sender is charged the enqueue cost; delivery is delayed by the fast or
+// slow notification latency depending on whether the peer shares the
+// sender's hardware thread.
+func (c *Conn) Send(ctx *sim.Context, msg sim.Message) {
+	if c.peer == nil {
+		return
+	}
+	ctx.Charge(c.costs.SendCycles)
+	c.stats.Sent++
+	lat := c.costs.FastLatency
+	if c.peer.Thread() == ctx.Proc.Thread() {
+		// Colocated processes cannot use MWAIT wake: the kernel must
+		// context-switch (§4).
+		lat = c.costs.SlowLatency
+		c.stats.SlowPath++
+	}
+	ctx.SendDelayed(c.peer, msg, lat)
+}

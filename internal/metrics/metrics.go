@@ -1,0 +1,178 @@
+// Package metrics provides the measurement primitives of the experiment
+// harness: latency histograms with percentile estimation, windowed rate
+// counters, and CPU utilization sampling over the simulated machines —
+// the moral equivalent of httperf's reports and the statistical profiler
+// used for the paper's Table 2.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"neat/internal/sim"
+)
+
+// Histogram is a log-bucketed latency histogram (nanoseconds). Buckets
+// grow by ~2x from 1 µs to ~17 s, giving better than 2x resolution for
+// percentiles, plus exact min/max/mean.
+type Histogram struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     float64
+	min     sim.Time
+	max     sim.Time
+}
+
+const numBuckets = 48
+
+// bucketFor maps a duration to a bucket with half-power-of-two resolution.
+func bucketFor(d sim.Time) int {
+	if d < sim.Microsecond {
+		return 0
+	}
+	us := float64(d) / float64(sim.Microsecond)
+	b := int(2 * math.Log2(us))
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the representative upper value of bucket b.
+func bucketUpper(b int) sim.Time {
+	return sim.Time(float64(sim.Microsecond) * math.Pow(2, float64(b+1)/2))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d sim.Time) {
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += float64(d)
+	h.buckets[bucketFor(d)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.count))
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() sim.Time { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Quantile estimates the q-quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < numBuckets; b++ {
+		cum += h.buckets[b]
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// CPUSampler captures per-hardware-thread utilization over a window.
+type CPUSampler struct {
+	machine *sim.Machine
+	start   sim.Time
+	busy0   []sim.Time
+}
+
+// NewCPUSampler starts sampling machine utilization now.
+func NewCPUSampler(m *sim.Machine) *CPUSampler {
+	s := &CPUSampler{machine: m, start: m.Sim().Now()}
+	for _, t := range m.Threads() {
+		s.busy0 = append(s.busy0, t.BusyTotal())
+	}
+	return s
+}
+
+// Utilization returns per-thread utilization [0,1] since the sampler
+// started, in core-major order.
+func (s *CPUSampler) Utilization() []float64 {
+	now := s.machine.Sim().Now()
+	out := make([]float64, 0, len(s.busy0))
+	for i, t := range s.machine.Threads() {
+		out = append(out, sim.Utilization(s.busy0[i], t.BusyTotal(), s.start, now))
+	}
+	return out
+}
+
+// MaxUtilization returns the busiest thread's utilization.
+func (s *CPUSampler) MaxUtilization() float64 {
+	m := 0.0
+	for _, u := range s.Utilization() {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// Rate converts a count over a simulated window to events/second.
+func Rate(count uint64, window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(count) / window.Seconds()
+}
+
+// KRate is Rate scaled to kilo-events/second (the paper reports krps).
+func KRate(count uint64, window sim.Time) float64 {
+	return Rate(count, window) / 1000
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neat/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.Min() != sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 45*sim.Microsecond || mean > 56*sim.Microsecond {
+		t.Fatalf("mean=%v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30*sim.Microsecond || p50 > 80*sim.Microsecond {
+		t.Fatalf("p50=%v", p50)
+	}
+	if h.Quantile(1.0) != h.Max() && h.Quantile(1.0) > h.Max() {
+		t.Fatalf("p100=%v > max=%v", h.Quantile(1.0), h.Max())
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 500; i++ {
+			h.Observe(sim.Time(rng.Intn(1_000_000_000) + 1))
+		}
+		last := sim.Time(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Quantile(1.0) <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileResolution(t *testing.T) {
+	// Samples at a single value: every quantile lands within one bucket
+	// (≈√2 resolution) of it.
+	var h Histogram
+	v := 3 * sim.Millisecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	got := h.Quantile(0.5)
+	if got < v/2 || got > v*2 {
+		t.Fatalf("p50=%v for constant %v", got, v)
+	}
+}
+
+func TestRates(t *testing.T) {
+	if r := Rate(500, sim.Second); r != 500 {
+		t.Fatalf("rate=%v", r)
+	}
+	if r := KRate(500_000, sim.Second); r != 500 {
+		t.Fatalf("krate=%v", r)
+	}
+	if Rate(5, 0) != 0 {
+		t.Fatal("zero window")
+	}
+}
+
+func TestCPUSampler(t *testing.T) {
+	s := sim.New(1)
+	m := sim.NewMachine(s, "m", 2, 1, 1_000_000_000)
+	busy := sim.NewProc(m.Thread(0, 0), "busy", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
+		ctx.Charge(1000)
+		ctx.TimerAfter(1000, "again") // 50% duty cycle
+	}), sim.ProcConfig{})
+	sampler := NewCPUSampler(m)
+	busy.Deliver("go")
+	s.RunFor(sim.Millisecond)
+	u := sampler.Utilization()
+	if len(u) != 2 {
+		t.Fatalf("threads=%d", len(u))
+	}
+	if u[0] < 0.4 || u[0] > 0.6 {
+		t.Fatalf("busy thread utilization=%v", u[0])
+	}
+	if u[1] != 0 {
+		t.Fatalf("idle thread utilization=%v", u[1])
+	}
+	if sampler.MaxUtilization() != u[0] {
+		t.Fatal("max != busiest")
+	}
+}
+
+func TestBucketMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		d1, d2 := sim.Time(a), sim.Time(b)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return bucketFor(d1) <= bucketFor(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeProperty(t *testing.T) {
+	// Property: merging two histograms preserves count, sum-of-means, min
+	// and max.
+	f := func(xs, ys []uint32) bool {
+		var a, b, all Histogram
+		for _, x := range xs {
+			a.Observe(sim.Time(x) + 1)
+			all.Observe(sim.Time(x) + 1)
+		}
+		for _, y := range ys {
+			b.Observe(sim.Time(y) + 1)
+			all.Observe(sim.Time(y) + 1)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		return a.Min() == all.Min() && a.Max() == all.Max() && a.Mean() == all.Mean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

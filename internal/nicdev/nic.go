@@ -1,0 +1,321 @@
+// Package nicdev models the Intel i82599-class 10G NIC of the paper's
+// testbed together with its driver process.
+//
+// The NIC is the hardware half of NEaT's partitioning story (§3.1, §4):
+// it owns multiple RX/TX queue pairs — one pair per network stack replica —
+// and steers every incoming packet to the queue of the replica that owns
+// the packet's flow, using exact-match flow-director filters when
+// installed and a 5-tuple RSS hash over the enabled queues otherwise.
+// Because the hardware enforces flow affinity, the replicas never need to
+// talk to each other.
+//
+// The driver is a normal isolated process (the paper runs exactly one; §3.5
+// argues a single core suffices for 10G). It moves packets between NIC
+// queues and replica processes and accounts its cycles in the categories of
+// the paper's Table 2: useful processing, polling, and kernel
+// suspend/resume time.
+package nicdev
+
+import (
+	"fmt"
+
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/wire"
+)
+
+// RxFrame is delivered by the driver to the replica owning the frame's
+// queue. The NIC pre-decodes the frame (hardware parses headers anyway for
+// classification); replicas charge their own protocol-processing cycles.
+type RxFrame struct {
+	Queue int
+	Frame *proto.Frame
+}
+
+// TxFrame asks the driver to transmit a fully serialized frame.
+type TxFrame struct {
+	Raw []byte
+}
+
+// TxTSO asks the driver to transmit a large TCP send using TCP segmentation
+// offload: the NIC slices Payload into MSS-sized segments, cloning the
+// prototype headers and advancing sequence numbers in hardware. This is the
+// feature that lets small configurations saturate 10 Gb/s in §6 with large
+// files.
+type TxTSO struct {
+	Eth     proto.EthernetHeader
+	IP      proto.IPv4Header
+	TCP     proto.TCPHeader
+	Payload []byte
+	MSS     int
+}
+
+// DefaultQueueDepth is the per-RX-queue capacity in frames; overflow is
+// dropped by the hardware, as on a real NIC under overload.
+const DefaultQueueDepth = 512
+
+// NICStats counts NIC-level events.
+type NICStats struct {
+	RxFrames       uint64
+	RxDropFull     uint64 // RX queue overflow drops
+	RxDropBad      uint64 // undecodable frames
+	RxFiltered     uint64 // frames steered by an exact filter
+	RxHashed       uint64 // frames steered by RSS
+	TxFrames       uint64
+	TSORequests    uint64
+	TSOSegments    uint64
+	TrackHits      uint64
+	TrackInserts   uint64
+	TrackEvictions uint64
+}
+
+// NIC is the device model. It is not a process: it is hardware that reacts
+// to wire deliveries and driver register writes instantly (plus a small
+// fixed pipeline latency).
+type NIC struct {
+	sim  *sim.Simulator
+	link *wire.Link
+	side int
+
+	Name string
+	MAC  proto.MAC
+
+	// PipelineLatency is the RX classification + DMA latency.
+	PipelineLatency sim.Time
+
+	queues     []rxQueue
+	filters    map[proto.Flow]int
+	rssQueues  []int // queues participating in RSS for unmatched flows
+	driver     *Driver
+	intrArmed  bool
+	queueDepth int
+
+	// Per-queue IRQ mode (Linux-baseline softirq model; see irq.go).
+	irqTargets []*sim.Proc
+	irqArmed   []bool
+
+	// Hardware flow tracking (§4 extension; see EnableFlowTracking).
+	trackMax   int
+	tracked    map[proto.Flow]int
+	trackOrder []proto.Flow
+
+	stats NICStats
+}
+
+type rxQueue struct {
+	frames []*proto.Frame
+}
+
+// NewNIC creates a NIC with n RX/TX queue pairs attached to the given link
+// side. Initially all queues participate in RSS.
+func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int, nQueues int) *NIC {
+	n := &NIC{
+		sim:             s,
+		link:            l,
+		side:            side,
+		Name:            name,
+		MAC:             mac,
+		PipelineLatency: 500 * sim.Nanosecond,
+		queues:          make([]rxQueue, nQueues),
+		filters:         make(map[proto.Flow]int),
+		queueDepth:      DefaultQueueDepth,
+		intrArmed:       true,
+	}
+	for q := 0; q < nQueues; q++ {
+		n.rssQueues = append(n.rssQueues, q)
+	}
+	l.Attach(side, n)
+	return n
+}
+
+// NumQueues returns the number of RX/TX queue pairs.
+func (n *NIC) NumQueues() int { return len(n.queues) }
+
+// Stats returns a snapshot of the NIC counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// InstallFilter steers all packets of flow (as seen inbound) to queue q.
+// Mirrors the i82599 flow-director perfect filters (§4).
+func (n *NIC) InstallFilter(flow proto.Flow, q int) error {
+	if q < 0 || q >= len(n.queues) {
+		return fmt.Errorf("nicdev: queue %d out of range", q)
+	}
+	n.filters[flow] = q
+	return nil
+}
+
+// RemoveFilter deletes the exact-match filter for flow.
+func (n *NIC) RemoveFilter(flow proto.Flow) { delete(n.filters, flow) }
+
+// NumFilters returns the number of installed exact-match filters.
+func (n *NIC) NumFilters() int { return len(n.filters) }
+
+// SetRSSQueues restricts RSS steering of unmatched flows to the given
+// queues. NEaT uses this for lazy termination (§3.4): a replica in
+// termination state is removed from RSS so it receives no new connections,
+// while its exact-match filters keep serving existing ones.
+func (n *NIC) SetRSSQueues(queues []int) error {
+	if len(queues) == 0 {
+		return fmt.Errorf("nicdev: RSS needs at least one queue")
+	}
+	for _, q := range queues {
+		if q < 0 || q >= len(n.queues) {
+			return fmt.Errorf("nicdev: queue %d out of range", q)
+		}
+	}
+	n.rssQueues = append([]int(nil), queues...)
+	return nil
+}
+
+// RSSQueues returns the queues currently participating in RSS.
+func (n *NIC) RSSQueues() []int { return append([]int(nil), n.rssQueues...) }
+
+// Receive implements wire.Port: hardware classification and enqueue.
+func (n *NIC) Receive(raw []byte) {
+	f, err := proto.DecodeFrame(raw)
+	if err != nil {
+		n.stats.RxDropBad++
+		return
+	}
+	n.stats.RxFrames++
+	q := n.classify(f)
+	if len(n.queues[q].frames) >= n.queueDepth {
+		n.stats.RxDropFull++
+		return
+	}
+	n.queues[q].frames = append(n.queues[q].frames, f)
+	if n.notifyQueue(q) {
+		return
+	}
+	if n.driver != nil && n.intrArmed {
+		n.intrArmed = false
+		drv := n.driver
+		n.sim.At(n.sim.Now()+n.PipelineLatency, func() { drv.proc.Deliver(rxReady{}) })
+	}
+}
+
+// classify picks the RX queue for a decoded frame: exact filter first, then
+// RSS hash over the enabled queues; non-flow traffic (ARP) goes to queue 0.
+func (n *NIC) classify(f *proto.Frame) int {
+	flow, ok := f.Flow()
+	if !ok {
+		return 0
+	}
+	if q, hit := n.filters[flow]; hit {
+		n.stats.RxFiltered++
+		return q
+	}
+	if q, hit := n.tracked[flow]; hit {
+		n.stats.TrackHits++
+		return q
+	}
+	n.stats.RxHashed++
+	q := n.rssQueues[int(flow.Hash())%len(n.rssQueues)]
+	n.trackFlow(flow, q)
+	return q
+}
+
+// Transmit puts a serialized frame on the wire.
+func (n *NIC) Transmit(raw []byte) {
+	n.stats.TxFrames++
+	n.link.Transmit(n.side, raw)
+}
+
+// SendTSO performs TCP segmentation offload in "hardware": the payload is
+// cut into MSS-sized segments, each with cloned headers, adjusted sequence
+// numbers and recomputed checksums. Only the last segment carries PSH/FIN.
+func (n *NIC) SendTSO(t TxTSO) {
+	n.stats.TSORequests++
+	mss := t.MSS
+	if mss <= 0 {
+		mss = 1460
+	}
+	payload := t.Payload
+	seq := t.TCP.Seq
+	finalFlags := t.TCP.Flags
+	for first := true; first || len(payload) > 0; first = false {
+		seg := payload
+		if len(seg) > mss {
+			seg = seg[:mss]
+		}
+		payload = payload[len(seg):]
+		tcp := t.TCP
+		tcp.Seq = seq
+		if len(payload) > 0 {
+			tcp.Flags = finalFlags &^ (proto.TCPPsh | proto.TCPFin)
+		} else {
+			tcp.Flags = finalFlags
+		}
+		ip := t.IP
+		raw := proto.BuildTCP(t.Eth, ip, tcp, seg)
+		n.stats.TSOSegments++
+		n.Transmit(raw)
+		seq += uint32(len(seg))
+		if len(payload) == 0 {
+			break
+		}
+	}
+}
+
+// pendingQueues reports which queues currently hold frames.
+func (n *NIC) pendingQueues() bool {
+	for i := range n.queues {
+		if len(n.queues[i].frames) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rearm re-enables the RX notification after the driver drained the queues,
+// re-firing immediately if frames arrived during the drain (NAPI style).
+func (n *NIC) rearm() {
+	n.intrArmed = true
+	if n.driver != nil && n.pendingQueues() {
+		n.intrArmed = false
+		n.driver.proc.Deliver(rxReady{})
+	}
+}
+
+// ---- Flow tracking (§4's proposed NIC extension) ----
+//
+// The paper argues that instead of software frequently updating exact
+// filters, the NIC itself should create "tracking" filters from the
+// packets it handles, guaranteeing that all packets of a flow follow the
+// same route even when the RSS indirection changes. Contemporary hardware
+// lacks this; NEaT compensates with driver-managed filters. This model
+// implements the proposed extension so the two designs can be compared.
+
+// EnableFlowTracking turns on hardware flow tracking with a bounded table
+// of max entries (0 disables). New flows are pinned to the queue RSS
+// first assigns them; when the table is full the oldest entry is evicted
+// (its flow falls back to RSS).
+func (n *NIC) EnableFlowTracking(max int) {
+	n.trackMax = max
+	if max == 0 {
+		n.tracked = nil
+		n.trackOrder = nil
+		return
+	}
+	n.tracked = make(map[proto.Flow]int, max)
+	n.trackOrder = n.trackOrder[:0]
+}
+
+// NumTrackedFlows returns the hardware tracking table occupancy.
+func (n *NIC) NumTrackedFlows() int { return len(n.tracked) }
+
+// trackFlow records a flow→queue pinning, evicting the oldest when full.
+func (n *NIC) trackFlow(flow proto.Flow, q int) {
+	if n.trackMax == 0 {
+		return
+	}
+	if len(n.tracked) >= n.trackMax {
+		oldest := n.trackOrder[0]
+		n.trackOrder = n.trackOrder[1:]
+		delete(n.tracked, oldest)
+		n.stats.TrackEvictions++
+	}
+	n.tracked[flow] = q
+	n.trackOrder = append(n.trackOrder, flow)
+	n.stats.TrackInserts++
+}

@@ -1,0 +1,126 @@
+// Package pfilter implements the packet filter component of a stack
+// replica (§3.7: "additional UDP and packet filter components are also
+// present and isolated from the rest of the stack"). The filter is a
+// stateless ordered rule table evaluated on every inbound packet before it
+// reaches IP — stateless by design, so a crashed filter process is
+// recreated from its rule configuration with no visible state loss.
+package pfilter
+
+import (
+	"fmt"
+
+	"neat/internal/proto"
+)
+
+// Action is a filter verdict.
+type Action int
+
+// Verdicts.
+const (
+	Accept Action = iota
+	Drop
+)
+
+// String names the action.
+func (a Action) String() string {
+	if a == Accept {
+		return "accept"
+	}
+	return "drop"
+}
+
+// Rule matches packets; zero fields are wildcards.
+type Rule struct {
+	Action  Action
+	Proto   proto.IPProto // 0 = any
+	Src     proto.Addr    // zero = any
+	SrcMask proto.Addr    // zero with Src set = exact host
+	DstPort uint16        // 0 = any
+	SrcPort uint16        // 0 = any
+	// Comment labels the rule in String().
+	Comment string
+}
+
+// matches reports whether the rule applies to the frame.
+func (r *Rule) matches(f *proto.Frame) bool {
+	if f.IP == nil {
+		return false // ARP and friends are never filtered
+	}
+	if r.Proto != 0 && f.IP.Protocol != r.Proto {
+		return false
+	}
+	if r.Src != (proto.Addr{}) {
+		mask := r.SrcMask.Uint32()
+		if mask == 0 {
+			mask = 0xffffffff
+		}
+		if f.IP.Src.Uint32()&mask != r.Src.Uint32()&mask {
+			return false
+		}
+	}
+	fl, ok := f.Flow()
+	if !ok && (r.DstPort != 0 || r.SrcPort != 0) {
+		return false
+	}
+	if r.DstPort != 0 && fl.DstPort != r.DstPort {
+		return false
+	}
+	if r.SrcPort != 0 && fl.SrcPort != r.SrcPort {
+		return false
+	}
+	return true
+}
+
+// String renders the rule.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s proto=%v src=%s sport=%d dport=%d %s",
+		r.Action, r.Proto, r.Src, r.SrcPort, r.DstPort, r.Comment)
+}
+
+// Stats counts filter activity.
+type Stats struct {
+	Checked  uint64
+	Accepted uint64
+	Dropped  uint64
+}
+
+// Filter is an ordered rule table with a default-accept policy.
+type Filter struct {
+	rules   []Rule
+	Default Action
+	stats   Stats
+}
+
+// New creates an empty filter that accepts by default.
+func New() *Filter { return &Filter{Default: Accept} }
+
+// Append adds a rule at the end of the table.
+func (f *Filter) Append(r Rule) { f.rules = append(f.rules, r) }
+
+// NumRules returns the rule count.
+func (f *Filter) NumRules() int { return len(f.rules) }
+
+// Clear removes all rules.
+func (f *Filter) Clear() { f.rules = nil }
+
+// Stats returns a snapshot of the counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// Check evaluates the table and returns the verdict for the frame.
+// The first matching rule wins.
+func (f *Filter) Check(fr *proto.Frame) Action {
+	f.stats.Checked++
+	verdict := f.Default
+	for i := range f.rules {
+		if f.rules[i].matches(fr) {
+			verdict = f.rules[i].Action
+			break
+		}
+	}
+	if verdict == Accept {
+		f.stats.Accepted++
+	} else {
+		f.stats.Dropped++
+	}
+	return verdict
+}

@@ -1,0 +1,155 @@
+package pfilter
+
+import (
+	"testing"
+
+	"neat/internal/proto"
+)
+
+var (
+	ipA = proto.IPv4(10, 0, 0, 1)
+	ipB = proto.IPv4(10, 0, 0, 2)
+	ipC = proto.IPv4(192, 168, 7, 9)
+)
+
+func tcpFrame(t *testing.T, src proto.Addr, srcPort, dstPort uint16) *proto.Frame {
+	t.Helper()
+	raw := proto.BuildTCP(
+		proto.EthernetHeader{Type: proto.EtherTypeIPv4},
+		proto.IPv4Header{TTL: 64, Src: src, Dst: ipA},
+		proto.TCPHeader{SrcPort: srcPort, DstPort: dstPort, Flags: proto.TCPSyn}, nil)
+	f, err := proto.DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func udpFrame(t *testing.T, dstPort uint16) *proto.Frame {
+	t.Helper()
+	raw := proto.BuildUDP(
+		proto.EthernetHeader{Type: proto.EtherTypeIPv4},
+		proto.IPv4Header{TTL: 64, Src: ipB, Dst: ipA},
+		proto.UDPHeader{SrcPort: 5, DstPort: dstPort}, nil)
+	f, err := proto.DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDefaultAccept(t *testing.T) {
+	f := New()
+	if f.Check(tcpFrame(t, ipB, 1, 80)) != Accept {
+		t.Fatal("default policy not accept")
+	}
+	st := f.Stats()
+	if st.Checked != 1 || st.Accepted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	f := New()
+	f.Append(Rule{Action: Accept, Proto: proto.ProtoTCP, DstPort: 22, Comment: "allow ssh"})
+	f.Append(Rule{Action: Drop, Proto: proto.ProtoTCP, Comment: "drop tcp"})
+	if f.Check(tcpFrame(t, ipB, 1, 22)) != Accept {
+		t.Fatal("earlier accept rule ignored")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 80)) != Drop {
+		t.Fatal("later drop rule ignored")
+	}
+}
+
+func TestProtoSelective(t *testing.T) {
+	f := New()
+	f.Append(Rule{Action: Drop, Proto: proto.ProtoUDP})
+	if f.Check(udpFrame(t, 53)) != Drop {
+		t.Fatal("UDP not dropped")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 53)) != Accept {
+		t.Fatal("TCP wrongly dropped")
+	}
+}
+
+func TestSourceHostAndSubnetMatch(t *testing.T) {
+	f := New()
+	f.Append(Rule{Action: Drop, Src: ipC}) // exact host
+	if f.Check(tcpFrame(t, ipC, 1, 80)) != Drop {
+		t.Fatal("host rule missed")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 80)) != Accept {
+		t.Fatal("host rule overmatched")
+	}
+
+	g := New()
+	g.Append(Rule{Action: Drop, Src: proto.IPv4(192, 168, 0, 0), SrcMask: proto.IPv4(255, 255, 0, 0)})
+	if g.Check(tcpFrame(t, ipC, 1, 80)) != Drop {
+		t.Fatal("subnet rule missed")
+	}
+	if g.Check(tcpFrame(t, ipB, 1, 80)) != Accept {
+		t.Fatal("subnet rule overmatched")
+	}
+}
+
+func TestPortMatching(t *testing.T) {
+	f := New()
+	f.Append(Rule{Action: Drop, SrcPort: 6666})
+	f.Append(Rule{Action: Drop, DstPort: 23})
+	if f.Check(tcpFrame(t, ipB, 6666, 80)) != Drop {
+		t.Fatal("src port rule missed")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 23)) != Drop {
+		t.Fatal("dst port rule missed")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 80)) != Accept {
+		t.Fatal("port rules overmatched")
+	}
+}
+
+func TestARPNeverFiltered(t *testing.T) {
+	f := New()
+	f.Default = Drop
+	raw := proto.BuildARP(
+		proto.EthernetHeader{Dst: proto.BroadcastMAC, Type: proto.EtherTypeARP},
+		proto.ARPPacket{Op: proto.ARPRequest, SenderIP: ipB, TargetIP: ipA})
+	fr, err := proto.DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ARP has no IP layer: rules never match, so the default applies —
+	// but a deny-all rule list must not panic on it.
+	f.Append(Rule{Action: Accept, Proto: proto.ProtoTCP})
+	if got := f.Check(fr); got != Drop {
+		t.Fatalf("ARP verdict %v (default drop)", got)
+	}
+}
+
+func TestClearAndCounts(t *testing.T) {
+	f := New()
+	f.Append(Rule{Action: Drop})
+	if f.NumRules() != 1 {
+		t.Fatal("rule not added")
+	}
+	f.Clear()
+	if f.NumRules() != 0 {
+		t.Fatal("rules not cleared")
+	}
+	if f.Check(tcpFrame(t, ipB, 1, 80)) != Accept {
+		t.Fatal("cleared filter should accept")
+	}
+	st := f.Stats()
+	if st.Checked != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Action: Drop, Proto: proto.ProtoTCP, DstPort: 80, Comment: "no http"}
+	if s := r.String(); s == "" {
+		t.Fatal("empty rule string")
+	}
+	if Accept.String() != "accept" || Drop.String() != "drop" {
+		t.Fatal("action names")
+	}
+}

@@ -1,0 +1,198 @@
+// Package report renders experiment results — the tables and figure data
+// series of §6 — as aligned text for the harness output and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neat/internal/sim"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row (stringified cells).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MaxY returns the peak Y value.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Figure is a set of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewSeries creates and registers a series.
+func (f *Figure) NewSeries(label string) *Series {
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as a table of X vs one column per series.
+func (f *Figure) String() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	t := Table{Title: fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel)}
+	t.Columns = append(t.Columns, f.XLabel)
+	for _, s := range f.Series {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf("%.1f", s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	if x >= 1000 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Bytes formats a byte count with adaptive units (file-size axis labels).
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Topology renders a machine's core/thread → process placement, the
+// textual equivalent of the paper's configuration diagrams (Figures 1, 2,
+// 3, 6, 8 and 10).
+func Topology(m *sim.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d cores × %d threads @ %.2f GHz)\n",
+		m.Name, m.NumCores(), m.Core(0).NumThreads(), float64(m.FreqHz)/1e9)
+	for c := 0; c < m.NumCores(); c++ {
+		core := m.Core(c)
+		for t := 0; t < core.NumThreads(); t++ {
+			th := core.Thread(t)
+			var names []string
+			for _, p := range th.Procs() {
+				if p.Dead() {
+					names = append(names, p.Name+"†")
+					continue
+				}
+				names = append(names, p.Name)
+			}
+			label := strings.Join(names, ", ")
+			if label == "" {
+				label = "-"
+			}
+			fmt.Fprintf(&b, "  c%d.t%d  %s\n", c, t, label)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"neat/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "Demo", Columns: []string{"name", "krps"}}
+	tab.AddRow("defaults", 184.1)
+	tab.AddRow("tuned", 224.0)
+	out := tab.String()
+	for _, want := range []string{"Demo", "name", "krps", "defaults", "184.1", "224.0", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellTypes(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b", "c"}}
+	tab.AddRow(42, "str", 3.5)
+	if got := tab.Rows[0]; got[0] != "42" || got[1] != "str" || got[2] != "3.5" {
+		t.Fatalf("row: %v", got)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{Title: "Scaling", XLabel: "#webs", YLabel: "krps"}
+	a := fig.NewSeries("NEaT 2x")
+	a.Add(1, 50)
+	a.Add(2, 100)
+	b := fig.NewSeries("Multi 1x")
+	b.Add(1, 48)
+	b.Add(3, 150)
+	out := fig.String()
+	for _, want := range []string{"Scaling", "#webs", "NEaT 2x", "Multi 1x", "50.0", "150.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// X values are unioned and sorted: 1, 2, 3.
+	idx1 := strings.Index(out, "\n1 ")
+	idx3 := strings.Index(out, "\n3 ")
+	if idx1 < 0 || idx3 < 0 || idx1 > idx3 {
+		t.Fatalf("x ordering wrong:\n%s", out)
+	}
+	if a.MaxY() != 100 || b.MaxY() != 150 {
+		t.Fatalf("MaxY: %v %v", a.MaxY(), b.MaxY())
+	}
+}
+
+func TestBytesFormatting(t *testing.T) {
+	cases := map[int]string{1: "1B", 999: "999B", 1 << 10: "1K", 100 << 10: "100K", 10 << 20: "10M"}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(6) != "6" || trimFloat(0.5) != "0.5" || trimFloat(10485760) != "10485760" {
+		t.Fatalf("trimFloat: %q %q %q", trimFloat(6), trimFloat(0.5), trimFloat(10485760))
+	}
+}
+
+func TestTopology(t *testing.T) {
+	s := sim.New(1)
+	m := sim.NewMachine(s, "xeon", 2, 2, 2_260_000_000)
+	a := sim.NewProc(m.Thread(0, 0), "nicdrv", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {}), sim.ProcConfig{})
+	sim.NewProc(m.Thread(0, 1), "syscall", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {}), sim.ProcConfig{})
+	a.Kill()
+	out := Topology(m)
+	for _, want := range []string{"xeon", "c0.t0", "nicdrv†", "syscall", "c1.t1  -"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

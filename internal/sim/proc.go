@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message is anything delivered to a process. Concrete message types are
+// defined by the packages that own each protocol (packets, socket
+// operations, timer ticks, ...). Handlers type-switch on them.
+type Message interface{}
+
+// Handler is the event-driven body of a process. A process is strictly
+// single-threaded: HandleMessage is invoked for one message at a time and
+// must charge the cycles it consumed through the Context. This is the
+// paper's isolation principle in code — the only way a handler can affect
+// the outside world is by sending messages.
+type Handler interface {
+	HandleMessage(ctx *Context, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Context, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(ctx *Context, msg Message) { f(ctx, msg) }
+
+// CostCategory classifies where a process's cycles went. The driver CPU
+// breakdown of the paper's Table 2 (kernel suspend/resume vs polling vs
+// useful processing) is reconstructed from these.
+type CostCategory int
+
+const (
+	// CostProcessing is useful protocol/application work.
+	CostProcessing CostCategory = iota
+	// CostPolling is time spent checking empty queues.
+	CostPolling
+	// CostKernel is time spent suspending/resuming in the (micro)kernel,
+	// i.e. the MWAIT halt/wake path.
+	CostKernel
+	numCostCategories
+)
+
+// String names the category.
+func (c CostCategory) String() string {
+	switch c {
+	case CostProcessing:
+		return "processing"
+	case CostPolling:
+		return "polling"
+	case CostKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("CostCategory(%d)", int(c))
+	}
+}
+
+type procState int
+
+const (
+	procIdle procState = iota
+	procScheduled
+	procRunning
+	procDead
+)
+
+// ErrKilled is the crash cause recorded when a process is killed
+// administratively (e.g. by the fault injector or a scale-down command).
+var ErrKilled = errors.New("sim: process killed")
+
+// ProcStats aggregates a process's activity.
+type ProcStats struct {
+	Dispatches   uint64
+	Messages     uint64
+	Dropped      uint64 // messages dropped because the process was dead
+	Halts        uint64 // idle transitions (MWAIT entries)
+	CostNs       [numCostCategories]Time
+	CyclesByCat  [numCostCategories]int64
+	TotalCharged int64 // cycles
+}
+
+// BusyNs returns total execution time across all categories.
+func (st *ProcStats) BusyNs() Time {
+	var t Time
+	for _, v := range st.CostNs {
+		t += v
+	}
+	return t
+}
+
+// Proc is an isolated, single-threaded, event-driven process pinned to a
+// hardware thread — the unit of isolation in NEaT. Processes communicate
+// exclusively by message passing; a crash destroys the process and all of
+// its private state, and a replacement must be spawned from scratch.
+type Proc struct {
+	sim     *Simulator
+	machine *Machine
+	thread  *HWThread
+	handler Handler
+
+	// Name identifies the process in logs and topology dumps, e.g.
+	// "neat2.tcp" or "nicdrv0".
+	Name string
+
+	// Component is a coarse label ("tcp", "ip", "driver", ...) used by the
+	// fault injector to weight fault sites by component.
+	Component string
+
+	// WakeCycles is the cost of waking the process out of a halt (the
+	// MWAIT monitor write path). Charged as CostKernel.
+	WakeCycles int64
+	// HaltCycles is the cost of entering a halt (MWAIT is privileged, so
+	// on NewtOS this enters the kernel). Charged as CostKernel.
+	HaltCycles int64
+	// DispatchCycles is the fixed per-message dispatch overhead.
+	DispatchCycles int64
+
+	// ASLRSeed is the randomized address-space layout token of this
+	// incarnation. Every (re)spawn draws a fresh one, modelling the
+	// re-randomization security property of §3.8.
+	ASLRSeed uint64
+
+	inbox        []Message
+	state        procState
+	charged      int64
+	chargedByCat [numCostCategories]int64
+	pending      []outMsg // sends buffered during the current dispatch
+	stats        ProcStats
+	crashed      error
+}
+
+type outMsg struct {
+	dst   *Proc
+	msg   Message
+	delay Time
+	// cyclesAt is the sender's charged-cycle position when the owning
+	// message finished processing; the send is released at that point of
+	// the dispatch, not at the end of the whole batch.
+	cyclesAt int64
+}
+
+// ProcConfig carries optional knobs for NewProc.
+type ProcConfig struct {
+	Component      string
+	WakeCycles     int64
+	HaltCycles     int64
+	DispatchCycles int64
+}
+
+// NewProc creates a process pinned to thread t. The zero ProcConfig yields
+// modest default overheads.
+func NewProc(t *HWThread, name string, h Handler, cfg ProcConfig) *Proc {
+	m := t.Machine()
+	p := &Proc{
+		sim:            m.sim,
+		machine:        m,
+		thread:         t,
+		handler:        h,
+		Name:           name,
+		Component:      cfg.Component,
+		WakeCycles:     cfg.WakeCycles,
+		HaltCycles:     cfg.HaltCycles,
+		DispatchCycles: cfg.DispatchCycles,
+		ASLRSeed:       m.sim.rng.Uint64(),
+	}
+	if p.Component == "" {
+		p.Component = name
+	}
+	t.procs = append(t.procs, p)
+	m.sim.procs = append(m.sim.procs, p)
+	return p
+}
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Machine returns the machine the process runs on.
+func (p *Proc) Machine() *Machine { return p.machine }
+
+// Thread returns the hardware thread the process is pinned to.
+func (p *Proc) Thread() *HWThread { return p.thread }
+
+// Stats returns a snapshot of the process statistics.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Dead reports whether the process has crashed or been killed.
+func (p *Proc) Dead() bool { return p.state == procDead }
+
+// QueueLen returns the number of undelivered messages in the inbox.
+func (p *Proc) QueueLen() int { return len(p.inbox) }
+
+// Deliver places msg in the process inbox at the current simulated time and
+// wakes the process if it was halted. Messages to dead processes are
+// dropped and counted, mirroring the NIC driver holding packets back from a
+// crashed replica (§3.6).
+func (p *Proc) Deliver(msg Message) {
+	if p.state == procDead {
+		p.stats.Dropped++
+		return
+	}
+	p.inbox = append(p.inbox, msg)
+	if p.state == procIdle {
+		p.scheduleDispatch()
+	}
+}
+
+// scheduleDispatch arranges the next dispatch on the pinned thread.
+func (p *Proc) scheduleDispatch() {
+	p.state = procScheduled
+	start := p.sim.now
+	if p.thread.freeAt > start {
+		start = p.thread.freeAt
+	}
+	// Waking out of MWAIT costs kernel time before useful work starts.
+	if p.WakeCycles > 0 {
+		wake := p.machine.Cycles(p.WakeCycles)
+		p.accountCost(CostKernel, p.WakeCycles, wake)
+		p.thread.busyTotal += wake
+		start += wake
+	}
+	p.sim.At(start, p.runDispatch)
+}
+
+// runDispatch drains the inbox, executing the handler for each message that
+// was queued when the dispatch began. All sends are released when the
+// dispatch's computed execution time elapses.
+func (p *Proc) runDispatch() {
+	if p.state != procScheduled {
+		return // killed between scheduling and running
+	}
+	p.state = procRunning
+	p.stats.Dispatches++
+
+	t0 := p.sim.now
+	batch := p.inbox
+	p.inbox = nil
+	p.charged = 0
+	for i := range p.chargedByCat {
+		p.chargedByCat[i] = 0
+	}
+	ctx := Context{Sim: p.sim, Proc: p}
+	for _, msg := range batch {
+		if p.state == procDead {
+			break
+		}
+		if tf, ok := msg.(timerFire); ok {
+			if tf.t.cancelled {
+				continue
+			}
+			tf.t.fired = true
+			msg = tf.msg
+		}
+		p.stats.Messages++
+		p.charged += p.DispatchCycles
+		p.chargedByCat[CostProcessing] += p.DispatchCycles
+		pendingStart := len(p.pending)
+		p.handler.HandleMessage(&ctx, msg)
+		// Sends emitted while handling this message leave when the
+		// message's processing completes, not when the batch ends.
+		for i := pendingStart; i < len(p.pending); i++ {
+			p.pending[i].cyclesAt = p.charged
+		}
+	}
+
+	// Compute wall time of this dispatch: charged cycles at nominal
+	// frequency, stretched if the sibling hyperthread is busy.
+	factor := 1.0
+	if p.thread.siblingBusy(t0) {
+		factor = p.machine.HTPenalty
+	}
+	dur := Time(float64(p.machine.Cycles(p.charged)) * factor)
+	tEnd := t0 + dur
+	p.thread.freeAt = tEnd
+	p.thread.busyTotal += dur
+	p.stats.TotalCharged += p.charged
+	for cat := CostCategory(0); cat < numCostCategories; cat++ {
+		cyc := p.chargedByCat[cat]
+		if cyc == 0 {
+			continue
+		}
+		p.stats.CyclesByCat[cat] += cyc
+		p.stats.CostNs[cat] += Time(float64(p.machine.Cycles(cyc)) * factor)
+	}
+
+	// Release buffered sends at each message's completion point within
+	// the dispatch.
+	for _, out := range p.pending {
+		dst, msg, extra := out.dst, out.msg, out.delay
+		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + extra
+		p.sim.At(at, func() { dst.Deliver(msg) })
+	}
+	p.pending = p.pending[:0]
+
+	if p.state == procDead {
+		return
+	}
+	if len(p.inbox) > 0 {
+		// More work arrived while running; go again back-to-back.
+		p.state = procScheduled
+		p.sim.At(tEnd, p.runDispatch)
+		return
+	}
+	// Halt (enter MWAIT). The halt path costs kernel time.
+	p.state = procIdle
+	p.stats.Halts++
+	if p.HaltCycles > 0 {
+		halt := p.machine.Cycles(p.HaltCycles)
+		p.accountCost(CostKernel, p.HaltCycles, halt)
+		p.thread.freeAt = tEnd + halt
+		p.thread.busyTotal += halt
+	}
+}
+
+func (p *Proc) accountCost(cat CostCategory, cycles int64, d Time) {
+	p.stats.CyclesByCat[cat] += cycles
+	p.stats.CostNs[cat] += d
+	p.stats.TotalCharged += cycles
+}
+
+// Crash terminates the process with the given cause: its inbox and all
+// private state are lost, future deliveries are dropped, and crash watchers
+// (the recovery manager) are notified.
+func (p *Proc) Crash(cause error) {
+	if p.state == procDead {
+		return
+	}
+	p.state = procDead
+	p.crashed = cause
+	p.inbox = nil
+	p.pending = p.pending[:0]
+	p.sim.notifyCrash(p, cause)
+}
+
+// Kill terminates the process administratively (no crash notification
+// semantics differ from Crash only in the recorded cause).
+func (p *Proc) Kill() { p.Crash(ErrKilled) }
+
+// CrashCause returns the error a dead process crashed with, or nil.
+func (p *Proc) CrashCause() error { return p.crashed }
+
+// Context is passed to handlers; it is the only interface through which a
+// running process may consume time or emit messages.
+type Context struct {
+	Sim  *Simulator
+	Proc *Proc
+}
+
+// Charge records cycles of useful processing for the current dispatch.
+func (c *Context) Charge(cycles int64) { c.ChargeAs(CostProcessing, cycles) }
+
+// ChargeAs records cycles against a specific cost category.
+func (c *Context) ChargeAs(cat CostCategory, cycles int64) {
+	c.Proc.charged += cycles
+	c.Proc.chargedByCat[cat] += cycles
+}
+
+// Send delivers msg to dst when the current dispatch's execution completes.
+func (c *Context) Send(dst *Proc, msg Message) { c.SendDelayed(dst, msg, 0) }
+
+// SendDelayed delivers msg to dst an additional delay after the current
+// dispatch completes (used to model channel/notification latency).
+func (c *Context) SendDelayed(dst *Proc, msg Message, delay Time) {
+	c.Proc.pending = append(c.Proc.pending, outMsg{dst: dst, msg: msg, delay: delay})
+}
+
+// Timer is a cancellable self-delivery armed by a handler.
+type Timer struct {
+	cancelled bool
+	fired     bool
+}
+
+// Stop cancels the timer if it has not fired.
+func (t *Timer) Stop() { t.cancelled = true }
+
+// Fired reports whether the timer message was delivered.
+func (t *Timer) Fired() bool { return t.fired }
+
+// TimerAfter delivers msg back to the calling process d after the current
+// dispatch completes, unless stopped.
+func (c *Context) TimerAfter(d Time, msg Message) *Timer {
+	t := &Timer{}
+	p := c.Proc
+	p.pending = append(p.pending, outMsg{dst: p, msg: timerFire{t, msg}, delay: d})
+	return t
+}
+
+// timerFire wraps a timer delivery; runDispatch unwraps it transparently
+// (and drops it when cancelled) so handlers always see the original message.
+type timerFire struct {
+	t   *Timer
+	msg Message
+}

@@ -1,0 +1,209 @@
+// Package sim implements the deterministic discrete-event machine model that
+// the NEaT reproduction runs on. It stands in for the paper's physical
+// testbed (NewtOS on a 12-core AMD Opteron and an 8-core/16-thread Xeon):
+// simulated machines expose cores and hardware threads, processes pinned to
+// threads consume cycles, and all cross-process communication is message
+// passing with explicit cost, exactly mirroring the paper's execution model.
+//
+// The simulation is single-threaded and fully deterministic: events are
+// ordered by (time, sequence) and all randomness flows from one seeded
+// source. Running the same experiment twice yields identical results.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Common durations, usable as Time values.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulated Time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release fn for GC
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Simulator owns the virtual clock and the event queue. All machines,
+// processes, NICs and links of one experiment hang off a single Simulator.
+type Simulator struct {
+	now      Time
+	heap     eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	machines []*Machine
+	procs    []*Proc
+
+	crashWatchers []func(*Proc, error)
+
+	// Stats
+	eventsRun uint64
+}
+
+// New returns a Simulator whose randomness is derived from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsRun reports how many events have executed so far.
+func (s *Simulator) EventsRun() uint64 { return s.eventsRun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model; it is clamped to "now" to keep the clock monotonic.
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.heap.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Idle reports whether no events remain.
+func (s *Simulator) Idle() bool { return len(s.heap) == 0 }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.heap.pop()
+	s.now = e.at
+	s.eventsRun++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the clock reaches t or the queue drains.
+// The clock is left at t even if the queue drained earlier.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		e := s.heap.pop()
+		s.now = e.at
+		s.eventsRun++
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Drain runs until no events remain. Experiments with self-sustaining load
+// (timers that always re-arm) must use RunUntil instead.
+func (s *Simulator) Drain() {
+	for s.Step() {
+	}
+}
+
+// OnCrash registers fn to be called whenever any process crashes.
+// The NEaT recovery manager uses this as its failure detector (the paper's
+// microkernel notifies the recovery server of process faults the same way).
+func (s *Simulator) OnCrash(fn func(*Proc, error)) {
+	s.crashWatchers = append(s.crashWatchers, fn)
+}
+
+func (s *Simulator) notifyCrash(p *Proc, cause error) {
+	for _, fn := range s.crashWatchers {
+		fn(p, cause)
+	}
+}
+
+// Machines returns all machines registered with the simulator.
+func (s *Simulator) Machines() []*Machine { return s.machines }
+
+// Procs returns all processes ever created, including dead ones.
+func (s *Simulator) Procs() []*Proc { return s.procs }

@@ -1,0 +1,362 @@
+// Package socketlib is the user-space socket library of §3.2/§3.3: the
+// layer that hides NEaT's replication from applications. It speaks the
+// stack package's socket protocol — control-plane calls (listen, connect,
+// UDP bind) go to the SYSCALL server, while all data transfer flows
+// directly between the application process and the replica owning the
+// connection ("mostly system-call-less" sockets).
+//
+// The library is event-driven like everything else in the simulation: the
+// owning application process forwards incoming stack events to
+// Lib.HandleEvent and receives completion callbacks. The application never
+// learns which replica owns a socket; the library tracks the
+// (replica process, connection ID) pair internally, exactly like the
+// paper's library translates between socket numbers and communication
+// channels.
+package socketlib
+
+import (
+	"neat/internal/ipc"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/stack"
+)
+
+// reqIDs are globally unique so the SYSCALL server can correlate
+// acknowledgments without knowing about applications.
+var nextReqID uint64
+
+func newReqID() uint64 {
+	nextReqID++
+	return nextReqID
+}
+
+// SendLowWater is the credit level below which Send asks the stack for an
+// EvSendSpace notification.
+const SendLowWater = 32 << 10
+
+// Lib is one application process's socket library instance.
+type Lib struct {
+	proc    *sim.Proc
+	sysConn *ipc.Conn
+	costs   ipc.Costs
+
+	stackConns map[*sim.Proc]*ipc.Conn
+	conns      map[connKey]*Socket
+	connecting map[uint64]*Socket
+	listeners  map[uint64]*Listener
+	udps       map[connKey]*UDPSocket
+	udpBinding map[uint64]*UDPSocket
+}
+
+type connKey struct {
+	stack *sim.Proc
+	id    uint64
+}
+
+// New creates a library bound to the application process app, issuing
+// control-plane calls to syscallProc.
+func New(app *sim.Proc, syscallProc *sim.Proc, costs ipc.Costs) *Lib {
+	return &Lib{
+		proc:       app,
+		sysConn:    ipc.New(syscallProc, costs),
+		costs:      costs,
+		stackConns: map[*sim.Proc]*ipc.Conn{},
+		conns:      map[connKey]*Socket{},
+		connecting: map[uint64]*Socket{},
+		listeners:  map[uint64]*Listener{},
+		udps:       map[connKey]*UDPSocket{},
+		udpBinding: map[uint64]*UDPSocket{},
+	}
+}
+
+// Proc returns the owning application process.
+func (l *Lib) Proc() *sim.Proc { return l.proc }
+
+func (l *Lib) stackConn(p *sim.Proc) *ipc.Conn {
+	c, ok := l.stackConns[p]
+	if !ok {
+		c = ipc.New(p, l.costs)
+		l.stackConns[p] = c
+	}
+	return c
+}
+
+// Listener is a listening socket. The replication into per-replica
+// subsockets is invisible here: accepted connections simply arrive via
+// OnAccept, whatever replica they landed on.
+type Listener struct {
+	lib   *Lib
+	reqID uint64
+	Port  uint16
+
+	// OnReady fires once the listen completed on every replica.
+	OnReady func(ctx *sim.Context, err error)
+	// OnAccept fires per accepted connection.
+	OnAccept func(ctx *sim.Context, s *Socket)
+}
+
+// Close stops listening: every replica's subsocket is torn down and the
+// listen is unregistered from replay.
+func (ln *Listener) Close(ctx *sim.Context) {
+	if _, ok := ln.lib.listeners[ln.reqID]; !ok {
+		return
+	}
+	delete(ln.lib.listeners, ln.reqID)
+	ln.lib.sysConn.Send(ctx, stack.OpCloseListener{App: ln.lib.proc, ReqID: ln.reqID})
+}
+
+// Listen creates a listening socket on port.
+func (l *Lib) Listen(ctx *sim.Context, port uint16, backlog int) *Listener {
+	ln := &Listener{lib: l, reqID: newReqID(), Port: port}
+	l.listeners[ln.reqID] = ln
+	l.sysConn.Send(ctx, stack.OpListen{App: l.proc, ReqID: ln.reqID, Port: port, Backlog: backlog})
+	return ln
+}
+
+// SocketState tracks a socket's lifecycle.
+type SocketState int
+
+// Socket states.
+const (
+	SockConnecting SocketState = iota
+	SockOpen
+	SockClosed
+)
+
+// Socket is a connected (or connecting) TCP socket.
+type Socket struct {
+	lib    *Lib
+	stack  *sim.Proc
+	connID uint64
+	state  SocketState
+	credit int
+
+	// RemoteAddr/RemotePort are filled for accepted sockets.
+	RemoteAddr proto.Addr
+	RemotePort uint16
+
+	// Ctx is free application context (e.g. per-connection HTTP state).
+	Ctx interface{}
+
+	// OnConnect resolves Connect (nil error on success).
+	OnConnect func(ctx *sim.Context, err error)
+	// OnData delivers received bytes; eof marks the peer's FIN.
+	OnData func(ctx *sim.Context, data []byte, eof bool)
+	// OnSendSpace fires when requested send space became available.
+	OnSendSpace func(ctx *sim.Context, avail int)
+	// OnClosed fires when the connection dies (orderly close completion is
+	// silent; this is for resets and replica failures).
+	OnClosed func(ctx *sim.Context, reset bool, err error)
+}
+
+// Connect opens a TCP connection via the SYSCALL server, which assigns it
+// to a random replica (§3.8).
+func (l *Lib) Connect(ctx *sim.Context, addr proto.Addr, port uint16) *Socket {
+	s := &Socket{lib: l, state: SockConnecting}
+	reqID := newReqID()
+	l.connecting[reqID] = s
+	l.sysConn.Send(ctx, stack.OpConnect{App: l.proc, ReqID: reqID, Addr: addr, Port: port})
+	return s
+}
+
+// State returns the socket lifecycle state.
+func (s *Socket) State() SocketState { return s.state }
+
+// Credit returns the known free send-buffer space.
+func (s *Socket) Credit() int { return s.credit }
+
+// Send streams data on the socket (fast path: directly to the owning
+// replica). It returns false if the socket is not open. When the tracked
+// credit falls below SendLowWater the stack is asked to notify via
+// OnSendSpace; large transfers should chunk on that signal.
+func (s *Socket) Send(ctx *sim.Context, data []byte) bool {
+	if s.state != SockOpen {
+		return false
+	}
+	s.credit -= len(data)
+	want := s.credit < SendLowWater
+	s.lib.stackConn(s.stack).Send(ctx, stack.OpSend{ConnID: s.connID, Data: data, WantSpace: want})
+	return true
+}
+
+// Close performs an orderly close.
+func (s *Socket) Close(ctx *sim.Context) {
+	if s.state != SockOpen {
+		return
+	}
+	s.state = SockClosed
+	s.lib.stackConn(s.stack).Send(ctx, stack.OpClose{ConnID: s.connID})
+}
+
+// Abort resets the connection.
+func (s *Socket) Abort(ctx *sim.Context) {
+	if s.state != SockOpen {
+		return
+	}
+	s.state = SockClosed
+	s.lib.stackConn(s.stack).Send(ctx, stack.OpAbort{ConnID: s.connID})
+}
+
+// UDPSocket is a bound UDP socket.
+type UDPSocket struct {
+	lib   *Lib
+	stack *sim.Proc
+	udpID uint64
+	Port  uint16
+
+	// OnReady resolves BindUDP.
+	OnReady func(ctx *sim.Context, err error)
+	// OnData delivers received datagrams.
+	OnData func(ctx *sim.Context, src proto.Addr, srcPort uint16, data []byte)
+}
+
+// BindUDP binds a UDP port (0 = ephemeral) on a replica chosen by the
+// SYSCALL server.
+func (l *Lib) BindUDP(ctx *sim.Context, port uint16) *UDPSocket {
+	u := &UDPSocket{lib: l}
+	reqID := newReqID()
+	l.udpBinding[reqID] = u
+	l.sysConn.Send(ctx, stack.OpUDPBind{App: l.proc, ReqID: reqID, Port: port})
+	return u
+}
+
+// SendTo transmits one datagram.
+func (u *UDPSocket) SendTo(ctx *sim.Context, addr proto.Addr, port uint16, data []byte) {
+	if u.stack == nil {
+		return
+	}
+	u.lib.stackConn(u.stack).Send(ctx, stack.OpUDPSendTo{UDPID: u.udpID, Addr: addr, Port: port, Data: data})
+}
+
+// Close releases the binding.
+func (u *UDPSocket) Close(ctx *sim.Context) {
+	if u.stack == nil {
+		return
+	}
+	u.lib.stackConn(u.stack).Send(ctx, stack.OpUDPClose{UDPID: u.udpID})
+	delete(u.lib.udps, connKey{u.stack, u.udpID})
+	u.stack = nil
+}
+
+// HandleEvent dispatches a stack event to the owning socket; it reports
+// whether msg was a socket event (applications pass every message through
+// and handle the rest themselves).
+func (l *Lib) HandleEvent(ctx *sim.Context, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case stack.EvListening:
+		ln, ok := l.listeners[m.ReqID]
+		if ok && ln.OnReady != nil {
+			ln.OnReady(ctx, m.Err)
+		}
+		return true
+	case stack.EvAccepted:
+		ln, ok := l.listeners[m.ListenerReqID]
+		if !ok {
+			// Listener gone: refuse silently (the conn will be reset when
+			// the app never writes; a real library would abort here).
+			return true
+		}
+		s := &Socket{lib: l, stack: m.Stack, connID: m.ConnID, state: SockOpen,
+			credit: m.SendBuf, RemoteAddr: m.RemoteAddr, RemotePort: m.RemotePort}
+		l.conns[connKey{m.Stack, m.ConnID}] = s
+		if ln.OnAccept != nil {
+			ln.OnAccept(ctx, s)
+		}
+		return true
+	case stack.EvConnected:
+		s, ok := l.connecting[m.ReqID]
+		if !ok {
+			return true
+		}
+		delete(l.connecting, m.ReqID)
+		if m.Err != nil {
+			s.state = SockClosed
+			if s.OnConnect != nil {
+				s.OnConnect(ctx, m.Err)
+			}
+			return true
+		}
+		s.stack = m.Stack
+		s.connID = m.ConnID
+		s.credit = m.SendBuf
+		s.state = SockOpen
+		l.conns[connKey{m.Stack, m.ConnID}] = s
+		if s.OnConnect != nil {
+			s.OnConnect(ctx, nil)
+		}
+		return true
+	case stack.EvData:
+		s, ok := l.conns[connKey{m.Stack, m.ConnID}]
+		if ok && s.OnData != nil {
+			s.OnData(ctx, m.Data, m.EOF)
+		}
+		return true
+	case stack.EvSendSpace:
+		s, ok := l.conns[connKey{m.Stack, m.ConnID}]
+		if ok {
+			s.credit = m.Available
+			if s.OnSendSpace != nil {
+				s.OnSendSpace(ctx, m.Available)
+			}
+		}
+		return true
+	case stack.EvClosed:
+		k := connKey{m.Stack, m.ConnID}
+		s, ok := l.conns[k]
+		if ok {
+			delete(l.conns, k)
+			wasOpen := s.state == SockOpen
+			s.state = SockClosed
+			if s.OnClosed != nil && (wasOpen || m.Reset) {
+				s.OnClosed(ctx, m.Reset, m.Err)
+			}
+		}
+		return true
+	case stack.EvUDPBound:
+		u, ok := l.udpBinding[m.ReqID]
+		if !ok {
+			return true
+		}
+		delete(l.udpBinding, m.ReqID)
+		if m.Err == nil {
+			u.stack = m.Stack
+			u.udpID = m.UDPID
+			u.Port = m.Port
+			l.udps[connKey{m.Stack, m.UDPID}] = u
+		}
+		if u.OnReady != nil {
+			u.OnReady(ctx, m.Err)
+		}
+		return true
+	case stack.EvRehomed:
+		// The connection's replica was restored from a checkpoint into a
+		// new process: re-key the socket so the fast path follows it.
+		oldKey := connKey{m.OldStack, m.ConnID}
+		s, ok := l.conns[oldKey]
+		if !ok {
+			return true
+		}
+		delete(l.conns, oldKey)
+		s.stack = m.NewStack
+		l.conns[connKey{m.NewStack, m.ConnID}] = s
+		return true
+	case stack.EvUDPData:
+		u, ok := l.udps[connKey{m.Stack, m.UDPID}]
+		if ok && u.OnData != nil {
+			u.OnData(ctx, m.Src, m.SrcPort, m.Data)
+		}
+		return true
+	}
+	return false
+}
+
+// NumOpenSockets counts sockets in SockOpen state (tests).
+func (l *Lib) NumOpenSockets() int {
+	n := 0
+	for _, s := range l.conns {
+		if s.state == SockOpen {
+			n++
+		}
+	}
+	return n
+}

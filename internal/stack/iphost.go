@@ -1,0 +1,158 @@
+package stack
+
+import (
+	"neat/internal/ipc"
+	"neat/internal/ipeng"
+	"neat/internal/nicdev"
+	"neat/internal/pfilter"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/udpeng"
+)
+
+// ipHost hosts the packet filter, the IP engine and the UDP engine. In a
+// single-component replica it shares the process with tcpHost; in a
+// multi-component replica it is the "IP process" of Fig. 3.
+type ipHost struct {
+	r     *Replica
+	proc  *sim.Proc
+	costs Costs
+	ctx   *sim.Context // current dispatch context
+
+	filter *pfilter.Filter
+	ip     *ipeng.Engine
+	udp    *udpeng.Engine
+
+	toTCP    func(ctx *sim.Context, f *proto.Frame)
+	toDriver *ipc.Conn
+
+	udpSocks map[uint64]*udpSockCtx
+	nextUDP  uint64
+	appConns map[*sim.Proc]*ipc.Conn
+	ipcCosts ipc.Costs
+}
+
+// udpSockCtx binds a UDP socket to its owning application.
+type udpSockCtx struct {
+	app  *sim.Proc
+	id   uint64
+	sock *udpeng.Socket
+}
+
+// withCtx runs fn with the dispatch context installed so engine callbacks
+// can charge cycles and emit messages.
+func (h *ipHost) withCtx(ctx *sim.Context, fn func()) {
+	prev := h.ctx
+	h.ctx = ctx
+	fn()
+	h.ctx = prev
+}
+
+// inputFrame is the RX entry point of the replica.
+func (h *ipHost) inputFrame(ctx *sim.Context, f *proto.Frame) {
+	ctx.Charge(h.costs.FilterCheck)
+	if h.filter.Check(f) == pfilter.Drop {
+		return
+	}
+	ctx.Charge(h.costs.IPIn)
+	h.withCtx(ctx, func() { h.ip.Input(f) })
+}
+
+// handleOp processes UDP socket operations.
+func (h *ipHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case OpUDPBind:
+		ctx.Charge(h.costs.SockOp)
+		s, err := h.udp.Bind(m.Port)
+		ev := EvUDPBound{ReqID: m.ReqID, Stack: h.proc, Err: err}
+		if err == nil {
+			h.nextUDP++
+			sc := &udpSockCtx{app: m.App, id: h.nextUDP, sock: s}
+			s.Ctx = sc
+			h.udpSocks[sc.id] = sc
+			ev.UDPID = sc.id
+			ev.Port = s.Port()
+		}
+		h.sendApp(ctx, m.App, ev)
+		return true
+	case OpUDPSendTo:
+		sc, ok := h.udpSocks[m.UDPID]
+		if !ok {
+			return true
+		}
+		ctx.Charge(h.costs.UDPOut)
+		h.withCtx(ctx, func() { sc.sock.SendTo(m.Addr, m.Port, m.Data) })
+		return true
+	case OpUDPClose:
+		if sc, ok := h.udpSocks[m.UDPID]; ok {
+			ctx.Charge(h.costs.SockOp)
+			sc.sock.Close()
+			delete(h.udpSocks, m.UDPID)
+		}
+		return true
+	}
+	return false
+}
+
+// sendApp posts an event to an application process.
+func (h *ipHost) sendApp(ctx *sim.Context, app *sim.Proc, ev sim.Message) {
+	ctx.Charge(h.costs.SockEvent)
+	conn, ok := h.appConns[app]
+	if !ok {
+		conn = ipc.New(app, h.ipcCosts)
+		h.appConns[app] = conn
+	}
+	conn.Send(ctx, ev)
+}
+
+// ---- ipeng.Env ----
+
+// Now implements ipeng.Env.
+func (h *ipHost) Now() sim.Time { return h.proc.Sim().Now() }
+
+// TransmitFrame implements ipeng.Env.
+func (h *ipHost) TransmitFrame(raw []byte) {
+	h.ctx.Charge(h.costs.IPOut)
+	h.toDriver.Send(h.ctx, nicdev.TxFrame{Raw: raw})
+}
+
+// TransmitTSO implements ipeng.Env.
+func (h *ipHost) TransmitTSO(eth proto.EthernetHeader, ip proto.IPv4Header, tcp proto.TCPHeader, payload []byte, mss int) {
+	h.ctx.Charge(h.costs.IPOut)
+	h.toDriver.Send(h.ctx, nicdev.TxTSO{Eth: eth, IP: ip, TCP: tcp, Payload: payload, MSS: mss})
+}
+
+// DeliverTransport implements ipeng.Env.
+func (h *ipHost) DeliverTransport(f *proto.Frame) {
+	switch {
+	case f.TCP != nil:
+		h.toTCP(h.ctx, f)
+	case f.UDP != nil:
+		h.ctx.Charge(h.costs.UDPIn)
+		h.udp.Input(f)
+	default:
+		// ICMP echo requests were answered inside the IP engine; anything
+		// else has no consumer.
+	}
+}
+
+// After implements ipeng.Env.
+func (h *ipHost) After(d sim.Time, fn func()) {
+	h.ctx.TimerAfter(d, tickMsg{fn})
+}
+
+// ---- udpeng.Env ----
+
+// Output implements udpeng.Env.
+func (h *ipHost) Output(dst proto.Addr, transport []byte) {
+	h.ip.Output(dst, proto.ProtoUDP, transport)
+}
+
+// Deliver implements udpeng.Env.
+func (h *ipHost) Deliver(s *udpeng.Socket, src proto.Addr, srcPort uint16, data []byte) {
+	sc, ok := s.Ctx.(*udpSockCtx)
+	if !ok {
+		return
+	}
+	h.sendApp(h.ctx, sc.app, EvUDPData{Stack: h.proc, UDPID: sc.id, Src: src, SrcPort: srcPort, Data: data})
+}

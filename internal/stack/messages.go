@@ -1,0 +1,224 @@
+// Package stack assembles the protocol engines (pfilter, ipeng, tcpeng,
+// udpeng) into network stack replicas: isolated, single-threaded processes
+// wired together and to the NIC driver by message-passing channels.
+//
+// Two replica layouts exist, mirroring §3.7 of the paper:
+//
+//   - single-component: the whole stack runs in one process per replica
+//     ("NEaT Nx" configurations);
+//   - multi-component: packet filter + IP (+UDP) run in one process and TCP
+//     in another, connected by IPC ("Multi Nx" configurations), trading
+//     extra cores and messaging for finer fault isolation.
+//
+// The package also defines the socket wire protocol spoken between
+// applications (via socketlib), the SYSCALL server and replicas. The fast
+// path — data transfer on established connections — goes app↔replica
+// directly; only control-plane calls traverse the SYSCALL server (§3.2).
+package stack
+
+import (
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+)
+
+// ---- Intra-stack messages (between components of one replica) ----
+
+// tcpInput carries an inbound TCP frame from the IP process to the TCP
+// process of a multi-component replica.
+type tcpInput struct{ f *proto.Frame }
+
+// ipOutput carries a serialized transport payload from the TCP process to
+// the IP process for transmission.
+type ipOutput struct {
+	dst       proto.Addr
+	proto     proto.IPProto
+	transport []byte
+}
+
+// ipOutputTSO carries a TSO super-segment towards the IP process.
+type ipOutputTSO struct {
+	dst     proto.Addr
+	hdr     proto.TCPHeader
+	payload []byte
+	mss     int
+}
+
+// tickMsg runs a deferred closure on the owning process (ARP retries,
+// reassembly expiry).
+type tickMsg struct{ fn func() }
+
+// tcpTimerMsg fires a TCP connection timer on the owning process.
+type tcpTimerMsg struct {
+	c *tcpeng.Conn
+	k tcpeng.TimerKind
+}
+
+// ---- Application-facing socket protocol ----
+//
+// Handles: the application names its own sockets with ReqIDs; the stack
+// names live connections with ConnIDs (unique per replica process). The
+// pair (replica process, ConnID) is the canonical socket handle after
+// establishment.
+
+// OpListen asks a replica to create a listening subsocket (§3.3). The
+// SYSCALL server fans one OpListen out to every replica.
+type OpListen struct {
+	App     *sim.Proc
+	ReqID   uint64
+	Port    uint16
+	Backlog int
+	// ReplyTo, when set, receives the EvListening acknowledgment instead
+	// of App (the SYSCALL server aggregates the acks of all replicas).
+	ReplyTo *sim.Proc
+}
+
+// OpCloseListener closes a listening socket: the SYSCALL server fans it
+// out to every replica holding a subsocket and unregisters the listen.
+type OpCloseListener struct {
+	App   *sim.Proc
+	ReqID uint64 // the original OpListen request
+}
+
+// OpConnect asks a replica to open an active connection.
+type OpConnect struct {
+	App   *sim.Proc
+	ReqID uint64
+	Addr  proto.Addr
+	Port  uint16
+}
+
+// OpSend appends data to a connection's send stream. WantSpace asks the
+// stack to reply with EvSendSpace once send-buffer space is available (the
+// library sets it when its send credit runs low).
+type OpSend struct {
+	ConnID    uint64
+	Data      []byte
+	WantSpace bool
+}
+
+// OpClose performs an orderly close of a connection.
+type OpClose struct{ ConnID uint64 }
+
+// OpAbort resets a connection.
+type OpAbort struct{ ConnID uint64 }
+
+// OpUDPBind binds a UDP port.
+type OpUDPBind struct {
+	App   *sim.Proc
+	ReqID uint64
+	Port  uint16 // 0 = ephemeral
+}
+
+// OpUDPSendTo transmits one datagram.
+type OpUDPSendTo struct {
+	UDPID uint64
+	Addr  proto.Addr
+	Port  uint16
+	Data  []byte
+}
+
+// OpUDPClose releases a UDP binding.
+type OpUDPClose struct{ UDPID uint64 }
+
+// OpCheckpoint asks the TCP host to snapshot its state (checkpoint-based
+// stateful recovery — the §2.1/§6.6 alternative to NEaT's stateless
+// recovery). The snapshot is handed to the manager via the replica's
+// OnCheckpoint hook.
+type OpCheckpoint struct{}
+
+// OpRestore loads a checkpoint into a freshly respawned TCP host.
+type OpRestore struct{ Snap *tcpeng.Snapshot }
+
+// EvRehomed tells an application that a connection now lives in a new
+// stack process (its replica was restored from a checkpoint after a
+// crash); the socket library re-keys the socket transparently.
+type EvRehomed struct {
+	OldStack *sim.Proc
+	NewStack *sim.Proc
+	ConnID   uint64
+}
+
+// EvListening acknowledges OpListen.
+type EvListening struct {
+	ReqID uint64
+	Stack *sim.Proc // the replica process owning the subsocket
+	Err   error
+}
+
+// EvAccepted announces a new established connection on a listening socket.
+type EvAccepted struct {
+	ListenerReqID uint64
+	ConnID        uint64
+	Stack         *sim.Proc
+	RemoteAddr    proto.Addr
+	RemotePort    uint16
+	SendBuf       int // initial send credit
+}
+
+// EvConnected resolves OpConnect (Err set on failure).
+type EvConnected struct {
+	ReqID   uint64
+	ConnID  uint64
+	Stack   *sim.Proc
+	SendBuf int
+	Err     error
+}
+
+// EvData delivers received bytes (push-mode fast path). EOF marks the
+// peer's FIN after all data.
+type EvData struct {
+	Stack  *sim.Proc
+	ConnID uint64
+	Data   []byte
+	EOF    bool
+}
+
+// EvSendSpace advertises the absolute free send window for a connection.
+type EvSendSpace struct {
+	Stack     *sim.Proc
+	ConnID    uint64
+	Available int
+}
+
+// EvClosed reports a connection leaving service. Reset marks aborts
+// (including RSTs from the peer).
+type EvClosed struct {
+	Stack  *sim.Proc
+	ConnID uint64
+	Reset  bool
+	Err    error
+}
+
+// EvUDPBound acknowledges OpUDPBind.
+type EvUDPBound struct {
+	ReqID uint64
+	UDPID uint64
+	Port  uint16
+	Stack *sim.Proc
+	Err   error
+}
+
+// EvUDPData delivers one received datagram.
+type EvUDPData struct {
+	Stack   *sim.Proc
+	UDPID   uint64
+	Src     proto.Addr
+	SrcPort uint16
+	Data    []byte
+}
+
+// ErrNoReplicas is returned when no live replica can serve a request.
+var ErrNoReplicas = errNoReplicas{}
+
+type errNoReplicas struct{}
+
+func (errNoReplicas) Error() string { return "stack: no live replicas" }
+
+// ErrReplicaFailure is the error attached to EvClosed when a connection was
+// lost because its replica crashed (stateless recovery, §3.6).
+var ErrReplicaFailure = errReplicaFailure{}
+
+type errReplicaFailure struct{}
+
+func (errReplicaFailure) Error() string { return "stack: replica failed; connection state lost" }

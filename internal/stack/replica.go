@@ -1,0 +1,355 @@
+package stack
+
+import (
+	"fmt"
+
+	"neat/internal/ipc"
+	"neat/internal/ipeng"
+	"neat/internal/nicdev"
+	"neat/internal/pfilter"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+	"neat/internal/udpeng"
+)
+
+// Kind selects the replica layout.
+type Kind int
+
+// Replica layouts (§3.7).
+const (
+	// Single runs the whole stack in one process ("NEaT Nx").
+	Single Kind = iota
+	// Multi splits packet filter+IP(+UDP) and TCP into two processes
+	// ("Multi Nx").
+	Multi
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Single {
+		return "single"
+	}
+	return "multi"
+}
+
+// Config assembles a replica.
+type Config struct {
+	Name  string
+	Kind  Kind
+	IP    ipeng.Config
+	TCP   tcpeng.Config
+	Costs Costs
+	IPC   ipc.Costs
+}
+
+// Replica is one partition of the network stack: its own TCP/IP state, its
+// own processes, its own NIC queue. Replicas never talk to each other.
+type Replica struct {
+	name string
+	kind Kind
+	s    *sim.Simulator
+	cfg  Config
+
+	procs []*sim.Proc
+	iph   *ipHost
+	tcph  *tcpHost
+
+	// Rebindable channels between the components of a Multi replica (nil
+	// for Single); the recovery manager splices restarted processes in.
+	connToTCP *ipc.Conn
+	connToIP  *ipc.Conn
+	driver    *sim.Proc
+
+	// OnConnCreated fires when an active open allocates its 4-tuple; the
+	// NEaT manager installs the NIC flow filter here, BEFORE the SYN goes
+	// out, so the SYN-ACK already steers to the owning replica (§3.3:
+	// "both the NIC and the libraries must honor the choice").
+	OnConnCreated func(r *Replica, c *tcpeng.Conn)
+	// OnCheckpoint receives periodic TCP snapshots when checkpointing is
+	// enabled; the manager stores the latest one per replica.
+	OnCheckpoint func(r *Replica, snap *tcpeng.Snapshot)
+	// OnRestored reports how many connections a checkpoint restore
+	// revived.
+	OnRestored func(r *Replica, n int)
+	// OnConnEstablished/OnConnRemoved are the NEaT manager hooks for
+	// installing/removing NIC flow filters and tracking connection counts
+	// (lazy termination, §3.4). Called on the TCP process's dispatch.
+	OnConnEstablished func(r *Replica, c *tcpeng.Conn)
+	OnConnRemoved     func(r *Replica, c *tcpeng.Conn)
+
+	dead bool
+}
+
+// NewReplica builds a replica pinned to the given hardware threads:
+// threads[0] hosts the (single-component) stack or the IP process;
+// Multi additionally requires threads[1] for the TCP process.
+// driver is the NIC driver process frames are transmitted through.
+func NewReplica(threads []*sim.HWThread, driver *sim.Proc, cfg Config) *Replica {
+	if cfg.Kind == Multi && len(threads) < 2 {
+		panic("stack: multi-component replica needs two hardware threads")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "stack"
+	}
+	r := &Replica{name: cfg.Name, kind: cfg.Kind, s: threads[0].Machine().Sim(),
+		cfg: cfg, driver: driver}
+
+	switch cfg.Kind {
+	case Single:
+		r.buildSingle(threads[0])
+	case Multi:
+		r.buildIPHost(threads[0])
+		r.buildTCPHost(threads[1])
+		r.procs = []*sim.Proc{r.iph.proc, r.tcph.proc}
+	}
+	return r
+}
+
+// newIPHost constructs a fresh ipHost (engines rebuilt from configuration —
+// the component is stateless, §3.7).
+func (r *Replica) newIPHost() *ipHost {
+	h := &ipHost{r: r, costs: r.cfg.Costs, udpSocks: map[uint64]*udpSockCtx{},
+		appConns: map[*sim.Proc]*ipc.Conn{}, ipcCosts: r.cfg.IPC}
+	h.toDriver = ipc.New(r.driver, r.cfg.IPC)
+	h.filter = pfilter.New()
+	h.ip = ipeng.NewEngine(h, r.cfg.IP)
+	h.udp = udpeng.NewEngine(h, r.cfg.IP.Addr)
+	return h
+}
+
+// newTCPHost constructs a fresh tcpHost with an empty TCP engine.
+func (r *Replica) newTCPHost() *tcpHost {
+	h := &tcpHost{r: r, costs: r.cfg.Costs, conns: map[uint64]*tcpeng.Conn{},
+		listeners: map[uint64]*tcpeng.Listener{},
+		appConns:  map[*sim.Proc]*ipc.Conn{}, ipcCosts: r.cfg.IPC}
+	h.tcp = tcpeng.NewEngine(h, r.cfg.IP.Addr, r.cfg.TCP)
+	return h
+}
+
+func stackProcConfig(component string) sim.ProcConfig {
+	return sim.ProcConfig{Component: component,
+		WakeCycles: 1400, HaltCycles: 900, DispatchCycles: 80}
+}
+
+// buildSingle (re)creates the whole single-component stack on one thread.
+func (r *Replica) buildSingle(th *sim.HWThread) {
+	r.iph = r.newIPHost()
+	r.tcph = r.newTCPHost()
+	// A single-component replica is one process; its fault-injection
+	// component label is "tcp" because the TCP engine dominates both the
+	// code size and the state (the injector refines by code-size weights).
+	p := sim.NewProc(th, r.name, &singleHandler{r}, stackProcConfig("tcp"))
+	r.procs = []*sim.Proc{p}
+	r.iph.proc, r.tcph.proc = p, p
+	costs := r.cfg.Costs
+	// Direct in-process calls between the layers.
+	r.iph.toTCP = func(ctx *sim.Context, f *proto.Frame) {
+		ctx.Charge(costs.TCPSegIn)
+		r.tcph.withCtx(ctx, func() { r.tcph.tcp.Input(f) })
+	}
+	r.tcph.out = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte) {
+		r.iph.withCtx(ctx, func() { r.iph.ip.Output(dst, p, transport) })
+	}
+	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
+		r.iph.withCtx(ctx, func() { r.iph.ip.OutputTSO(t) })
+	}
+}
+
+// buildIPHost (re)creates the PF+IP+UDP process of a Multi replica.
+func (r *Replica) buildIPHost(th *sim.HWThread) {
+	r.iph = r.newIPHost()
+	r.iph.proc = sim.NewProc(th, r.name+".ip", &ipHandler{r.iph}, stackProcConfig("ip"))
+	if r.connToTCP == nil {
+		r.connToTCP = ipc.New(nil, r.cfg.IPC)
+	}
+	if r.connToIP == nil {
+		r.connToIP = ipc.New(nil, r.cfg.IPC)
+	}
+	r.connToIP.Rebind(r.iph.proc)
+	toTCP := r.connToTCP
+	r.iph.toTCP = func(ctx *sim.Context, f *proto.Frame) {
+		toTCP.Send(ctx, tcpInput{f})
+	}
+}
+
+// buildTCPHost (re)creates the TCP process of a Multi replica.
+func (r *Replica) buildTCPHost(th *sim.HWThread) {
+	r.tcph = r.newTCPHost()
+	r.tcph.proc = sim.NewProc(th, r.name+".tcp", &tcpHandler{r.tcph}, stackProcConfig("tcp"))
+	if r.connToTCP == nil {
+		r.connToTCP = ipc.New(nil, r.cfg.IPC)
+	}
+	if r.connToIP == nil {
+		r.connToIP = ipc.New(nil, r.cfg.IPC)
+	}
+	r.connToTCP.Rebind(r.tcph.proc)
+	toIP := r.connToIP
+	r.tcph.out = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte) {
+		toIP.Send(ctx, ipOutput{dst: dst, proto: p, transport: transport})
+	}
+	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
+		toIP.Send(ctx, ipOutputTSO{dst: t.Dst, hdr: t.TCP, payload: t.Payload, mss: t.MSS})
+	}
+}
+
+// RestartIP replaces a dead IP process of a Multi replica with a fresh,
+// stateless incarnation on thread th. Existing TCP state (and therefore
+// all connections) survives — this is the paper's transparent recovery
+// path for stateless components (§6.6).
+func (r *Replica) RestartIP(th *sim.HWThread) *sim.Proc {
+	if r.kind != Multi {
+		panic("stack: RestartIP on a single-component replica")
+	}
+	r.buildIPHost(th)
+	r.procs = []*sim.Proc{r.iph.proc, r.tcph.proc}
+	r.dead = r.tcph.proc.Dead()
+	return r.iph.proc
+}
+
+// RestartTCP replaces a dead TCP process of a Multi replica. All TCP
+// connection state is lost (stateless recovery, §3.6); listening sockets
+// must be re-announced by the manager.
+func (r *Replica) RestartTCP(th *sim.HWThread) *sim.Proc {
+	if r.kind != Multi {
+		panic("stack: RestartTCP on a single-component replica")
+	}
+	r.buildTCPHost(th)
+	r.procs = []*sim.Proc{r.iph.proc, r.tcph.proc}
+	r.dead = r.iph.proc.Dead()
+	return r.tcph.proc
+}
+
+// Rebuild replaces a dead single-component replica with a fresh incarnation
+// on thread th. All state is lost.
+func (r *Replica) Rebuild(th *sim.HWThread) *sim.Proc {
+	if r.kind != Single {
+		panic("stack: Rebuild is for single-component replicas")
+	}
+	r.buildSingle(th)
+	r.dead = false
+	return r.procs[0]
+}
+
+// ConnApp returns the application process owning a connection's socket.
+func (r *Replica) ConnApp(c *tcpeng.Conn) *sim.Proc {
+	if sc, ok := c.Ctx.(*sockCtx); ok {
+		return sc.app
+	}
+	return nil
+}
+
+// Conns returns the live connections table of the TCP host (for tests and
+// the recovery manager).
+func (r *Replica) Conns() map[uint64]*tcpeng.Conn { return r.tcph.conns }
+
+// Name returns the replica name.
+func (r *Replica) Name() string { return r.name }
+
+// Kind returns the replica layout.
+func (r *Replica) Kind() Kind { return r.kind }
+
+// Procs returns the replica's processes.
+func (r *Replica) Procs() []*sim.Proc { return r.procs }
+
+// EntryProc returns the process the NIC driver must deliver RX frames to.
+func (r *Replica) EntryProc() *sim.Proc { return r.iph.proc }
+
+// SockProc returns the process applications address socket operations to.
+func (r *Replica) SockProc() *sim.Proc { return r.tcph.proc }
+
+// TCP returns the replica's TCP engine (tests and the manager inspect it).
+func (r *Replica) TCP() *tcpeng.Engine { return r.tcph.tcp }
+
+// IP returns the replica's IP engine.
+func (r *Replica) IP() *ipeng.Engine { return r.iph.ip }
+
+// UDP returns the replica's UDP engine.
+func (r *Replica) UDP() *udpeng.Engine { return r.iph.udp }
+
+// Filter returns the replica's packet filter.
+func (r *Replica) Filter() *pfilter.Filter { return r.iph.filter }
+
+// Dead reports whether any process of the replica has died.
+func (r *Replica) Dead() bool {
+	for _, p := range r.procs {
+		if p.Dead() {
+			return true
+		}
+	}
+	return r.dead
+}
+
+// Kill crashes every process of the replica, losing all its state — the
+// paper's replica-failure model (§3.6).
+func (r *Replica) Kill() {
+	r.dead = true
+	for _, p := range r.procs {
+		p.Kill()
+	}
+}
+
+// String describes the replica.
+func (r *Replica) String() string {
+	return fmt.Sprintf("%s(%s, %s)", r.name, r.kind, r.iph.ip.Addr())
+}
+
+// ---- process handlers ----
+
+// singleHandler runs the entire stack in one process.
+type singleHandler struct{ r *Replica }
+
+func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	r := h.r
+	switch m := msg.(type) {
+	case nicdev.RxFrame:
+		r.iph.inputFrame(ctx, m.Frame)
+	case tickMsg:
+		r.iph.withCtx(ctx, m.fn)
+	case tcpTimerMsg:
+		r.tcph.onTimer(ctx, m)
+	default:
+		if !r.tcph.handleOp(ctx, msg) {
+			r.iph.handleOp(ctx, msg)
+		}
+	}
+}
+
+// ipHandler is the multi-component PF+IP(+UDP) process.
+type ipHandler struct{ h *ipHost }
+
+func (ih *ipHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	h := ih.h
+	switch m := msg.(type) {
+	case nicdev.RxFrame:
+		h.inputFrame(ctx, m.Frame)
+	case ipOutput:
+		h.withCtx(ctx, func() { h.ip.Output(m.dst, m.proto, m.transport) })
+	case ipOutputTSO:
+		h.withCtx(ctx, func() {
+			h.ip.OutputTSO(ipeng.TSO{TCP: m.hdr, Dst: m.dst, Payload: m.payload, MSS: m.mss})
+		})
+	case tickMsg:
+		h.withCtx(ctx, m.fn)
+	default:
+		h.handleOp(ctx, msg)
+	}
+}
+
+// tcpHandler is the multi-component TCP process.
+type tcpHandler struct{ h *tcpHost }
+
+func (th *tcpHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	h := th.h
+	switch m := msg.(type) {
+	case tcpInput:
+		ctx.Charge(h.costs.TCPSegIn)
+		h.withCtx(ctx, func() { h.tcp.Input(m.f) })
+	case tcpTimerMsg:
+		h.onTimer(ctx, m)
+	case tickMsg:
+		h.withCtx(ctx, m.fn)
+	default:
+		h.handleOp(ctx, msg)
+	}
+}

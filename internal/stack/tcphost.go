@@ -1,0 +1,339 @@
+package stack
+
+import (
+	"neat/internal/ipc"
+	"neat/internal/ipeng"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/tcpeng"
+)
+
+// tcpHost hosts the TCP engine and the TCP-side socket bookkeeping. In a
+// single-component replica it shares the process with ipHost; in a
+// multi-component replica it is the "TCP process" of Fig. 3 — the one
+// stateful component whose crash loses connections (§6.6).
+type tcpHost struct {
+	r     *Replica
+	proc  *sim.Proc
+	costs Costs
+	ctx   *sim.Context
+
+	tcp *tcpeng.Engine
+
+	out    func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte)
+	outTSO func(ctx *sim.Context, t ipeng.TSO)
+
+	conns     map[uint64]*tcpeng.Conn     // by ConnID (= engine conn ID)
+	listeners map[uint64]*tcpeng.Listener // by the app's listen ReqID
+	appConns  map[*sim.Proc]*ipc.Conn
+	ipcCosts  ipc.Costs
+}
+
+// sockCtx is the per-connection socket bookkeeping.
+type sockCtx struct {
+	app         *sim.Proc
+	reqID       uint64 // OpConnect correlation (active opens)
+	established bool
+	pending     []byte // OpSend bytes not yet accepted by the engine
+	wantSpace   bool   // app asked to be told when space frees
+}
+
+// listenCtx binds a listener subsocket to its owning application.
+type listenCtx struct {
+	app   *sim.Proc
+	reqID uint64
+}
+
+func (h *tcpHost) withCtx(ctx *sim.Context, fn func()) {
+	prev := h.ctx
+	h.ctx = ctx
+	fn()
+	h.ctx = prev
+}
+
+func (h *tcpHost) onTimer(ctx *sim.Context, m tcpTimerMsg) {
+	ctx.Charge(h.costs.TimerOp)
+	h.withCtx(ctx, func() { h.tcp.OnTimer(m.c, m.k) })
+}
+
+// handleOp processes TCP socket operations; reports whether msg was one.
+func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case OpListen:
+		ctx.Charge(h.costs.SockOp)
+		var err error
+		h.withCtx(ctx, func() {
+			var l *tcpeng.Listener
+			l, err = h.tcp.Listen(proto.Addr{}, m.Port, m.Backlog)
+			if err == nil {
+				l.Ctx = &listenCtx{app: m.App, reqID: m.ReqID}
+				h.listeners[m.ReqID] = l
+			}
+		})
+		ackTo := m.App
+		if m.ReplyTo != nil {
+			ackTo = m.ReplyTo
+		}
+		h.sendApp(ctx, ackTo, EvListening{ReqID: m.ReqID, Stack: h.proc, Err: err})
+		return true
+	case OpConnect:
+		ctx.Charge(h.costs.TCPConnSetup)
+		h.withCtx(ctx, func() {
+			c, err := h.tcp.Connect(m.Addr, m.Port)
+			if err != nil {
+				h.sendApp(ctx, m.App, EvConnected{ReqID: m.ReqID, Stack: h.proc, Err: err})
+				return
+			}
+			c.Ctx = &sockCtx{app: m.App, reqID: m.ReqID}
+			h.conns[c.ID] = c
+			if h.r.OnConnCreated != nil {
+				h.r.OnConnCreated(h.r, c)
+			}
+		})
+		return true
+	case OpSend:
+		c, ok := h.conns[m.ConnID]
+		if !ok {
+			return true // connection already gone; app learns via EvClosed
+		}
+		sc := c.Ctx.(*sockCtx)
+		sc.pending = append(sc.pending, m.Data...)
+		if m.WantSpace {
+			sc.wantSpace = true
+		}
+		ctx.Charge(h.costs.SockOp)
+		h.withCtx(ctx, func() {
+			h.drainPending(c, sc)
+			h.maybeAdvertiseSpace(c, sc)
+		})
+		return true
+	case OpClose:
+		if c, ok := h.conns[m.ConnID]; ok {
+			ctx.Charge(h.costs.SockOp)
+			h.withCtx(ctx, func() { c.Close() })
+		}
+		return true
+	case OpAbort:
+		if c, ok := h.conns[m.ConnID]; ok {
+			ctx.Charge(h.costs.SockOp)
+			h.withCtx(ctx, func() { c.Abort() })
+		}
+		return true
+	case OpCloseListener:
+		if l, ok := h.listeners[m.ReqID]; ok {
+			ctx.Charge(h.costs.SockOp)
+			delete(h.listeners, m.ReqID)
+			h.withCtx(ctx, func() { l.Close() })
+		}
+		return true
+	case OpCheckpoint:
+		snap := h.tcp.Snapshot()
+		snap.Owner = h.proc
+		// Checkpointing is the run-time overhead the paper warns about
+		// (§2.1): a process-image snapshot costs a fixed quiesce+copy of
+		// the process plus the per-connection state.
+		ctx.Charge(300_000 + 3*int64(snap.StateBytes()))
+		if h.r.OnCheckpoint != nil {
+			h.r.OnCheckpoint(h.r, snap)
+		}
+		return true
+	case OpRestore:
+		h.withCtx(ctx, func() { h.restore(ctx, m.Snap) })
+		return true
+	}
+	return false
+}
+
+// restore loads a checkpoint into this (fresh) TCP host: PCBs come back
+// with their socket bookkeeping, the manager hooks re-register them (and
+// re-install NIC filters), and the owning applications are told the new
+// home of each connection.
+func (h *tcpHost) restore(ctx *sim.Context, snap *tcpeng.Snapshot) {
+	if snap == nil {
+		return
+	}
+	ctx.Charge(2000 + int64(snap.StateBytes())/2)
+	n := h.tcp.Restore(snap)
+	for _, ls := range snap.Listeners {
+		if lc, ok := ls.Ctx.(*listenCtx); ok {
+			if l := h.tcp.LookupListener(ls.Port); l != nil {
+				h.listeners[lc.reqID] = l
+			}
+		}
+	}
+	for _, cs := range snap.Conns {
+		sc, ok := cs.Ctx.(*sockCtx)
+		if !ok {
+			continue
+		}
+		c := h.tcp.LookupByID(cs.ConnID)
+		if c == nil {
+			continue
+		}
+		h.conns[c.ID] = c
+		if h.r.OnConnEstablished != nil {
+			h.r.OnConnEstablished(h.r, c)
+		}
+		h.sendApp(ctx, sc.app, EvRehomed{OldStack: snap.Owner, NewStack: h.proc, ConnID: c.ID})
+	}
+	if h.r.OnRestored != nil {
+		h.r.OnRestored(h.r, n)
+	}
+}
+
+// drainPending moves buffered OpSend bytes into the engine.
+func (h *tcpHost) drainPending(c *tcpeng.Conn, sc *sockCtx) {
+	for len(sc.pending) > 0 {
+		n := c.Send(sc.pending)
+		if n == 0 {
+			return
+		}
+		sc.pending = sc.pending[n:]
+	}
+	sc.pending = nil
+}
+
+// maybeAdvertiseSpace tells a waiting app how much send window is free.
+func (h *tcpHost) maybeAdvertiseSpace(c *tcpeng.Conn, sc *sockCtx) {
+	if !sc.wantSpace {
+		return
+	}
+	avail := c.SendSpaceFree() - len(sc.pending)
+	if avail <= 0 {
+		return
+	}
+	sc.wantSpace = false
+	h.sendApp(h.ctx, sc.app, EvSendSpace{Stack: h.proc, ConnID: c.ID, Available: avail})
+}
+
+// sendApp posts an event to an application process.
+func (h *tcpHost) sendApp(ctx *sim.Context, app *sim.Proc, ev sim.Message) {
+	ctx.Charge(h.costs.SockEvent)
+	conn, ok := h.appConns[app]
+	if !ok {
+		conn = ipc.New(app, h.ipcCosts)
+		h.appConns[app] = conn
+	}
+	conn.Send(ctx, ev)
+}
+
+// ---- tcpeng.Env ----
+
+// Now implements tcpeng.Env.
+func (h *tcpHost) Now() sim.Time { return h.proc.Sim().Now() }
+
+// SendSegment implements tcpeng.Env: serialize (or TSO-describe) and hand
+// to the IP layer.
+func (h *tcpHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
+	h.ctx.Charge(h.costs.TCPSegOut)
+	if seg.TSO && len(seg.Payload) > seg.MSS {
+		h.outTSO(h.ctx, ipeng.TSO{TCP: seg.Hdr, Dst: seg.Dst, Payload: seg.Payload, MSS: seg.MSS})
+		return
+	}
+	transport := seg.Hdr.Marshal(nil, seg.Src, seg.Dst, seg.Payload)
+	h.out(h.ctx, seg.Dst, proto.ProtoTCP, transport)
+}
+
+// ArmTimer implements tcpeng.Env.
+func (h *tcpHost) ArmTimer(c *tcpeng.Conn, k tcpeng.TimerKind, d sim.Time) {
+	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
+		t.Stop()
+	}
+	c.TimerCtx[k] = h.ctx.TimerAfter(d, tcpTimerMsg{c: c, k: k})
+}
+
+// StopTimer implements tcpeng.Env.
+func (h *tcpHost) StopTimer(c *tcpeng.Conn, k tcpeng.TimerKind) {
+	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
+		t.Stop()
+		c.TimerCtx[k] = nil
+	}
+}
+
+// Accepted implements tcpeng.Env.
+func (h *tcpHost) Accepted(c *tcpeng.Conn) {
+	h.ctx.Charge(h.costs.TCPConnSetup)
+	lc, ok := c.Listener.Ctx.(*listenCtx)
+	if !ok {
+		return
+	}
+	// NEaT sockets hand accepted connections straight to the application;
+	// the library "accepts" them without a syscall (§3.3).
+	c.Listener.Accept()
+	sc := &sockCtx{app: lc.app, established: true}
+	c.Ctx = sc
+	h.conns[c.ID] = c
+	if h.r.OnConnEstablished != nil {
+		h.r.OnConnEstablished(h.r, c)
+	}
+	ra, rp := c.RemoteAddr()
+	h.sendApp(h.ctx, lc.app, EvAccepted{
+		ListenerReqID: lc.reqID, ConnID: c.ID, Stack: h.proc,
+		RemoteAddr: ra, RemotePort: rp,
+		SendBuf: c.SendSpaceFree(),
+	})
+}
+
+// Connected implements tcpeng.Env.
+func (h *tcpHost) Connected(c *tcpeng.Conn) {
+	sc, ok := c.Ctx.(*sockCtx)
+	if !ok {
+		return
+	}
+	sc.established = true
+	if h.r.OnConnEstablished != nil {
+		h.r.OnConnEstablished(h.r, c)
+	}
+	h.sendApp(h.ctx, sc.app, EvConnected{
+		ReqID: sc.reqID, ConnID: c.ID, Stack: h.proc, SendBuf: c.SendSpaceFree(),
+	})
+}
+
+// DataReadable implements tcpeng.Env: fast-path push of received bytes.
+func (h *tcpHost) DataReadable(c *tcpeng.Conn) {
+	sc, ok := c.Ctx.(*sockCtx)
+	if !ok {
+		return
+	}
+	data := c.Recv(0)
+	eof := c.EOF()
+	if len(data) == 0 && !eof {
+		return
+	}
+	h.sendApp(h.ctx, sc.app, EvData{Stack: h.proc, ConnID: c.ID, Data: data, EOF: eof})
+}
+
+// SendSpace implements tcpeng.Env.
+func (h *tcpHost) SendSpace(c *tcpeng.Conn) {
+	sc, ok := c.Ctx.(*sockCtx)
+	if !ok {
+		return
+	}
+	h.drainPending(c, sc)
+	h.maybeAdvertiseSpace(c, sc)
+}
+
+// ConnClosed implements tcpeng.Env.
+func (h *tcpHost) ConnClosed(c *tcpeng.Conn, reset bool) {
+	sc, ok := c.Ctx.(*sockCtx)
+	if !ok {
+		return
+	}
+	if !sc.established {
+		// Active open failed.
+		h.sendApp(h.ctx, sc.app, EvConnected{ReqID: sc.reqID, Stack: h.proc, Err: c.Err})
+		return
+	}
+	h.sendApp(h.ctx, sc.app, EvClosed{Stack: h.proc, ConnID: c.ID, Reset: reset, Err: c.Err})
+}
+
+// ConnRemoved implements tcpeng.Env.
+func (h *tcpHost) ConnRemoved(c *tcpeng.Conn) {
+	delete(h.conns, c.ID)
+	if h.r.OnConnRemoved != nil {
+		h.r.OnConnRemoved(h.r, c)
+	}
+}
+
+// RandUint32 implements tcpeng.Env.
+func (h *tcpHost) RandUint32() uint32 { return h.proc.Sim().Rand().Uint32() }

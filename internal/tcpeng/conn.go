@@ -1,0 +1,551 @@
+package tcpeng
+
+import (
+	"fmt"
+
+	"neat/internal/proto"
+	"neat/internal/sim"
+)
+
+// Conn is one TCP protocol control block. All of a connection's state lives
+// here, inside exactly one engine, inside exactly one replica — the paper's
+// partitioning unit.
+type Conn struct {
+	engine *Engine
+	ID     uint64
+	key    connKey
+	state  State
+
+	// Listener that spawned this connection (passive opens only).
+	Listener *Listener
+	// Ctx is opaque owner context (socket bookkeeping in the stack).
+	Ctx interface{}
+
+	iss, irs uint32 // initial send/recv sequence numbers
+	mss      int    // effective MSS (min of ours and peer's)
+
+	snd struct {
+		una, nxt       uint32 // oldest unacked, next to send
+		wnd            uint32 // peer's advertised window (scaled)
+		wndShift       uint8  // peer's window scale
+		cwnd           uint32 // congestion window (bytes)
+		ssthresh       uint32
+		inFastRecovery bool
+		recover        uint32 // recovery point for Reno
+		dupAcks        int
+
+		buf    []byte // unacked+unsent bytes; buf[0] is seq una
+		bufMax int
+
+		finQueued bool // app closed; FIN after buffer drains
+		finSent   bool
+		finSeq    uint32 // seq of FIN when queued
+	}
+
+	rcv struct {
+		nxt               uint32
+		wndShift          uint8
+		buf               []byte // in-order data awaiting Recv
+		bufMax            int
+		oo                []ooSeg // out-of-order segments, sorted by seq
+		finSeen           bool
+		finSeq            uint32
+		lastWndAdvertised uint32
+	}
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	rexmitCount  int      // consecutive RTO firings without progress
+	rttSeq       uint32   // sequence being timed
+	rttAt        sim.Time // when it was sent
+	rttTiming    bool
+
+	// Delayed ACK bookkeeping.
+	ackPending  int // segments received since last ACK sent
+	delAckArmed bool
+
+	// Timers owned by the Env, indexed by TimerKind.
+	TimerCtx [NumTimers]interface{}
+
+	userClosed bool
+	removed    bool
+	// Err is set when the connection dies abnormally.
+	Err error
+}
+
+// ooSeg is an out-of-order segment held for reassembly.
+type ooSeg struct {
+	seq  uint32
+	data []byte
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Engine returns the owning engine.
+func (c *Conn) Engine() *Engine { return c.engine }
+
+// LocalAddr returns the local address and port.
+func (c *Conn) LocalAddr() (proto.Addr, uint16) { return c.key.localAddr, c.key.localPort }
+
+// RemoteAddr returns the remote address and port.
+func (c *Conn) RemoteAddr() (proto.Addr, uint16) { return c.key.remoteAddr, c.key.remotePort }
+
+// Flow returns the connection's flow with the local endpoint as source.
+func (c *Conn) Flow() proto.Flow { return c.key.flow() }
+
+// InboundFlow returns the flow as the NIC sees arriving packets (remote as
+// source) — the key NEaT installs in the flow-director filter (§4).
+func (c *Conn) InboundFlow() proto.Flow { return c.key.flow().Reverse() }
+
+// MSS returns the effective maximum segment size.
+func (c *Conn) MSS() int { return c.mss }
+
+// String summarizes the connection.
+func (c *Conn) String() string {
+	return fmt.Sprintf("%s %s:%d<>%s:%d", c.state,
+		c.key.localAddr, c.key.localPort, c.key.remoteAddr, c.key.remotePort)
+}
+
+// Input demultiplexes one inbound TCP frame into the engine.
+func (e *Engine) Input(f *proto.Frame) {
+	if f.TCP == nil || f.IP == nil {
+		return
+	}
+	e.stats.SegsIn++
+	h := f.TCP
+	k := connKey{
+		localAddr: f.IP.Dst, localPort: h.DstPort,
+		remoteAddr: f.IP.Src, remotePort: h.SrcPort,
+	}
+	if c, ok := e.conns[k]; ok {
+		c.input(h, f.Payload)
+		return
+	}
+	// No PCB: a SYN may create one via a listener.
+	if h.Flags&proto.TCPSyn != 0 && h.Flags&proto.TCPAck == 0 {
+		if l := e.lookupListener(f.IP.Dst, h.DstPort); l != nil && !l.closed {
+			e.passiveOpen(l, k, h)
+			return
+		}
+	}
+	e.stats.SegsToClosedPort++
+	if h.Flags&proto.TCPRst == 0 {
+		e.sendRST(k, h)
+	}
+}
+
+// passiveOpen handles a SYN to a listening port.
+func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
+	if l.embryonic+len(l.acceptQ) >= l.backlog {
+		e.stats.DroppedSynBacklog++
+		return // silently drop; client retransmits (SYN flood behaviour)
+	}
+	c := e.newConn(k)
+	c.Listener = l
+	l.embryonic++
+	c.state = StateSynRcvd
+	c.irs = h.Seq
+	c.rcv.nxt = h.Seq + 1
+	c.iss = e.env.RandUint32()
+	c.snd.una = c.iss
+	c.snd.nxt = c.iss + 1
+	c.applyPeerOptions(h)
+	c.rto = e.cfg.InitialRTO
+	c.sendFlags(proto.TCPSyn|proto.TCPAck, c.iss, c.rcv.nxt, true)
+	e.env.ArmTimer(c, TimerRexmit, c.rto)
+}
+
+// applyPeerOptions ingests MSS and window scale from a SYN/SYN-ACK.
+func (c *Conn) applyPeerOptions(h *proto.TCPHeader) {
+	if h.Opts.MSS != 0 && int(h.Opts.MSS) < c.mss {
+		c.mss = int(h.Opts.MSS)
+	}
+	if h.Opts.HasWScale {
+		c.snd.wndShift = h.Opts.WScale
+	} else {
+		c.rcv.wndShift = 0 // peer can't scale: don't scale ours either
+	}
+	c.snd.cwnd = uint32(c.engine.cfg.InitialCwndMSS * c.mss)
+	c.snd.wnd = uint32(h.Window) << c.snd.wndShift
+}
+
+// sendRST replies RST to a segment that has no connection.
+func (e *Engine) sendRST(k connKey, h *proto.TCPHeader) {
+	e.stats.ResetsOut++
+	var hdr proto.TCPHeader
+	hdr.SrcPort, hdr.DstPort = k.localPort, k.remotePort
+	hdr.Flags = proto.TCPRst | proto.TCPAck
+	hdr.Seq = h.Ack
+	hdr.Ack = h.Seq + segLen(h, 0)
+	e.stats.SegsOut++
+	e.env.SendSegment(nil, OutSegment{
+		Src: k.localAddr, Dst: k.remoteAddr, Hdr: hdr, MSS: e.cfg.MSS,
+	})
+}
+
+// segLen returns the sequence space a header consumes beyond payload.
+func segLen(h *proto.TCPHeader, payload uint32) uint32 {
+	n := payload
+	if h.Flags&proto.TCPSyn != 0 {
+		n++
+	}
+	if h.Flags&proto.TCPFin != 0 {
+		n++
+	}
+	return n
+}
+
+// input runs the state machine for one segment on an existing PCB.
+func (c *Conn) input(h *proto.TCPHeader, payload []byte) {
+	e := c.engine
+	switch c.state {
+	case StateSynSent:
+		c.inputSynSent(h)
+		return
+	case StateClosed:
+		return
+	}
+
+	// RST processing: any acceptable RST kills the connection.
+	if h.Flags&proto.TCPRst != 0 {
+		if c.seqAcceptable(h.Seq, 0) || h.Seq == c.rcv.nxt {
+			e.stats.ResetsIn++
+			c.destroy(ErrReset, true)
+		}
+		return
+	}
+
+	// TIME_WAIT: just re-ACK (the peer may have lost our last ACK).
+	if c.state == StateTimeWait {
+		if h.Flags&proto.TCPFin != 0 {
+			c.sendAck()
+		}
+		return
+	}
+
+	// Sequence acceptability; pure-ACK at exactly rcv.nxt is always fine.
+	plen := uint32(len(payload))
+	if !c.seqAcceptable(h.Seq, plen+boolBit(h.Flags&proto.TCPFin != 0)) {
+		// Out-of-window: send a corrective ACK (also handles old dup SYNs).
+		c.sendAck()
+		return
+	}
+
+	// SYN retransmit in SYN_RCVD: re-send SYN|ACK.
+	if h.Flags&proto.TCPSyn != 0 && c.state == StateSynRcvd && h.Seq == c.irs {
+		c.sendFlags(proto.TCPSyn|proto.TCPAck, c.iss, c.rcv.nxt, true)
+		return
+	}
+
+	if h.Flags&proto.TCPAck == 0 {
+		return // every segment past SYN must carry ACK
+	}
+	if !c.processAck(h) {
+		return // connection destroyed or segment unacceptable
+	}
+	if len(payload) > 0 || h.Flags&proto.TCPFin != 0 {
+		c.processData(h, payload)
+	}
+	c.trySend() // ACK may have opened window / freed buffer
+	c.maybeSendAck()
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// seqAcceptable implements the RFC 793 window check.
+func (c *Conn) seqAcceptable(seq, length uint32) bool {
+	wnd := c.recvWindow()
+	if length == 0 {
+		if wnd == 0 {
+			return seq == c.rcv.nxt
+		}
+		return proto.SeqGEQ(seq, c.rcv.nxt) && proto.SeqLT(seq, c.rcv.nxt+wnd) ||
+			proto.SeqLT(seq, c.rcv.nxt) // old duplicate: still ACK it
+	}
+	if wnd == 0 {
+		return false
+	}
+	segEnd := seq + length - 1
+	startsIn := proto.SeqGEQ(seq, c.rcv.nxt) && proto.SeqLT(seq, c.rcv.nxt+wnd)
+	endsIn := proto.SeqGEQ(segEnd, c.rcv.nxt) && proto.SeqLT(segEnd, c.rcv.nxt+wnd)
+	return startsIn || endsIn
+}
+
+// inputSynSent handles segments while actively opening.
+func (c *Conn) inputSynSent(h *proto.TCPHeader) {
+	e := c.engine
+	ackOK := h.Flags&proto.TCPAck != 0 &&
+		proto.SeqGT(h.Ack, c.iss) && proto.SeqLEQ(h.Ack, c.snd.nxt)
+	if h.Flags&proto.TCPRst != 0 {
+		if ackOK {
+			e.stats.ResetsIn++
+			c.destroy(ErrReset, true)
+		}
+		return
+	}
+	if h.Flags&proto.TCPSyn == 0 || !ackOK {
+		return
+	}
+	c.irs = h.Seq
+	c.rcv.nxt = h.Seq + 1
+	c.snd.una = h.Ack
+	c.applyPeerOptions(h)
+	c.measureRTT(h.Ack)
+	e.env.StopTimer(c, TimerRexmit)
+	c.state = StateEstablished
+	e.stats.EstablishedTransitons++
+	c.sendAck()
+	e.env.Connected(c)
+	c.trySend()
+}
+
+// processAck handles the ACK field: snd.una advance, RTT, Reno, state
+// transitions for FIN acknowledgment. Returns false if c was destroyed.
+func (c *Conn) processAck(h *proto.TCPHeader) bool {
+	e := c.engine
+	ack := h.Ack
+	if proto.SeqGT(ack, c.snd.nxt) {
+		c.sendAck() // acks the future: corrective ACK
+		return false
+	}
+
+	// Window update (RFC 1122 ordering checks elided: sim links don't
+	// reorder within a direction).
+	c.snd.wnd = uint32(h.Window) << c.snd.wndShift
+
+	if proto.SeqLEQ(ack, c.snd.una) {
+		if ack == c.snd.una && c.bytesInFlight() > 0 {
+			c.onDupAck()
+		}
+		return true
+	}
+
+	// New data acknowledged.
+	c.rexmitCount = 0
+	acked := ack - c.snd.una
+	c.measureRTT(ack)
+	c.advanceSendBuffer(acked, ack)
+	c.renoOnAck(acked, ack)
+
+	// SYN_RCVD → ESTABLISHED.
+	if c.state == StateSynRcvd {
+		c.state = StateEstablished
+		e.stats.EstablishedTransitons++
+		e.stats.AcceptedConns++
+		if c.Listener != nil {
+			c.Listener.embryonic--
+			if len(c.Listener.acceptQ) >= c.Listener.backlog {
+				e.stats.AcceptQueueOverflow++
+				c.Abort()
+				return false
+			}
+			c.Listener.acceptQ = append(c.Listener.acceptQ, c)
+			e.env.Accepted(c)
+		}
+	}
+
+	// FIN acknowledgment transitions.
+	if c.snd.finSent && ack == c.snd.nxt {
+		switch c.state {
+		case StateFinWait1:
+			c.state = StateFinWait2
+		case StateClosing:
+			c.enterTimeWait()
+		case StateLastAck:
+			c.destroy(nil, false)
+			return false
+		}
+	}
+
+	// Retransmission timer: restart if data remains, stop otherwise.
+	if c.bytesInFlight() > 0 || (c.snd.finSent && c.snd.una != c.snd.nxt) {
+		e.env.ArmTimer(c, TimerRexmit, c.rto)
+	} else {
+		e.env.StopTimer(c, TimerRexmit)
+	}
+	return true
+}
+
+// bytesInFlight returns unacknowledged payload bytes.
+func (c *Conn) bytesInFlight() uint32 {
+	fl := c.snd.nxt - c.snd.una
+	if c.snd.finSent && fl > 0 {
+		fl-- // FIN occupies sequence space but not payload
+	}
+	if c.state == StateSynSent || c.state == StateSynRcvd {
+		return 0
+	}
+	return fl
+}
+
+// advanceSendBuffer trims acked bytes and notifies the socket.
+func (c *Conn) advanceSendBuffer(acked, ack uint32) {
+	dataAcked := acked
+	if c.snd.finSent && ack == c.snd.nxt {
+		dataAcked-- // final byte was the FIN
+	}
+	if int(dataAcked) > len(c.snd.buf) {
+		dataAcked = uint32(len(c.snd.buf))
+	}
+	c.snd.buf = c.snd.buf[dataAcked:]
+	c.snd.una = ack
+	if dataAcked > 0 {
+		c.engine.env.SendSpace(c)
+	}
+}
+
+// processData ingests payload and FIN.
+func (c *Conn) processData(h *proto.TCPHeader, payload []byte) {
+	e := c.engine
+	seq := h.Seq
+	fin := h.Flags&proto.TCPFin != 0
+	// The FIN occupies the sequence number right after the (untrimmed)
+	// payload of this segment.
+	finSeq := h.Seq + uint32(len(payload))
+
+	// Trim anything before rcv.nxt (retransmitted overlap).
+	if proto.SeqLT(seq, c.rcv.nxt) {
+		skip := c.rcv.nxt - seq
+		if skip >= uint32(len(payload)) {
+			payload = nil
+		} else {
+			payload = payload[skip:]
+		}
+		seq = c.rcv.nxt
+		e.stats.SegmentsTrimmed++
+	}
+
+	if len(payload) > 0 {
+		if seq == c.rcv.nxt {
+			c.appendInOrder(payload)
+			c.mergeOutOfOrder()
+		} else if proto.SeqGT(seq, c.rcv.nxt) {
+			e.stats.OutOfOrderIn++
+			c.insertOutOfOrder(seq, payload)
+			c.ackPending = 2 // force immediate dup-ACK
+		}
+	}
+
+	if fin && !proto.SeqLT(finSeq, c.rcv.nxt) {
+		c.rcv.finSeen = true
+		c.rcv.finSeq = finSeq
+	}
+	c.maybeProcessFin()
+}
+
+// appendInOrder moves in-order payload into the receive buffer.
+func (c *Conn) appendInOrder(payload []byte) {
+	space := c.rcv.bufMax - len(c.rcv.buf)
+	if space < len(payload) {
+		payload = payload[:space] // peer overran our window; drop excess
+	}
+	if len(payload) == 0 {
+		return
+	}
+	c.rcv.buf = append(c.rcv.buf, payload...)
+	c.rcv.nxt += uint32(len(payload))
+	c.engine.stats.DataBytesIn += uint64(len(payload))
+	c.ackPending++
+	c.engine.env.DataReadable(c)
+}
+
+// insertOutOfOrder stores a future segment sorted by sequence.
+func (c *Conn) insertOutOfOrder(seq uint32, payload []byte) {
+	if len(c.rcv.oo) > 64 {
+		return // bound memory; peer will retransmit
+	}
+	data := append([]byte(nil), payload...)
+	at := len(c.rcv.oo)
+	for i, s := range c.rcv.oo {
+		if proto.SeqLT(seq, s.seq) {
+			at = i
+			break
+		}
+	}
+	c.rcv.oo = append(c.rcv.oo, ooSeg{})
+	copy(c.rcv.oo[at+1:], c.rcv.oo[at:])
+	c.rcv.oo[at] = ooSeg{seq: seq, data: data}
+}
+
+// mergeOutOfOrder pulls newly contiguous segments into the buffer.
+func (c *Conn) mergeOutOfOrder() {
+	for len(c.rcv.oo) > 0 {
+		s := c.rcv.oo[0]
+		if proto.SeqGT(s.seq, c.rcv.nxt) {
+			return
+		}
+		c.rcv.oo = c.rcv.oo[1:]
+		if proto.SeqLEQ(s.seq+uint32(len(s.data)), c.rcv.nxt) {
+			continue // fully duplicate
+		}
+		c.appendInOrder(s.data[c.rcv.nxt-s.seq:])
+	}
+}
+
+// maybeProcessFin consumes the peer FIN once all data before it arrived.
+func (c *Conn) maybeProcessFin() {
+	if !c.rcv.finSeen || c.rcv.nxt != c.rcv.finSeq {
+		return
+	}
+	e := c.engine
+	e.stats.FinsIn++
+	c.rcv.nxt++ // FIN consumes one sequence number
+	c.ackPending = 2
+
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+		e.env.DataReadable(c) // EOF is readable
+	case StateFinWait1:
+		if c.snd.finSent && c.snd.una == c.snd.nxt {
+			c.enterTimeWait()
+		} else {
+			c.state = StateClosing
+		}
+		e.env.ConnClosed(c, false)
+	case StateFinWait2:
+		c.enterTimeWait()
+		e.env.ConnClosed(c, false)
+	}
+}
+
+// enterTimeWait moves to TIME_WAIT and arms the reaper.
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	e := c.engine
+	e.env.StopTimer(c, TimerRexmit)
+	e.env.ArmTimer(c, TimerTimeWait, e.cfg.TimeWait)
+}
+
+// destroy tears down a connection immediately (RST in/out or LastAck done).
+func (c *Conn) destroy(err error, reset bool) {
+	if c.state == StateClosed {
+		return
+	}
+	wasVisible := c.state == StateEstablished || c.state == StateSynRcvd ||
+		c.state == StateSynSent || c.state == StateCloseWait ||
+		c.state == StateFinWait1 || c.state == StateFinWait2 || c.state == StateClosing
+	c.state = StateClosed
+	c.Err = err
+	if c.Listener != nil {
+		// Remove from accept queue if never accepted.
+		q := c.Listener.acceptQ
+		for i, qc := range q {
+			if qc == c {
+				c.Listener.acceptQ = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+	if wasVisible {
+		c.engine.env.ConnClosed(c, reset)
+	}
+	c.engine.remove(c)
+}

@@ -1,0 +1,501 @@
+// Package tcpeng implements the TCP protocol engine used by every stack in
+// this repository: NEaT's single-component replicas, the TCP processes of
+// multi-component replicas (§3.7), the load generator's client stack, and
+// the monolithic Linux-model baseline.
+//
+// The engine is pure protocol: it owns protocol control blocks, the RFC 793
+// state machine, retransmission with RFC 6298 timing, Reno congestion
+// control (slow start, congestion avoidance, fast retransmit/recovery),
+// delayed ACKs, zero-window probing and TIME_WAIT. Everything outside the
+// protocol — time, timers, segment transmission, upcalls to sockets — is
+// reached through the Env interface, so the engine runs identically inside
+// a simulated process or a plain unit test.
+//
+// This is deliberately the paper's most state-heavy component: when a NEaT
+// replica crashes, exactly the state held here is lost (§3.6), which is why
+// the fault-injection experiment of Table 3 distinguishes TCP faults from
+// faults in the stateless components.
+package tcpeng
+
+import (
+	"errors"
+	"fmt"
+
+	"neat/internal/proto"
+	"neat/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793).
+type State int
+
+// TCP states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"Closed", "SynSent", "SynRcvd", "Established", "FinWait1",
+	"FinWait2", "CloseWait", "Closing", "LastAck", "TimeWait",
+}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// TimerKind identifies one of a connection's timers.
+type TimerKind int
+
+// Connection timers.
+const (
+	TimerRexmit TimerKind = iota
+	TimerPersist
+	TimerDelAck
+	TimerTimeWait
+	NumTimers
+)
+
+// OutSegment is a TCP segment handed to the IP layer for transmission.
+// When TSO is set the payload may exceed MSS and the NIC performs the
+// segmentation (§4); MSS tells the NIC where to cut.
+type OutSegment struct {
+	Src, Dst proto.Addr
+	Hdr      proto.TCPHeader
+	Payload  []byte
+	TSO      bool
+	MSS      int
+}
+
+// Env is the world as seen by the engine. The stack component that embeds
+// the engine implements it: timers map to simulator timers, SendSegment
+// feeds the IP layer, and the upcalls become socket events.
+type Env interface {
+	// Now returns the current time.
+	Now() sim.Time
+	// SendSegment transmits one segment (or TSO super-segment).
+	SendSegment(c *Conn, seg OutSegment)
+	// ArmTimer (re)schedules timer k of c to fire after d; StopTimer
+	// cancels it. The owner must call Engine.OnTimer when it fires.
+	ArmTimer(c *Conn, k TimerKind, d sim.Time)
+	StopTimer(c *Conn, k TimerKind)
+	// Accepted reports a connection that completed the passive handshake
+	// and joined its listener's accept queue.
+	Accepted(c *Conn)
+	// Connected reports completion of an active (client) handshake.
+	Connected(c *Conn)
+	// DataReadable reports new in-order data in the receive buffer.
+	DataReadable(c *Conn)
+	// SendSpace reports freed send-buffer space after ACKs.
+	SendSpace(c *Conn)
+	// ConnClosed reports the connection leaving app-visible life (FIN
+	// completion or RST); reset is true for aborts.
+	ConnClosed(c *Conn, reset bool)
+	// ConnRemoved reports the PCB being deleted from the engine (after
+	// TIME_WAIT, or immediately on RST). NEaT's manager hooks this to
+	// uninstall NIC filters and drive lazy termination (§3.4).
+	ConnRemoved(c *Conn)
+	// RandUint32 supplies initial sequence number entropy.
+	RandUint32() uint32
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	MSS         int      // our MSS (default 1460)
+	RecvBuf     int      // receive buffer bytes (default 256 KiB)
+	SendBuf     int      // send buffer bytes (default 256 KiB)
+	TSO         bool     // hand >MSS payloads to the NIC
+	TSOMax      int      // max TSO super-segment (default 64 KiB)
+	NoDelay     bool     // disable Nagle (default true: the paper's HTTP workload)
+	InitialRTO  sim.Time // default 50 ms
+	MinRTO      sim.Time // default 5 ms (LAN-scaled; Linux uses 200 ms)
+	MaxRTO      sim.Time // default 2 s
+	DelAckDelay sim.Time // default 1 ms
+	TimeWait    sim.Time // 2*MSL stand-in; default 250 ms (a control-plane
+	// tunable per §4)
+	PersistInterval sim.Time // zero-window probe interval, default 100 ms
+	InitialCwndMSS  int      // initial congestion window in MSS (default 10)
+
+	// MaxRetries caps consecutive RTO retransmissions of the same data
+	// before the connection is declared dead (Linux's tcp_retries2;
+	// default 10).
+	MaxRetries int
+
+	// EphemeralLo/Hi bound the local port range for active opens. NEaT
+	// partitions the ephemeral space across replicas so that two replicas
+	// sharing the host IP can never allocate colliding 4-tuples — the
+	// port-space analogue of the paper's state partitioning. Defaults:
+	// 32768..65535.
+	EphemeralLo, EphemeralHi uint16
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = 256 << 10
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = 256 << 10
+	}
+	if c.TSOMax == 0 {
+		c.TSOMax = 64 << 10
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 50 * sim.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 5 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 2 * sim.Second
+	}
+	if c.DelAckDelay == 0 {
+		c.DelAckDelay = sim.Millisecond
+	}
+	if c.TimeWait == 0 {
+		c.TimeWait = 250 * sim.Millisecond
+	}
+	if c.PersistInterval == 0 {
+		c.PersistInterval = 100 * sim.Millisecond
+	}
+	if c.InitialCwndMSS == 0 {
+		c.InitialCwndMSS = 10
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	if c.EphemeralLo == 0 {
+		c.EphemeralLo = 32768
+	}
+	if c.EphemeralHi == 0 {
+		c.EphemeralHi = 65535
+	}
+}
+
+// DefaultConfig returns the default engine configuration with NoDelay set.
+func DefaultConfig() Config {
+	c := Config{NoDelay: true}
+	c.fillDefaults()
+	return c
+}
+
+// Engine errors.
+var (
+	ErrPortInUse    = errors.New("tcpeng: address already in use")
+	ErrNoPorts      = errors.New("tcpeng: ephemeral ports exhausted")
+	ErrConnClosed   = errors.New("tcpeng: connection closed")
+	ErrNotListening = errors.New("tcpeng: not a listening socket")
+	ErrReset        = errors.New("tcpeng: connection reset by peer")
+)
+
+// connKey identifies an established connection.
+type connKey struct {
+	localAddr  proto.Addr
+	localPort  uint16
+	remoteAddr proto.Addr
+	remotePort uint16
+}
+
+// listenKey identifies a listener; a zero Addr listens on all local
+// addresses.
+type listenKey struct {
+	addr proto.Addr
+	port uint16
+}
+
+// Stats counts engine-wide events.
+type Stats struct {
+	SegsIn, SegsOut       uint64
+	DataBytesIn           uint64
+	DataBytesOut          uint64
+	Retransmits           uint64
+	FastRetransmits       uint64
+	DupAcksIn             uint64
+	OutOfOrderIn          uint64
+	ResetsIn, ResetsOut   uint64
+	AcceptedConns         uint64
+	ActiveOpens           uint64
+	DroppedSynBacklog     uint64
+	SegsToClosedPort      uint64
+	ChecksumPseudoDrops   uint64
+	TimeWaitReaped        uint64
+	RetriesExceeded       uint64
+	PersistProbes         uint64
+	DelayedAcksSent       uint64
+	KeepAliveUnsupported  uint64
+	FinsIn, FinsOut       uint64
+	ZeroWindowAdvertised  uint64
+	AcceptQueueOverflow   uint64
+	SpuriousTimerFirings  uint64
+	SegmentsTrimmed       uint64
+	ConnsRemoved          uint64
+	EstablishedTransitons uint64
+}
+
+// Engine is one TCP instance: the per-replica partition of TCP state.
+type Engine struct {
+	env  Env
+	cfg  Config
+	addr proto.Addr // our IP address
+
+	conns     map[connKey]*Conn
+	listeners map[listenKey]*Listener
+	nextEphem uint16
+	nextID    uint64
+
+	stats Stats
+}
+
+// NewEngine creates an engine bound to the local address addr.
+func NewEngine(env Env, addr proto.Addr, cfg Config) *Engine {
+	cfg.fillDefaults()
+	return &Engine{
+		env:       env,
+		cfg:       cfg,
+		addr:      addr,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[listenKey]*Listener),
+		nextEphem: cfg.EphemeralLo,
+	}
+}
+
+// Addr returns the engine's local IP address.
+func (e *Engine) Addr() proto.Addr { return e.addr }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// NumConns returns the number of live PCBs (any state incl. TIME_WAIT).
+// NEaT's lazy termination (§3.4) garbage-collects a terminating replica
+// when this reaches zero.
+func (e *Engine) NumConns() int { return len(e.conns) }
+
+// NumEstablished returns connections in app-usable states.
+func (e *Engine) NumEstablished() int {
+	n := 0
+	for _, c := range e.conns {
+		if c.state == StateEstablished || c.state == StateCloseWait {
+			n++
+		}
+	}
+	return n
+}
+
+// Listener is a listening socket (one replica's "subsocket" of a NEaT
+// listening socket, §3.3).
+type Listener struct {
+	engine  *Engine
+	key     listenKey
+	backlog int
+	// acceptQ holds established, not-yet-accepted connections.
+	acceptQ []*Conn
+	// embryonic counts connections still in SYN_RCVD.
+	embryonic int
+	closed    bool
+	// Ctx is opaque owner context (the stack stores socket bookkeeping).
+	Ctx interface{}
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.key.port }
+
+// Listen creates a listener on addr:port. A zero addr listens on the
+// engine's address (wildcard).
+func (e *Engine) Listen(addr proto.Addr, port uint16, backlog int) (*Listener, error) {
+	k := listenKey{addr: addr, port: port}
+	if _, dup := e.listeners[k]; dup {
+		return nil, ErrPortInUse
+	}
+	if backlog <= 0 {
+		backlog = 128
+	}
+	l := &Listener{engine: e, key: k, backlog: backlog}
+	e.listeners[k] = l
+	return l, nil
+}
+
+// Accept pops an established connection from the accept queue, or nil.
+func (l *Listener) Accept() *Conn {
+	if len(l.acceptQ) == 0 {
+		return nil
+	}
+	c := l.acceptQ[0]
+	l.acceptQ = l.acceptQ[1:]
+	return c
+}
+
+// AcceptPending returns the number of queued established connections.
+func (l *Listener) AcceptPending() int { return len(l.acceptQ) }
+
+// Close stops accepting; queued connections are reset.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.engine.listeners, l.key)
+	for _, c := range l.acceptQ {
+		c.Abort()
+	}
+	l.acceptQ = nil
+}
+
+// lookupListener finds a listener for the destination of a SYN.
+func (e *Engine) lookupListener(addr proto.Addr, port uint16) *Listener {
+	if l, ok := e.listeners[listenKey{addr: addr, port: port}]; ok {
+		return l
+	}
+	if l, ok := e.listeners[listenKey{port: port}]; ok {
+		return l
+	}
+	return nil
+}
+
+// allocEphemeral picks a free local port for an active open to remote,
+// cycling through the engine's partition of the ephemeral range.
+func (e *Engine) allocEphemeral(remoteAddr proto.Addr, remotePort uint16) (uint16, error) {
+	lo, hi := e.cfg.EphemeralLo, e.cfg.EphemeralHi
+	span := int(hi) - int(lo) + 1
+	for tries := 0; tries < span; tries++ {
+		p := e.nextEphem
+		if p < lo || p > hi {
+			p = lo
+		}
+		if p == hi {
+			e.nextEphem = lo
+		} else {
+			e.nextEphem = p + 1
+		}
+		k := connKey{localAddr: e.addr, localPort: p, remoteAddr: remoteAddr, remotePort: remotePort}
+		if _, used := e.conns[k]; !used {
+			return p, nil
+		}
+	}
+	return 0, ErrNoPorts
+}
+
+// Connect starts an active open to remote:port and returns the new
+// connection in SynSent state; Env.Connected fires on completion.
+func (e *Engine) Connect(remote proto.Addr, port uint16) (*Conn, error) {
+	lp, err := e.allocEphemeral(remote, port)
+	if err != nil {
+		return nil, err
+	}
+	c := e.newConn(connKey{localAddr: e.addr, localPort: lp, remoteAddr: remote, remotePort: port})
+	c.state = StateSynSent
+	c.iss = e.env.RandUint32()
+	c.snd.una = c.iss
+	c.snd.nxt = c.iss + 1
+	c.rto = e.cfg.InitialRTO
+	e.stats.ActiveOpens++
+	c.sendFlags(proto.TCPSyn, c.iss, 0, true)
+	e.env.ArmTimer(c, TimerRexmit, c.rto)
+	return c, nil
+}
+
+// newConn allocates a PCB and registers it.
+func (e *Engine) newConn(k connKey) *Conn {
+	e.nextID++
+	c := &Conn{
+		engine: e,
+		ID:     e.nextID,
+		key:    k,
+		mss:    e.cfg.MSS,
+	}
+	c.rcv.bufMax = e.cfg.RecvBuf
+	c.snd.bufMax = e.cfg.SendBuf
+	c.rcv.wndShift, c.snd.wndShift = windowShift(e.cfg.RecvBuf), 0
+	c.snd.cwnd = uint32(e.cfg.InitialCwndMSS * e.cfg.MSS)
+	c.snd.ssthresh = 0xffffffff
+	e.conns[k] = c
+	return c
+}
+
+// windowShift returns the window-scale shift needed to advertise buf bytes.
+func windowShift(buf int) uint8 {
+	var s uint8
+	for buf>>s > 0xffff && s < 14 {
+		s++
+	}
+	return s
+}
+
+// remove deletes a PCB and fires ConnRemoved.
+func (e *Engine) remove(c *Conn) {
+	if c.removed {
+		return
+	}
+	c.removed = true
+	for k := TimerKind(0); k < NumTimers; k++ {
+		e.env.StopTimer(c, k)
+	}
+	delete(e.conns, c.key)
+	e.stats.ConnsRemoved++
+	e.env.ConnRemoved(c)
+}
+
+// Flow returns the flow (local as source) of a connection key.
+func (k connKey) flow() proto.Flow {
+	return proto.Flow{
+		Src: k.localAddr, SrcPort: k.localPort,
+		Dst: k.remoteAddr, DstPort: k.remotePort,
+		Proto: proto.ProtoTCP,
+	}
+}
+
+// LookupListener returns the listener bound to port (any address), or nil.
+func (e *Engine) LookupListener(port uint16) *Listener {
+	for _, l := range e.listeners {
+		if l.key.port == port {
+			return l
+		}
+	}
+	return nil
+}
+
+// LookupByID returns the live connection with the given ID, or nil.
+func (e *Engine) LookupByID(id uint64) *Conn {
+	for _, c := range e.conns {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Shutdown aborts every connection and closes every listener; used when a
+// replica is torn down abruptly (crash simulation does NOT call this —
+// crash loses state without sending RSTs, exactly like the paper).
+func (e *Engine) Shutdown() {
+	for _, c := range snapshot(e.conns) {
+		c.Abort()
+	}
+	for _, l := range e.listeners {
+		l.closed = true
+	}
+	e.listeners = make(map[listenKey]*Listener)
+}
+
+func snapshot(m map[connKey]*Conn) []*Conn {
+	out := make([]*Conn, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	return out
+}

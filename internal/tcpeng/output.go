@@ -1,0 +1,500 @@
+package tcpeng
+
+import (
+	"neat/internal/proto"
+	"neat/internal/sim"
+)
+
+// Send appends data to the send buffer and transmits what the windows
+// allow. It returns the number of bytes accepted (0 when the buffer is
+// full — the socket layer blocks the app until SendSpace fires).
+func (c *Conn) Send(data []byte) int {
+	if c.userClosed || (c.state != StateEstablished && c.state != StateCloseWait) {
+		return 0
+	}
+	space := c.snd.bufMax - len(c.snd.buf)
+	if space <= 0 {
+		return 0
+	}
+	if len(data) > space {
+		data = data[:space]
+	}
+	c.snd.buf = append(c.snd.buf, data...)
+	c.trySend()
+	return len(data)
+}
+
+// SendSpaceFree returns the free bytes in the send buffer.
+func (c *Conn) SendSpaceFree() int { return c.snd.bufMax - len(c.snd.buf) }
+
+// Recv takes up to max bytes of in-order received data. A growing receive
+// window is re-advertised opportunistically by the next outbound segment.
+func (c *Conn) Recv(max int) []byte {
+	if max <= 0 || max > len(c.rcv.buf) {
+		max = len(c.rcv.buf)
+	}
+	if max == 0 {
+		return nil
+	}
+	out := c.rcv.buf[:max:max]
+	c.rcv.buf = c.rcv.buf[max:]
+	// If the window was closed and now reopened substantially, send a
+	// window update so the peer resumes.
+	if c.rcv.lastWndAdvertised == 0 && c.recvWindow() >= uint32(c.mss) {
+		c.sendAck()
+	}
+	return out
+}
+
+// RecvAvailable returns buffered in-order bytes not yet taken by Recv.
+func (c *Conn) RecvAvailable() int { return len(c.rcv.buf) }
+
+// EOF reports whether the peer's FIN has been fully received and all data
+// consumed.
+func (c *Conn) EOF() bool {
+	return c.rcv.finSeen && c.rcv.nxt == c.rcv.finSeq+1 && len(c.rcv.buf) == 0
+}
+
+// Close performs an orderly close: any buffered data is still delivered,
+// then a FIN is sent.
+func (c *Conn) Close() {
+	if c.userClosed {
+		return
+	}
+	c.userClosed = true
+	switch c.state {
+	case StateSynSent:
+		c.destroy(ErrConnClosed, false)
+		return
+	case StateEstablished, StateSynRcvd:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	default:
+		return
+	}
+	c.snd.finQueued = true
+	c.trySend()
+}
+
+// Abort sends RST and destroys the connection immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	if c.state != StateSynSent && c.state != StateTimeWait {
+		c.engine.stats.ResetsOut++
+		c.engine.stats.SegsOut++
+		var hdr proto.TCPHeader
+		hdr.SrcPort, hdr.DstPort = c.key.localPort, c.key.remotePort
+		hdr.Flags = proto.TCPRst | proto.TCPAck
+		hdr.Seq = c.snd.nxt
+		hdr.Ack = c.rcv.nxt
+		c.engine.env.SendSegment(c, OutSegment{
+			Src: c.key.localAddr, Dst: c.key.remoteAddr, Hdr: hdr, MSS: c.mss,
+		})
+	}
+	c.destroy(ErrConnClosed, true)
+}
+
+// recvWindow returns the receive window we can advertise.
+func (c *Conn) recvWindow() uint32 {
+	w := c.rcv.bufMax - len(c.rcv.buf)
+	if w < 0 {
+		w = 0
+	}
+	return uint32(w)
+}
+
+// advertisedWindow computes the window field (scaled) and records it.
+func (c *Conn) advertisedWindow() uint16 {
+	w := c.recvWindow()
+	c.rcv.lastWndAdvertised = w
+	if w == 0 {
+		c.engine.stats.ZeroWindowAdvertised++
+	}
+	scaled := w >> c.rcv.wndShift
+	if scaled > 0xffff {
+		scaled = 0xffff
+	}
+	return uint16(scaled)
+}
+
+// sendFlags emits a control segment (SYN, SYN|ACK, bare ACK, ...).
+// syn selects SYN options (MSS + window scale offer).
+func (c *Conn) sendFlags(flags uint8, seq, ack uint32, syn bool) {
+	e := c.engine
+	var hdr proto.TCPHeader
+	hdr.SrcPort, hdr.DstPort = c.key.localPort, c.key.remotePort
+	hdr.Flags = flags
+	hdr.Seq = seq
+	hdr.Ack = ack
+	hdr.Window = c.advertisedWindow()
+	if syn {
+		hdr.Opts.MSS = uint16(e.cfg.MSS)
+		hdr.Opts.HasWScale = true
+		hdr.Opts.WScale = c.rcv.wndShift
+		// SYN segments advertise the unscaled window.
+		w := c.recvWindow()
+		if w > 0xffff {
+			w = 0xffff
+		}
+		hdr.Window = uint16(w)
+	}
+	e.stats.SegsOut++
+	e.env.SendSegment(c, OutSegment{
+		Src: c.key.localAddr, Dst: c.key.remoteAddr, Hdr: hdr, MSS: c.mss,
+	})
+	c.ackPending = 0
+	if c.delAckArmed {
+		c.delAckArmed = false
+		e.env.StopTimer(c, TimerDelAck)
+	}
+}
+
+// sendAck emits an immediate bare ACK.
+func (c *Conn) sendAck() {
+	c.sendFlags(proto.TCPAck, c.snd.nxt, c.rcv.nxt, false)
+}
+
+// maybeSendAck implements delayed ACKs: every second segment immediately,
+// otherwise after DelAckDelay.
+func (c *Conn) maybeSendAck() {
+	if c.ackPending == 0 {
+		return
+	}
+	if c.ackPending >= 2 {
+		c.sendAck()
+		return
+	}
+	if !c.delAckArmed {
+		c.delAckArmed = true
+		c.engine.env.ArmTimer(c, TimerDelAck, c.engine.cfg.DelAckDelay)
+	}
+}
+
+// trySend transmits as much buffered data (and the queued FIN) as the
+// congestion and peer windows allow.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateLastAck && c.state != StateClosing {
+		return
+	}
+	e := c.engine
+	for {
+		inFlight := c.snd.nxt - c.snd.una
+		if c.snd.finSent {
+			break // everything including FIN is out
+		}
+		wnd := c.snd.wnd
+		if c.snd.cwnd < wnd {
+			wnd = c.snd.cwnd
+		}
+		var avail uint32
+		if wnd > inFlight {
+			avail = wnd - inFlight
+		}
+		unsent := uint32(len(c.snd.buf)) - inFlight
+		if unsent == 0 && !c.snd.finQueued {
+			break
+		}
+
+		// Zero/insufficient window: wait for ACKs, or arm the persist
+		// timer when the peer closed the window completely.
+		if avail == 0 {
+			if c.snd.wnd == 0 && inFlight == 0 && unsent > 0 {
+				e.env.ArmTimer(c, TimerPersist, e.cfg.PersistInterval)
+			}
+			break
+		}
+
+		chunk := unsent
+		if chunk > avail {
+			chunk = avail
+		}
+		maxSeg := uint32(c.mss)
+		if e.cfg.TSO {
+			maxSeg = uint32(e.cfg.TSOMax)
+		}
+		if chunk > maxSeg {
+			chunk = maxSeg
+		}
+
+		// Nagle: without NoDelay, hold small segments while data is in
+		// flight.
+		if chunk < uint32(c.mss) && inFlight > 0 && !e.cfg.NoDelay &&
+			chunk == unsent && !c.snd.finQueued {
+			break
+		}
+
+		fin := false
+		if c.snd.finQueued && chunk == unsent {
+			fin = true // FIN rides the last segment
+		}
+		if chunk == 0 && !fin {
+			break
+		}
+		c.emitData(c.snd.nxt, chunk, fin)
+		c.snd.nxt += chunk
+		if fin {
+			c.snd.finSent = true
+			c.snd.finSeq = c.snd.nxt
+			c.snd.nxt++
+			e.stats.FinsOut++
+		}
+		e.env.ArmTimer(c, TimerRexmit, c.rto)
+		// Time one segment per window for RTT.
+		if !c.rttTiming && chunk > 0 {
+			c.rttTiming = true
+			c.rttSeq = c.snd.nxt
+			c.rttAt = e.env.Now()
+		}
+		if fin {
+			break
+		}
+	}
+}
+
+// emitData sends payload bytes [seq, seq+n) from the send buffer.
+func (c *Conn) emitData(seq, n uint32, fin bool) {
+	e := c.engine
+	off := seq - c.snd.una
+	payload := c.snd.buf[off : off+n]
+	var hdr proto.TCPHeader
+	hdr.SrcPort, hdr.DstPort = c.key.localPort, c.key.remotePort
+	hdr.Flags = proto.TCPAck | proto.TCPPsh
+	if fin {
+		hdr.Flags |= proto.TCPFin
+	}
+	hdr.Seq = seq
+	hdr.Ack = c.rcv.nxt
+	hdr.Window = c.advertisedWindow()
+	e.stats.SegsOut++
+	e.stats.DataBytesOut += uint64(n)
+	e.env.SendSegment(c, OutSegment{
+		Src: c.key.localAddr, Dst: c.key.remoteAddr, Hdr: hdr,
+		Payload: append([]byte(nil), payload...),
+		TSO:     e.cfg.TSO && int(n) > c.mss,
+		MSS:     c.mss,
+	})
+	c.ackPending = 0
+	if c.delAckArmed {
+		c.delAckArmed = false
+		e.env.StopTimer(c, TimerDelAck)
+	}
+}
+
+// retransmit resends one MSS from snd.una (and the FIN if due).
+func (c *Conn) retransmit() {
+	e := c.engine
+	inFlightSeq := c.snd.nxt - c.snd.una
+	if inFlightSeq == 0 {
+		return
+	}
+	n := uint32(len(c.snd.buf))
+	if n > uint32(c.mss) {
+		n = uint32(c.mss)
+	}
+	dataOutstanding := inFlightSeq
+	if c.snd.finSent {
+		dataOutstanding--
+	}
+	if n > dataOutstanding {
+		n = dataOutstanding
+	}
+	fin := false
+	if c.snd.finSent && n == dataOutstanding {
+		fin = true
+	}
+	if n == 0 && !fin {
+		return
+	}
+	e.stats.Retransmits++
+	c.emitData(c.snd.una, n, fin)
+	// Karn's algorithm: don't time retransmitted sequences.
+	c.rttTiming = false
+}
+
+// measureRTT updates srtt/rttvar/rto per RFC 6298 when the timed segment
+// is acknowledged.
+func (c *Conn) measureRTT(ack uint32) {
+	if !c.rttTiming || proto.SeqLT(ack, c.rttSeq) {
+		return
+	}
+	c.rttTiming = false
+	r := c.engine.env.Now() - c.rttAt
+	if c.srtt == 0 {
+		c.srtt = r
+		c.rttvar = r / 2
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.engine.cfg.MinRTO {
+		rto = c.engine.cfg.MinRTO
+	}
+	if rto > c.engine.cfg.MaxRTO {
+		rto = c.engine.cfg.MaxRTO
+	}
+	c.rto = rto
+}
+
+// SRTT returns the smoothed round-trip time estimate.
+func (c *Conn) SRTT() sim.Time { return c.srtt }
+
+// renoOnAck grows cwnd (slow start / congestion avoidance) and exits fast
+// recovery when the recovery point is passed.
+func (c *Conn) renoOnAck(acked, ack uint32) {
+	mss := uint32(c.mss)
+	if c.snd.inFastRecovery {
+		if proto.SeqGEQ(ack, c.snd.recover) {
+			c.snd.inFastRecovery = false
+			c.snd.dupAcks = 0
+			c.snd.cwnd = c.snd.ssthresh
+		} else {
+			// Partial ACK: retransmit next hole immediately.
+			c.retransmit()
+			return
+		}
+	}
+	c.snd.dupAcks = 0
+	if c.snd.cwnd < c.snd.ssthresh {
+		c.snd.cwnd += acked // slow start
+	} else {
+		// Congestion avoidance: ~1 MSS per RTT.
+		add := mss * mss / c.snd.cwnd
+		if add == 0 {
+			add = 1
+		}
+		c.snd.cwnd += add
+	}
+	if max := uint32(c.snd.bufMax) * 2; c.snd.cwnd > max {
+		c.snd.cwnd = max
+	}
+}
+
+// onDupAck counts duplicate ACKs and triggers Reno fast retransmit.
+func (c *Conn) onDupAck() {
+	e := c.engine
+	e.stats.DupAcksIn++
+	if c.snd.inFastRecovery {
+		c.snd.cwnd += uint32(c.mss) // inflate
+		c.trySend()
+		return
+	}
+	c.snd.dupAcks++
+	if c.snd.dupAcks == 3 {
+		e.stats.FastRetransmits++
+		fl := c.snd.nxt - c.snd.una
+		half := fl / 2
+		if half < 2*uint32(c.mss) {
+			half = 2 * uint32(c.mss)
+		}
+		c.snd.ssthresh = half
+		c.snd.recover = c.snd.nxt
+		c.snd.inFastRecovery = true
+		c.retransmit()
+		c.snd.cwnd = c.snd.ssthresh + 3*uint32(c.mss)
+	}
+}
+
+// OnTimer must be called by the Env owner when a previously armed timer
+// fires. It dispatches to the protocol action for the timer kind.
+func (e *Engine) OnTimer(c *Conn, k TimerKind) {
+	if c.state == StateClosed || c.removed {
+		e.stats.SpuriousTimerFirings++
+		return
+	}
+	switch k {
+	case TimerRexmit:
+		e.onRexmitTimeout(c)
+	case TimerPersist:
+		e.onPersist(c)
+	case TimerDelAck:
+		c.delAckArmed = false
+		if c.ackPending > 0 {
+			e.stats.DelayedAcksSent++
+			c.sendAck()
+		}
+	case TimerTimeWait:
+		e.stats.TimeWaitReaped++
+		c.destroy(nil, false)
+	}
+}
+
+// onRexmitTimeout handles RTO expiry: exponential backoff, cwnd collapse,
+// retransmission of the oldest segment (or SYN).
+func (e *Engine) onRexmitTimeout(c *Conn) {
+	switch c.state {
+	case StateSynSent:
+		c.rto *= 2
+		if c.rto > e.cfg.MaxRTO {
+			c.destroy(ErrConnClosed, false)
+			return
+		}
+		e.stats.Retransmits++
+		c.sendFlags(proto.TCPSyn, c.iss, 0, true)
+		e.env.ArmTimer(c, TimerRexmit, c.rto)
+		return
+	case StateSynRcvd:
+		c.rto *= 2
+		if c.rto > e.cfg.MaxRTO {
+			c.destroy(ErrConnClosed, false)
+			return
+		}
+		e.stats.Retransmits++
+		c.sendFlags(proto.TCPSyn|proto.TCPAck, c.iss, c.rcv.nxt, true)
+		e.env.ArmTimer(c, TimerRexmit, c.rto)
+		return
+	}
+	if c.snd.nxt == c.snd.una {
+		return // nothing outstanding
+	}
+	c.rexmitCount++
+	if c.rexmitCount > e.cfg.MaxRetries {
+		e.stats.RetriesExceeded++
+		c.destroy(ErrConnClosed, false)
+		return
+	}
+	// Collapse to slow start.
+	fl := c.snd.nxt - c.snd.una
+	half := fl / 2
+	if half < 2*uint32(c.mss) {
+		half = 2 * uint32(c.mss)
+	}
+	c.snd.ssthresh = half
+	c.snd.cwnd = uint32(c.mss)
+	c.snd.inFastRecovery = false
+	c.snd.dupAcks = 0
+	c.rto *= 2
+	if c.rto > e.cfg.MaxRTO {
+		c.rto = e.cfg.MaxRTO
+	}
+	c.retransmit()
+	e.env.ArmTimer(c, TimerRexmit, c.rto)
+}
+
+// onPersist sends a zero-window probe while the peer advertises zero.
+func (e *Engine) onPersist(c *Conn) {
+	if c.snd.wnd > 0 {
+		c.trySend()
+		return
+	}
+	inFlight := c.snd.nxt - c.snd.una
+	if uint32(len(c.snd.buf)) <= inFlight {
+		return // nothing unsent to probe with
+	}
+	e.stats.PersistProbes++
+	// Probe with one byte beyond the window (classic BSD behaviour). The
+	// receiver will drop the byte but ACK, and the retransmission timer
+	// recovers the byte once the window reopens.
+	c.emitData(c.snd.nxt, 1, false)
+	c.snd.nxt++
+	e.env.ArmTimer(c, TimerRexmit, c.rto)
+	e.env.ArmTimer(c, TimerPersist, e.cfg.PersistInterval)
+}

@@ -1,0 +1,868 @@
+package tcpeng
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neat/internal/proto"
+	"neat/internal/sim"
+)
+
+func defCfg() Config { return DefaultConfig() }
+
+func TestHandshake(t *testing.T) {
+	h := newHarness(1)
+	h.build(defCfg(), defCfg())
+	if _, err := h.b.engine.Listen(proto.Addr{}, 80, 16); err != nil {
+		t.Fatal(err)
+	}
+	cli, srv := h.connectPair(80)
+	if srv == nil {
+		t.Fatal("handshake did not complete")
+	}
+	if cli.State() != StateEstablished || srv.State() != StateEstablished {
+		t.Fatalf("states: cli=%v srv=%v", cli.State(), srv.State())
+	}
+	if cli.MSS() != 1460 || srv.MSS() != 1460 {
+		t.Fatalf("MSS negotiation: %d/%d", cli.MSS(), srv.MSS())
+	}
+	_, lp := cli.LocalAddr()
+	if lp < 32768 {
+		t.Fatalf("ephemeral port %d", lp)
+	}
+	if h.b.engine.NumEstablished() != 1 {
+		t.Fatalf("established=%d", h.b.engine.NumEstablished())
+	}
+}
+
+func TestConnectToClosedPortResets(t *testing.T) {
+	h := newHarness(1)
+	h.build(defCfg(), defCfg())
+	cli, err := h.a.engine.Connect(h.b.addr, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runUntil(func() bool { return cli.State() == StateClosed }, sim.Second)
+	if cli.State() != StateClosed || cli.Err != ErrReset {
+		t.Fatalf("state=%v err=%v", cli.State(), cli.Err)
+	}
+	if h.a.engine.Stats().ResetsIn == 0 {
+		t.Fatal("no RST counted")
+	}
+	if h.a.engine.NumConns() != 0 {
+		t.Fatal("PCB leaked after reset")
+	}
+}
+
+func TestSmallDataBothDirections(t *testing.T) {
+	h := newHarness(2)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	if srv == nil {
+		t.Fatal("no connection")
+	}
+	if n := cli.Send([]byte("hello server")); n != 12 {
+		t.Fatalf("Send took %d", n)
+	}
+	h.runUntil(func() bool { return len(h.b.recvData[srv]) == 12 }, sim.Second)
+	if string(h.b.recvData[srv]) != "hello server" {
+		t.Fatalf("server got %q", h.b.recvData[srv])
+	}
+	srv.Send([]byte("hello client"))
+	h.runUntil(func() bool { return len(h.a.recvData[cli]) == 12 }, sim.Second)
+	if string(h.a.recvData[cli]) != "hello client" {
+		t.Fatalf("client got %q", h.a.recvData[cli])
+	}
+}
+
+func TestLargeTransferSegmentsAndReassembles(t *testing.T) {
+	h := newHarness(3)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	if srv == nil {
+		t.Fatal("no connection")
+	}
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	// Feed through the bounded send buffer as space frees.
+	sent := 0
+	feed := func() {
+		for sent < len(payload) {
+			n := cli.Send(payload[sent:])
+			if n == 0 {
+				break
+			}
+			sent += n
+		}
+	}
+	feed()
+	for !h.runUntil(func() bool { return len(h.b.recvData[srv]) == len(payload) }, 30*sim.Second) {
+		if sent == len(payload) {
+			break
+		}
+		feed()
+	}
+	// Keep feeding on send-space events.
+	for i := 0; i < 10000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		feed()
+		if !h.step() {
+			break
+		}
+	}
+	got := h.b.recvData[srv]
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+	st := h.a.engine.Stats()
+	if st.SegsOut < 700 {
+		t.Fatalf("expected ~719 data segments, sent %d", st.SegsOut)
+	}
+	if st.Retransmits != 0 {
+		t.Fatalf("lossless link retransmitted %d", st.Retransmits)
+	}
+}
+
+func TestTSOSendsSuperSegments(t *testing.T) {
+	cfg := defCfg()
+	cfg.TSO = true
+	h := newHarness(4)
+	h.build(cfg, defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sent := 0
+	for i := 0; i < 50000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && sent == len(payload) {
+			break
+		}
+	}
+	if !bytes.Equal(h.b.recvData[srv], payload) {
+		t.Fatalf("TSO transfer corrupted: %d bytes", len(h.b.recvData[srv]))
+	}
+	// With TSO the engine emits far fewer (super)segments than payload/MSS.
+	if st := h.a.engine.Stats(); st.SegsOut > 40 {
+		t.Fatalf("TSO did not coalesce: %d segments out", st.SegsOut)
+	}
+}
+
+func TestLostDataSegmentRecovered(t *testing.T) {
+	h := newHarness(5)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	dropped := false
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		// Drop the first data segment from A once.
+		if from == h.a && len(f.Payload) > 0 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	payload := make([]byte, 20*1460) // enough following segments for dup-ACKs
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	sent := 0
+	for i := 0; i < 50000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && sent == len(payload) {
+			break
+		}
+	}
+	if !bytes.Equal(h.b.recvData[srv], payload) {
+		t.Fatalf("recovery failed: got %d of %d", len(h.b.recvData[srv]), len(payload))
+	}
+	if !dropped {
+		t.Fatal("drop hook never fired")
+	}
+	st := h.a.engine.Stats()
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmission counted")
+	}
+	if h.b.engine.Stats().OutOfOrderIn == 0 {
+		t.Fatal("receiver saw no out-of-order segments")
+	}
+}
+
+func TestFastRetransmitPreferredOverRTO(t *testing.T) {
+	h := newHarness(6)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	var seenData int
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		if from == h.a && len(f.Payload) > 0 {
+			seenData++
+			return seenData == 3 // drop the 3rd data segment
+		}
+		return false
+	}
+	payload := make([]byte, 30*1460)
+	sent := 0
+	start := h.now
+	for i := 0; i < 50000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && sent == len(payload) {
+			break
+		}
+	}
+	if len(h.b.recvData[srv]) != len(payload) {
+		t.Fatalf("incomplete: %d", len(h.b.recvData[srv]))
+	}
+	st := h.a.engine.Stats()
+	if st.FastRetransmits == 0 {
+		t.Fatal("expected a fast retransmit")
+	}
+	// Fast retransmit should finish well before the 50ms initial RTO.
+	if h.now-start > 40*sim.Millisecond {
+		t.Fatalf("recovery took %v — looks like an RTO, not fast retransmit", h.now-start)
+	}
+}
+
+func TestSynLossRecoveredByRTO(t *testing.T) {
+	h := newHarness(7)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	first := true
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		if f.TCP.Flags&proto.TCPSyn != 0 && f.TCP.Flags&proto.TCPAck == 0 && first {
+			first = false
+			return true
+		}
+		return false
+	}
+	cli, srv := h.connectPair(80)
+	if srv == nil || cli.State() != StateEstablished {
+		t.Fatal("connect did not survive SYN loss")
+	}
+	if h.a.engine.Stats().Retransmits == 0 {
+		t.Fatal("SYN retransmit not counted")
+	}
+}
+
+func TestBacklogLimitsEmbryonic(t *testing.T) {
+	h := newHarness(8)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 2)
+	// Block SYN-ACKs so connections stay embryonic.
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		return from == h.b && f.TCP.Flags&proto.TCPSyn != 0
+	}
+	for i := 0; i < 5; i++ {
+		h.a.engine.Connect(h.b.addr, 80)
+	}
+	h.run(h.now + 20*sim.Millisecond)
+	if got := h.b.engine.Stats().DroppedSynBacklog; got < 3 {
+		t.Fatalf("backlog drops = %d, want >= 3", got)
+	}
+}
+
+func TestOrderlyCloseBothSides(t *testing.T) {
+	h := newHarness(9)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	cli.Send([]byte("bye"))
+	h.runUntil(func() bool { return len(h.b.recvData[srv]) == 3 }, sim.Second)
+
+	cli.Close()
+	h.runUntil(func() bool { return srv.State() == StateCloseWait }, sim.Second)
+	if cli.State() != StateFinWait2 && cli.State() != StateFinWait1 {
+		t.Fatalf("client state %v", cli.State())
+	}
+	srv.Close()
+	h.runUntil(func() bool { return cli.State() == StateTimeWait }, sim.Second)
+	if srv.State() != StateLastAck && srv.State() != StateClosed {
+		t.Fatalf("server state %v", srv.State())
+	}
+	// TIME_WAIT reaps; both engines end with zero PCBs.
+	h.run(h.now + 2*defCfg().TimeWait)
+	if h.a.engine.NumConns() != 0 || h.b.engine.NumConns() != 0 {
+		t.Fatalf("PCBs leaked: a=%d b=%d", h.a.engine.NumConns(), h.b.engine.NumConns())
+	}
+	if h.a.engine.Stats().TimeWaitReaped != 1 {
+		t.Fatalf("TIME_WAIT reap count: %+v", h.a.engine.Stats())
+	}
+}
+
+func TestHalfCloseDeliversDataAfterFin(t *testing.T) {
+	h := newHarness(10)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	cli.Close() // client half-closes immediately
+	h.runUntil(func() bool { return srv.State() == StateCloseWait }, sim.Second)
+	// Server can still send.
+	srv.Send([]byte("late data"))
+	h.runUntil(func() bool { return len(h.a.recvData[cli]) == 9 }, sim.Second)
+	if string(h.a.recvData[cli]) != "late data" {
+		t.Fatalf("half-close data: %q", h.a.recvData[cli])
+	}
+	srv.Close()
+	h.run(h.now + sim.Second)
+	if h.b.engine.NumConns() != 0 {
+		t.Fatal("server PCB leaked")
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	h := newHarness(11)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	cli.Abort()
+	h.runUntil(func() bool { return srv.State() == StateClosed }, sim.Second)
+	if !h.b.resets[srv] {
+		t.Fatal("server not notified of reset")
+	}
+	if h.a.engine.NumConns() != 0 || h.b.engine.NumConns() != 0 {
+		t.Fatal("PCBs leaked after abort")
+	}
+}
+
+func TestFlowControlZeroWindowAndResume(t *testing.T) {
+	cfgB := defCfg()
+	cfgB.RecvBuf = 4096 // tiny receive buffer
+	h := newHarness(12)
+	h.build(defCfg(), cfgB)
+	h.b.autoRecv = false // pull mode: data accumulates
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	sent := 0
+	pump := func(n int) {
+		for i := 0; i < n; i++ {
+			if sent < len(payload) {
+				sent += cli.Send(payload[sent:])
+			}
+			if !h.step() {
+				break
+			}
+		}
+	}
+	pump(2000)
+	if srv.RecvAvailable() != 4096 {
+		t.Fatalf("receiver buffered %d, want full 4096", srv.RecvAvailable())
+	}
+	if h.b.engine.Stats().ZeroWindowAdvertised == 0 {
+		t.Fatal("zero window never advertised")
+	}
+	// Drain and let the transfer finish.
+	var got []byte
+	for i := 0; i < 200000 && len(got) < len(payload); i++ {
+		got = append(got, srv.Recv(0)...)
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && len(got) == len(payload) {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("flow-controlled transfer corrupted: %d of %d", len(got), len(payload))
+	}
+}
+
+func TestPersistProbeSurvivesLostWindowUpdate(t *testing.T) {
+	cfgB := defCfg()
+	cfgB.RecvBuf = 2048
+	h := newHarness(13)
+	h.build(defCfg(), cfgB)
+	h.b.autoRecv = false
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+
+	payload := make([]byte, 8192)
+	sent := 0
+	for i := 0; i < 5000; i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() {
+			break
+		}
+	}
+	// Receiver full; drop the next window-update ACK so the sender must
+	// discover the open window via persist probing.
+	dropNextAck := true
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		if from == h.b && dropNextAck && len(f.Payload) == 0 {
+			dropNextAck = false
+			return true
+		}
+		return false
+	}
+	srv.Recv(0) // open the window (update gets dropped)
+	var got int
+	for i := 0; i < 200000; i++ {
+		got += len(srv.Recv(0))
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if len(h.queue) == 0 {
+			break
+		}
+		h.step()
+		if sent == len(payload) && got >= len(payload)-2048 && srv.RecvAvailable() == 0 && cli.SendSpaceFree() == cfgB.SendBuf {
+			break
+		}
+	}
+	if h.a.engine.Stats().PersistProbes == 0 && h.a.engine.Stats().Retransmits == 0 {
+		t.Fatal("sender never probed/retried after lost window update")
+	}
+}
+
+func TestReorderingToleratedByOutOfOrderQueue(t *testing.T) {
+	h := newHarness(14)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	h.ExtraDelay = func(from *fakeEnv, f *proto.Frame) sim.Time {
+		if from == h.a && len(f.Payload) > 0 && h.rng.Intn(4) == 0 {
+			return 120 * sim.Microsecond // push past later segments
+		}
+		return 0
+	}
+	payload := make([]byte, 50*1460)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	sent := 0
+	for i := 0; i < 100000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && sent == len(payload) {
+			break
+		}
+	}
+	if !bytes.Equal(h.b.recvData[srv], payload) {
+		t.Fatalf("reordered transfer corrupted (%d bytes)", len(h.b.recvData[srv]))
+	}
+	if h.b.engine.Stats().OutOfOrderIn == 0 {
+		t.Fatal("no reordering actually happened")
+	}
+}
+
+func TestLossyLinkPropertyTransferIntact(t *testing.T) {
+	// Property-style: across several seeds, a 5%-lossy link still delivers
+	// the exact byte stream.
+	for seed := int64(20); seed < 26; seed++ {
+		h := newHarness(seed)
+		h.build(defCfg(), defCfg())
+		h.b.engine.Listen(proto.Addr{}, 80, 16)
+		cli, srv := h.connectPair(80)
+		if srv == nil {
+			t.Fatalf("seed %d: no connection", seed)
+		}
+		h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+			return h.rng.Float64() < 0.05
+		}
+		payload := make([]byte, 64*1024)
+		for i := range payload {
+			payload[i] = byte(int(seed) + i*3)
+		}
+		sent := 0
+		for i := 0; i < 400000 && len(h.b.recvData[srv]) < len(payload); i++ {
+			if sent < len(payload) {
+				sent += cli.Send(payload[sent:])
+			}
+			if !h.step() && sent == len(payload) {
+				break
+			}
+		}
+		if !bytes.Equal(h.b.recvData[srv], payload) {
+			t.Fatalf("seed %d: lossy transfer corrupted: %d of %d bytes",
+				seed, len(h.b.recvData[srv]), len(payload))
+		}
+	}
+}
+
+func TestListenerCloseStopsAccepting(t *testing.T) {
+	h := newHarness(15)
+	h.build(defCfg(), defCfg())
+	l, _ := h.b.engine.Listen(proto.Addr{}, 80, 16)
+	l.Close()
+	cli, _ := h.a.engine.Connect(h.b.addr, 80)
+	h.runUntil(func() bool { return cli.State() == StateClosed }, sim.Second)
+	if cli.Err != ErrReset {
+		t.Fatalf("connect to closed listener: err=%v", cli.Err)
+	}
+}
+
+func TestDuplicateListenRejected(t *testing.T) {
+	h := newHarness(16)
+	h.build(defCfg(), defCfg())
+	if _, err := h.b.engine.Listen(proto.Addr{}, 80, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.b.engine.Listen(proto.Addr{}, 80, 16); err != ErrPortInUse {
+		t.Fatalf("want ErrPortInUse, got %v", err)
+	}
+}
+
+func TestEphemeralPortsUnique(t *testing.T) {
+	h := newHarness(17)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 1024)
+	seen := map[uint16]bool{}
+	for i := 0; i < 200; i++ {
+		c, err := h.a.engine.Connect(h.b.addr, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p := c.LocalAddr()
+		if seen[p] {
+			t.Fatalf("ephemeral port %d reused while live", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDelayedAckFiresOnTimer(t *testing.T) {
+	h := newHarness(18)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	_ = srv
+	cli.Send([]byte("x")) // single small segment: receiver delays the ACK
+	h.run(h.now + 20*sim.Millisecond)
+	if h.b.engine.Stats().DelayedAcksSent == 0 {
+		t.Fatal("delayed ACK never fired")
+	}
+	if cli.SendSpaceFree() != defCfg().SendBuf {
+		t.Fatal("segment never acked")
+	}
+}
+
+func TestShutdownAbortsEverything(t *testing.T) {
+	h := newHarness(19)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 64)
+	for i := 0; i < 5; i++ {
+		h.connectPair(80)
+	}
+	if h.b.engine.NumConns() != 5 {
+		t.Fatalf("conns=%d", h.b.engine.NumConns())
+	}
+	h.b.engine.Shutdown()
+	if h.b.engine.NumConns() != 0 {
+		t.Fatalf("Shutdown left %d conns", h.b.engine.NumConns())
+	}
+	h.run(h.now + sim.Second)
+	// All clients saw resets.
+	for c, rst := range h.a.resets {
+		if !rst {
+			t.Fatalf("client %v closed without reset", c)
+		}
+	}
+}
+
+func TestCrashWithoutShutdownLeavesPeerRetrying(t *testing.T) {
+	// This is the paper's replica-crash model: state vanishes with no RST.
+	h := newHarness(21)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	_ = srv
+	// "Crash": drop the server engine silently by blackholing its input.
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool { return from == h.a || from == h.b }
+	cli.Send([]byte("doomed"))
+	h.run(h.now + 300*sim.Millisecond)
+	if h.a.engine.Stats().Retransmits == 0 {
+		t.Fatal("client did not retransmit into the void")
+	}
+	if cli.State() != StateEstablished {
+		t.Fatalf("client prematurely dropped: %v", cli.State())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateEstablished.String() != "Established" || StateTimeWait.String() != "TimeWait" {
+		t.Fatal("state names broken")
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state unnamed")
+	}
+}
+
+func TestWindowShift(t *testing.T) {
+	if windowShift(65535) != 0 {
+		t.Fatalf("shift(65535)=%d", windowShift(65535))
+	}
+	if windowShift(256<<10) == 0 {
+		t.Fatal("large buffer needs scaling")
+	}
+	if s := windowShift(1 << 30); s > 14 {
+		t.Fatalf("shift capped at 14, got %d", s)
+	}
+}
+
+func TestRSTInSynRcvdFreesEmbryonic(t *testing.T) {
+	h := newHarness(30)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 4)
+	// Hold the handshake: drop the client's final ACK so the server conn
+	// stays in SYN_RCVD, then let the client abort with RST.
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		return from == h.a && f.TCP.Flags == proto.TCPAck && len(f.Payload) == 0
+	}
+	cli, _ := h.a.engine.Connect(h.b.addr, 80)
+	h.run(h.now + 5*sim.Millisecond)
+	if h.b.engine.NumConns() != 1 {
+		t.Fatalf("server conns=%d", h.b.engine.NumConns())
+	}
+	h.Drop = nil
+	cli.Abort()
+	h.run(h.now + 20*sim.Millisecond)
+	if h.b.engine.NumConns() != 0 {
+		t.Fatalf("RST did not clear SYN_RCVD conn: %d", h.b.engine.NumConns())
+	}
+}
+
+func TestPeerWithoutWindowScale(t *testing.T) {
+	// A SYN without the WScale option must disable scaling both ways.
+	h := newHarness(31)
+	h.build(defCfg(), defCfg())
+	l, _ := h.b.engine.Listen(proto.Addr{}, 80, 4)
+	_ = l
+	// Black-hole B's replies: A's engine has no PCB for this crafted flow
+	// and would RST the embryonic connection away.
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool { return true }
+	syn := proto.TCPHeader{SrcPort: 5000, DstPort: 80, Seq: 100,
+		Flags: proto.TCPSyn, Window: 4096, Opts: proto.TCPOptions{MSS: 1000}}
+	raw := proto.BuildTCP(proto.EthernetHeader{Type: proto.EtherTypeIPv4},
+		proto.IPv4Header{TTL: 64, Src: h.a.addr, Dst: h.b.addr}, syn, nil)
+	f, err := proto.DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.b.engine.Input(f)
+	h.run(h.now + sim.Millisecond)
+	// The SYN-ACK the server sent must still carry MSS but effectively a
+	// conn whose peer window is unscaled.
+	conns := h.b.engine.NumConns()
+	if conns != 1 {
+		t.Fatalf("conns=%d", conns)
+	}
+	// Grab the server conn and check negotiated values.
+	for _, c := range snapshot(h.b.engine.conns) {
+		if c.MSS() != 1000 {
+			t.Fatalf("mss=%d, want 1000", c.MSS())
+		}
+		if c.snd.wndShift != 0 || c.rcv.wndShift != 0 {
+			t.Fatalf("window scaling not disabled: snd=%d rcv=%d", c.snd.wndShift, c.rcv.wndShift)
+		}
+		if c.snd.wnd != 4096 {
+			t.Fatalf("peer window=%d", c.snd.wnd)
+		}
+	}
+}
+
+func TestNagleCoalescesSmallWrites(t *testing.T) {
+	cfg := defCfg()
+	cfg.NoDelay = false // Nagle on
+	h := newHarness(32)
+	h.build(cfg, defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	segsBefore := h.a.engine.Stats().SegsOut
+	// Ten 10-byte writes back to back: Nagle must coalesce the trailing
+	// nine while the first is in flight.
+	for i := 0; i < 10; i++ {
+		cli.Send([]byte("0123456789"))
+	}
+	h.runUntil(func() bool { return len(h.b.recvData[srv]) == 100 }, sim.Second)
+	dataSegs := h.a.engine.Stats().SegsOut - segsBefore
+	if dataSegs > 4 {
+		t.Fatalf("Nagle off? %d segments for 10 small writes", dataSegs)
+	}
+	if string(h.b.recvData[srv]) != strings.Repeat("0123456789", 10) {
+		t.Fatal("coalesced stream corrupted")
+	}
+}
+
+func TestTimeWaitReAcksRetransmittedFin(t *testing.T) {
+	h := newHarness(33)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	// Client closes; drop the client's final ACK of the server FIN once so
+	// the server retransmits its FIN into the client's TIME_WAIT.
+	dropped := false
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool {
+		if from == h.a && f.TCP.Flags == proto.TCPAck && cli.State() == StateTimeWait && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	cli.Close()
+	h.runUntil(func() bool { return srv.State() == StateCloseWait }, sim.Second)
+	srv.Close()
+	h.run(h.now + sim.Second)
+	if !dropped {
+		t.Skip("final ACK was never the dropped one on this seed")
+	}
+	// Both sides still converge to fully closed.
+	if h.a.engine.NumConns() != 0 || h.b.engine.NumConns() != 0 {
+		t.Fatalf("PCBs leaked after FIN retransmit: a=%d b=%d",
+			h.a.engine.NumConns(), h.b.engine.NumConns())
+	}
+}
+
+func TestRetransmitTrimStats(t *testing.T) {
+	h := newHarness(34)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+	// Duplicate every data segment: the receiver must trim overlaps.
+	h.ExtraDelay = nil
+	dup := true
+	h.Drop = nil
+	h.DupAll = dup
+	payload := make([]byte, 10*1460)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sent := 0
+	for i := 0; i < 100000 && len(h.b.recvData[srv]) < len(payload); i++ {
+		if sent < len(payload) {
+			sent += cli.Send(payload[sent:])
+		}
+		if !h.step() && sent == len(payload) {
+			break
+		}
+	}
+	if !bytes.Equal(h.b.recvData[srv], payload) {
+		t.Fatalf("duplicated stream corrupted: %d bytes", len(h.b.recvData[srv]))
+	}
+	h.run(h.now + sim.Second) // drain the queued duplicate deliveries
+	// Every segment arrived twice; the receiver saw ~2x the sender's
+	// output and swallowed the duplicates without corrupting the stream.
+	in, out := h.b.engine.Stats().SegsIn, h.a.engine.Stats().SegsOut
+	if in < out*3/2 {
+		t.Fatalf("duplication not observed: in=%d out=%d", in, out)
+	}
+	if uint64(len(h.b.recvData[srv])) != h.b.engine.Stats().DataBytesIn {
+		t.Fatalf("duplicate bytes leaked into the stream: %d vs %d",
+			len(h.b.recvData[srv]), h.b.engine.Stats().DataBytesIn)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		h := newHarness(77)
+		h.build(defCfg(), defCfg())
+		h.b.engine.Listen(proto.Addr{}, 80, 64)
+		for i := 0; i < 10; i++ {
+			cli, _ := h.connectPair(80)
+			cli.Send(bytes.Repeat([]byte{byte(i)}, 5000))
+		}
+		h.run(h.now + sim.Second)
+		sa, sb := h.a.engine.Stats(), h.b.engine.Stats()
+		return sa.SegsOut + sb.SegsOut, sb.DataBytesIn
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("nondeterministic engine: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
+	}
+}
+
+func TestWindowShiftProperty(t *testing.T) {
+	f := func(buf uint32) bool {
+		b := int(buf % (1 << 26))
+		s := windowShift(b)
+		// The shifted window must fit the 16-bit field, with the minimum
+		// shift that achieves it (unless capped at 14).
+		if b>>s > 0xffff {
+			return s == 14
+		}
+		return s == 0 || (b>>(s-1)) > 0xffff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqArithmeticProperties(t *testing.T) {
+	trichotomy := func(a, b uint32) bool {
+		lt, gt := proto.SeqLT(a, b), proto.SeqGT(a, b)
+		if a == b {
+			return !lt && !gt && proto.SeqLEQ(a, b) && proto.SeqGEQ(a, b)
+		}
+		return lt != gt // exactly one holds for distinct points
+	}
+	if err := quick.Check(trichotomy, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	shiftInvariance := func(a, b, d uint32) bool {
+		// Ordering is invariant under adding the same offset (mod 2^32) as
+		// long as the distance stays within half the space.
+		if a-b == 1<<31 || b-a == 1<<31 {
+			return true // boundary: ordering ambiguous by definition
+		}
+		return proto.SeqLT(a, b) == proto.SeqLT(a+d, b+d)
+	}
+	if err := quick.Check(shiftInvariance, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomChunkedTransferProperty(t *testing.T) {
+	// Property: any random write segmentation over a lossy link delivers
+	// the identical byte stream.
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 40 {
+			return true
+		}
+		h := newHarness(seed)
+		h.build(defCfg(), defCfg())
+		h.b.engine.Listen(proto.Addr{}, 80, 16)
+		cli, srv := h.connectPair(80)
+		if srv == nil {
+			return false
+		}
+		h.Drop = func(from *fakeEnv, f *proto.Frame) bool { return h.rng.Float64() < 0.02 }
+		var want []byte
+		for _, sz := range sizes {
+			chunk := bytes.Repeat([]byte{byte(sz)}, int(sz%3000)+1)
+			want = append(want, chunk...)
+		}
+		sent := 0
+		for i := 0; i < 500000 && len(h.b.recvData[srv]) < len(want); i++ {
+			if sent < len(want) {
+				sent += cli.Send(want[sent:])
+			}
+			if !h.step() && sent == len(want) {
+				break
+			}
+		}
+		return bytes.Equal(h.b.recvData[srv], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

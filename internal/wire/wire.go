@@ -1,0 +1,131 @@
+// Package wire models the physical link of the paper's testbed: a 10GbE
+// Direct Attach Copper cable between the system under test and the load
+// generator. The link is full duplex with explicit serialization time
+// (frame bits at line rate) and propagation delay, which is what makes the
+// bandwidth saturation behaviour of the paper's Figures 4 and 5 emerge.
+//
+// The link also exposes fault hooks (loss, duplication, programmable drop
+// filters) used by the TCP retransmission tests and the reliability
+// experiments.
+package wire
+
+import (
+	"neat/internal/sim"
+)
+
+// Port receives frames from a link endpoint. NICs implement Port.
+type Port interface {
+	// Receive is called when a frame fully arrives at this endpoint.
+	Receive(frame []byte)
+}
+
+// DefaultOverheadBytes is the per-frame overhead on the physical medium:
+// preamble (8) + FCS (4) + inter-frame gap (12).
+const DefaultOverheadBytes = 24
+
+// MinFrameBytes is the minimum Ethernet frame size on the wire.
+const MinFrameBytes = 64
+
+// Link is a full-duplex point-to-point link. Endpoint 0 and endpoint 1 are
+// attached with Attach; each direction has independent serialization state.
+type Link struct {
+	sim *sim.Simulator
+
+	// BitsPerSec is the line rate of each direction (default 10 Gb/s).
+	BitsPerSec int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay sim.Time
+
+	ports [2]Port
+	// lineFree is the earliest time each direction's transmitter is free.
+	lineFree [2]sim.Time
+
+	// LossProb drops each frame independently with this probability.
+	LossProb float64
+	// DupProb duplicates each delivered frame with this probability.
+	DupProb float64
+	// DropFilter, if set, is consulted per frame; returning true drops it.
+	// Used by tests to lose specific segments deterministically.
+	DropFilter func(dir int, frame []byte) bool
+
+	stats LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Frames    [2]uint64 // frames accepted for transmission per direction
+	Bytes     [2]uint64 // payload bytes per direction
+	Dropped   [2]uint64
+	Delivered [2]uint64
+}
+
+// NewLink creates a 10 Gb/s link with a 1 µs propagation delay.
+func NewLink(s *sim.Simulator) *Link {
+	return &Link{sim: s, BitsPerSec: 10_000_000_000, PropDelay: sim.Microsecond}
+}
+
+// Attach connects p as endpoint side (0 or 1).
+func (l *Link) Attach(side int, p Port) { l.ports[side] = p }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Transmit sends a frame from endpoint side to the opposite endpoint.
+// The frame occupies the transmitter for its serialization time; delivery
+// happens after serialization plus propagation. Frames are delivered in
+// FIFO order per direction.
+func (l *Link) Transmit(side int, frame []byte) {
+	dst := l.ports[1-side]
+	if dst == nil {
+		return
+	}
+	l.stats.Frames[side]++
+	l.stats.Bytes[side] += uint64(len(frame))
+
+	onWire := len(frame)
+	if onWire < MinFrameBytes {
+		onWire = MinFrameBytes
+	}
+	onWire += DefaultOverheadBytes
+
+	start := l.sim.Now()
+	if l.lineFree[side] > start {
+		start = l.lineFree[side]
+	}
+	serial := sim.Time(int64(onWire) * 8 * int64(sim.Second) / l.BitsPerSec)
+	l.lineFree[side] = start + serial
+
+	if l.DropFilter != nil && l.DropFilter(side, frame) {
+		l.stats.Dropped[side]++
+		return // still consumed line time (collision-free model keeps it simple: drop after serialization accounting)
+	}
+	if l.LossProb > 0 && l.sim.Rand().Float64() < l.LossProb {
+		l.stats.Dropped[side]++
+		return
+	}
+
+	arrive := l.lineFree[side] + l.PropDelay
+	deliver := func() {
+		l.stats.Delivered[side]++
+		dst.Receive(frame)
+	}
+	l.sim.At(arrive, deliver)
+	if l.DupProb > 0 && l.sim.Rand().Float64() < l.DupProb {
+		l.sim.At(arrive+serial, func() {
+			l.stats.Delivered[side]++
+			dst.Receive(append([]byte(nil), frame...))
+		})
+	}
+}
+
+// Utilization returns the fraction of capacity used by direction side over
+// the window ending now, given a byte count captured at window start.
+func (l *Link) Utilization(side int, bytesAtStart uint64, since sim.Time) float64 {
+	now := l.sim.Now()
+	if now <= since {
+		return 0
+	}
+	bits := float64(l.stats.Bytes[side]-bytesAtStart) * 8
+	cap := float64(l.BitsPerSec) * (now - since).Seconds()
+	return bits / cap
+}

@@ -1,0 +1,156 @@
+// Package neat is the public facade of this repository: a faithful,
+// simulation-backed reproduction of "A NEaT Design for Reliable and
+// Scalable Network Stacks" (Hruby et al., CoNEXT 2016).
+//
+// NEaT partitions a BSD-socket network stack across N fully isolated
+// replicas — single-threaded, event-driven processes that never share
+// state and never talk to each other — and steers each TCP connection to
+// exactly one replica using the NIC's flow-director filters and RSS
+// hashing. The payoff is reliability (a crashing replica loses only its
+// own connections and is respawned statelessly), scalability (no locks,
+// no shared cache lines) and, as a by-product, address-space
+// re-randomization across connections.
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// paper's testbed (machines, cores, hyperthreads, a multi-queue 10G NIC,
+// a 10GbE link), with a real TCP/IP protocol suite doing real byte-level
+// work. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured results.
+//
+// Quick start (see examples/quickstart for the full program):
+//
+//	net := neat.NewNetwork(42)
+//	server := neat.NewServerMachine(net, neat.AMD12)
+//	client := neat.NewClientMachine(net, 2)
+//	sys, _ := server.StartNEaT(client, neat.SystemConfig{Replicas: 3})
+//	...
+package neat
+
+import (
+	"neat/internal/core"
+	"neat/internal/experiments"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/stack"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// Re-exported building blocks. The internal packages carry the full API;
+// the facade covers the workflows the examples and tools need.
+
+// Network is a two-machine simulated network (one 10GbE link).
+type Network = testbed.Net
+
+// Machine is a host with its NIC and driver.
+type Machine = testbed.Host
+
+// System is a running NEaT network stack.
+type System = core.System
+
+// ReplicaKind selects single- or multi-component replicas.
+type ReplicaKind = stack.Kind
+
+// Replica kinds.
+const (
+	SingleComponent = stack.Single
+	MultiComponent  = stack.Multi
+)
+
+// MachineModel selects one of the paper's testbed machines.
+type MachineModel int
+
+// Supported machine models.
+const (
+	// AMD12 is the 12-core 1.9 GHz AMD Opteron 6168.
+	AMD12 MachineModel = iota
+	// Xeon8x2 is the 8-core 2.26 GHz Xeon E5520 with 2-way SMT.
+	Xeon8x2
+)
+
+// Addr is an IPv4 address.
+type Addr = proto.Addr
+
+// IPv4 builds an address from octets.
+func IPv4(a, b, c, d byte) Addr { return proto.IPv4(a, b, c, d) }
+
+// Time is simulated time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewNetwork creates a deterministic simulated network seeded with seed.
+func NewNetwork(seed int64) *Network { return testbed.New(seed) }
+
+// NewServerMachine attaches a system-under-test machine to the network.
+func NewServerMachine(n *Network, model MachineModel) *Machine {
+	switch model {
+	case Xeon8x2:
+		return testbed.DefaultXeonHost(n, 0, 8, testbed.ThreadLoc{Core: 0})
+	default:
+		return testbed.DefaultAMDHost(n, 0, 8)
+	}
+}
+
+// NewClientMachine attaches an oversized load-generator machine with the
+// given number of client stack replicas.
+func NewClientMachine(n *Network, stacks int) *Machine {
+	return testbed.DefaultClientHost(n, 1, stacks)
+}
+
+// SystemConfig configures StartNEaT.
+type SystemConfig struct {
+	// Replicas is the partition count (default 2).
+	Replicas int
+	// Kind selects single- (default) or multi-component replicas.
+	Kind ReplicaKind
+	// FirstCore is the first core used for replicas (default 2: core 0
+	// hosts the NIC driver and core 1 the SYSCALL server).
+	FirstCore int
+	// TSO enables TCP segmentation offload.
+	TSO bool
+}
+
+// StartNEaT boots a NEaT system on machine m serving traffic from peer.
+func StartNEaT(m, peer *Machine, cfg SystemConfig) (*System, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.FirstCore == 0 {
+		cfg.FirstCore = 2
+	}
+	tcp := tcpeng.DefaultConfig()
+	tcp.TSO = cfg.TSO
+	slots := testbed.SingleSlots(cfg.FirstCore, cfg.Replicas)
+	if cfg.Kind == stack.Multi {
+		slots = testbed.MultiSlots(cfg.FirstCore, cfg.Replicas)
+	}
+	return m.BuildNEaT(peer, testbed.NEaTConfig{
+		Kind: cfg.Kind, TCP: tcp,
+		Slots:   slots,
+		Syscall: testbed.ThreadLoc{Core: 1},
+	})
+}
+
+// StartClientSystem boots the load-generator-side stack on machine m.
+func StartClientSystem(m, peer *Machine, stacks int) (*System, error) {
+	return m.BuildClientSystem(peer, stacks, tcpeng.DefaultConfig())
+}
+
+// Experiments re-exports the paper's evaluation harness.
+
+// ExperimentOptions tunes experiment runs.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one reproduced table or figure.
+type ExperimentResult = experiments.Result
+
+// RunAllExperiments regenerates every table and figure of §6.
+func RunAllExperiments(o ExperimentOptions) []*ExperimentResult {
+	return experiments.All(o)
+}

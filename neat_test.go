@@ -1,0 +1,96 @@
+package neat_test
+
+import (
+	"testing"
+
+	"neat"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/socketlib"
+)
+
+// TestPublicAPIRoundTrip exercises the facade the way the quickstart
+// example does: boot both machines, run an echo exchange, verify the
+// deterministic outcome.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	net := neat.NewNetwork(123)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, 1)
+
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := neat.StartClientSystem(client, server, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var echoed string
+	srv := apiApp(server.AppThread(5), sys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+		ln := lib.Listen(ctx, 4000, 8)
+		ln.OnAccept = func(ctx *sim.Context, s *socketlib.Socket) {
+			s.OnData = func(ctx *sim.Context, data []byte, eof bool) {
+				if len(data) > 0 {
+					s.Send(ctx, data)
+				}
+			}
+		}
+	})
+	srv.Deliver("go")
+	net.Sim.RunFor(neat.Millisecond)
+
+	cli := apiApp(client.AppThread(4), clisys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+		s := lib.Connect(ctx, neat.IPv4(10, 0, 0, 1), 4000)
+		s.OnConnect = func(ctx *sim.Context, err error) {
+			if err == nil {
+				s.Send(ctx, []byte("roundtrip"))
+			}
+		}
+		s.OnData = func(ctx *sim.Context, data []byte, eof bool) { echoed += string(data) }
+	})
+	cli.Deliver("go")
+	net.Sim.RunFor(50 * neat.Millisecond)
+
+	if echoed != "roundtrip" {
+		t.Fatalf("echoed %q", echoed)
+	}
+	if sys.TotalConns() == 0 {
+		t.Fatal("no connection established on the NEaT side")
+	}
+}
+
+// TestXeonModelAvailable covers the second machine model.
+func TestXeonModelAvailable(t *testing.T) {
+	net := neat.NewNetwork(5)
+	server := neat.NewServerMachine(net, neat.Xeon8x2)
+	client := neat.NewClientMachine(net, 1)
+	if server.Machine.Core(0).NumThreads() != 2 {
+		t.Fatal("Xeon should have 2 hardware threads per core")
+	}
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{
+		Replicas: 2, Kind: neat.MultiComponent, TSO: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Replicas()); got != 2 {
+		t.Fatalf("replicas=%d", got)
+	}
+}
+
+// apiApp builds a minimal event-driven app process around a socket lib.
+func apiApp(th *sim.HWThread, syscall *sim.Proc, start func(*sim.Context, *socketlib.Lib)) *sim.Proc {
+	var lib *socketlib.Lib
+	proc := sim.NewProc(th, "api-app", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
+		ctx.Charge(300)
+		if lib.HandleEvent(ctx, msg) {
+			return
+		}
+		if msg == "go" {
+			start(ctx, lib)
+		}
+	}), sim.ProcConfig{})
+	lib = socketlib.New(proc, syscall, ipc.DefaultCosts())
+	return proc
+}
