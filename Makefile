@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# verify is the pre-merge gate: static checks, a full build, the whole
+# test suite, and the parallel-sweep determinism tests under the race
+# detector (the concurrent experiment runner must stay race-free AND
+# byte-identical to a sequential run).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/experiments -run TestParallel

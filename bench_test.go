@@ -240,6 +240,7 @@ func BenchmarkAblationHyperthreadColocation(b *testing.B) {
 // BenchmarkSimulatorThroughput measures the raw event-processing rate of
 // the discrete-event engine under web load (events/second of host time).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := testbed.New(1)
 		server := testbed.DefaultAMDHost(n, 0, 2)

@@ -21,9 +21,11 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter warmup/measurement windows and fewer fault-injection runs")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "run a single experiment (table1, fig4, fig5, fig7, fig9, fig11, fig12, table2, table3, fig13)")
+	parallel := flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)")
+	workers := flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Seed: *seed}
+	o := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Workers: *workers}
 	drivers := map[string]func(experiments.Options) *experiments.Result{
 		"table1": experiments.Table1,
 		"fig4":   experiments.Figure4,

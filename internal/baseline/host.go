@@ -35,6 +35,11 @@ type kernelHost struct {
 	nextUDP   uint64
 	appConns  map[*sim.Proc]*ipc.Conn
 
+	// txScratch is the segment marshal buffer; IP output copies the
+	// segment into the frame synchronously, so one buffer serves all
+	// contexts (the simulation is serialized).
+	txScratch []byte
+
 	stats Stats
 }
 
@@ -121,10 +126,12 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	case nicdev.QueueIRQ:
 		h.stats.IRQs++
 		frames := h.sys.cfg.NIC.DrainQueue(m.Queue)
-		for _, f := range frames {
+		for i, f := range frames {
+			frames[i] = nil
 			h.stats.PacketsIn++
 			h.charge(h.costs.SoftirqPerPacket)
 			if h.filter.Check(f) == pfilter.Drop {
+				f.Release()
 				continue
 			}
 			h.charge(h.costs.IPIn)
@@ -278,7 +285,8 @@ func (h *kernelHost) TransmitTSO(eth proto.EthernetHeader, ip proto.IPv4Header, 
 	h.sys.cfg.NIC.SendTSO(nicdev.TxTSO{Eth: eth, IP: ip, TCP: tcp, Payload: payload, MSS: mss})
 }
 
-// DeliverTransport implements ipeng.Env.
+// DeliverTransport implements ipeng.Env. Frame ownership arrives with the
+// call; the engines copy what they keep, so every branch releases.
 func (h *kernelHost) DeliverTransport(f *proto.Frame) {
 	switch {
 	case f.TCP != nil:
@@ -289,6 +297,7 @@ func (h *kernelHost) DeliverTransport(f *proto.Frame) {
 		h.charge(h.costs.IPIn)
 		h.udp.Input(f)
 	}
+	f.Release()
 }
 
 // After implements ipeng.Env.
@@ -303,9 +312,11 @@ func (h *kernelHost) Output(dst proto.Addr, transport []byte) {
 	h.ip.Output(dst, proto.ProtoUDP, transport)
 }
 
-// Deliver implements udpeng.Env.
+// Deliver implements udpeng.Env. data aliases the inbound frame, which is
+// released when UDP input returns, so the event carries its own copy.
 func (h *kernelHost) Deliver(s *udpeng.Socket, src proto.Addr, srcPort uint16, data []byte) {
 	if sc, ok := s.Ctx.(*udpSockCtx); ok {
+		data = append([]byte(nil), data...)
 		h.sendApp(sc.app, stack.EvUDPData{Stack: h.curProc, UDPID: sc.id, Src: src, SrcPort: srcPort, Data: data})
 	}
 }
@@ -320,24 +331,33 @@ func (h *kernelHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 		h.ip.OutputTSO(ipeng.TSO{TCP: seg.Hdr, Dst: seg.Dst, Payload: seg.Payload, MSS: seg.MSS})
 		return
 	}
-	transport := seg.Hdr.Marshal(nil, seg.Src, seg.Dst, seg.Payload)
+	transport := seg.Hdr.Marshal(h.txScratch[:0], seg.Src, seg.Dst, seg.Payload)
 	h.ip.Output(seg.Dst, proto.ProtoTCP, transport)
+	h.txScratch = transport[:0]
+}
+
+// timerSlot is the per-(connection, timer-kind) state kept in TimerCtx: one
+// reusable Timer plus the prebuilt (boxed once) timer message.
+type timerSlot struct {
+	t   sim.Timer
+	msg sim.Message
 }
 
 // ArmTimer implements tcpeng.Env. Timers fire on whichever kernel context
 // armed them, as in Linux.
 func (h *kernelHost) ArmTimer(c *tcpeng.Conn, k tcpeng.TimerKind, d sim.Time) {
-	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
-		t.Stop()
+	slot, ok := c.TimerCtx[k].(*timerSlot)
+	if !ok {
+		slot = &timerSlot{msg: tcpTimerMsg{c: c, k: k}}
+		c.TimerCtx[k] = slot
 	}
-	c.TimerCtx[k] = h.ctx.TimerAfter(d, tcpTimerMsg{c: c, k: k})
+	h.ctx.Retimer(&slot.t, d, slot.msg)
 }
 
 // StopTimer implements tcpeng.Env.
 func (h *kernelHost) StopTimer(c *tcpeng.Conn, k tcpeng.TimerKind) {
-	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
-		t.Stop()
-		c.TimerCtx[k] = nil
+	if slot, ok := c.TimerCtx[k].(*timerSlot); ok {
+		slot.t.Stop() // the slot stays for reuse on the next arm
 	}
 }
 

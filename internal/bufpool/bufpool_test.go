@@ -1,0 +1,53 @@
+package bufpool
+
+import "testing"
+
+func TestGetLenAndClassCap(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1514, 2048, 60000, 300000} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len=%d", n, len(b))
+		}
+		if ci := classIndex(n); ci >= 0 && cap(b) < classes[ci] {
+			t.Fatalf("Get(%d): cap=%d, want >= %d", n, cap(b), classes[ci])
+		}
+		Put(b)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := Get(100)
+	b[0] = 0xAB
+	Put(b)
+	// The next Get of the same class may return the same backing array.
+	c := Get(100)
+	if cap(c) != 256 {
+		t.Fatalf("cap=%d, want class size 256", cap(c))
+	}
+	Put(c)
+}
+
+func TestPutForeignBuffer(t *testing.T) {
+	Put(nil)                  // no-op
+	Put(make([]byte, 0, 100)) // off-class capacity: dropped
+	Put(make([]byte, 1<<20))  // larger than every class: dropped
+}
+
+func TestAppendWithinClassDoesNotGrow(t *testing.T) {
+	b := Get(1514)[:0]
+	for i := 0; i < 1514; i++ {
+		b = append(b, byte(i))
+	}
+	if cap(b) != 2048 {
+		t.Fatalf("append within class reallocated: cap=%d", cap(b))
+	}
+	Put(b)
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1514)
+		Put(buf)
+	}
+}

@@ -65,19 +65,24 @@ func Table1(o Options) *Result {
 			IRQAffinity: true, RxAffinity: true}, 186.7},
 		{"sched+eth+irqAff+rxAff+serv", fullLinuxTuning, 224.0},
 	}
-	for _, row := range rows {
+	outs := RunParallel(len(rows), o.workers(), func(i int) outcome {
 		b, err := NewBed(BedConfig{
 			Seed: o.seed(), Machine: AMD,
-			LinuxCores: 12, LinuxTuning: row.tuning,
+			LinuxCores: 12, LinuxTuning: rows[i].tuning,
 			WebLocs:     coreRange(0, 12),
 			ConnsPerGen: conns, ReqPerConn: 1000,
 		})
 		if err != nil {
-			res.Notef("%s: %v", row.label, err)
+			return outcome{err: err}
+		}
+		return outcome{m: b.Run(o.warm(), o.window())}
+	})
+	for i, row := range rows {
+		if outs[i].err != nil {
+			res.Notef("%s: %v", row.label, outs[i].err)
 			continue
 		}
-		m := b.Run(o.warm(), o.window())
-		tab.AddRow(row.label, m.KRPS, row.paper)
+		tab.AddRow(row.label, outs[i].m.KRPS, row.paper)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notef("workload: 12 httperf instances, 1000 req/conn, 20 B file (§6.1)")
@@ -139,15 +144,34 @@ func Figure7(o Options) *Result {
 	}
 	configs[2].kind = stack.Multi
 
+	// Measure all (config, webs) points concurrently; the out-of-cores
+	// check runs before the bed is built, so points past a series' break
+	// fail cheaply and the break-on-error assembly below matches the
+	// sequential shape exactly.
+	type job struct{ cfg, webs int }
+	var jobs []job
+	for ci, c := range configs {
+		for w := 1; w <= c.maxWebs; w++ {
+			jobs = append(jobs, job{ci, w})
+		}
+	}
+	outs := RunParallel(len(jobs), o.workers(), func(i int) outcome {
+		c := configs[jobs[i].cfg]
+		m, err := amdFig7Config(o, c.kind, c.replicas, jobs[i].webs, 24, 100, 20)
+		return outcome{m: m, err: err}
+	})
 	var neat3Peak float64
+	j := 0
 	for _, c := range configs {
 		s := fig.NewSeries(c.label)
 		for w := 1; w <= c.maxWebs; w++ {
-			m, err := amdFig7Config(o, c.kind, c.replicas, w, 24, 100, 20)
-			if err != nil {
-				break // out of cores: stop the series like the paper does
+			out := outs[j]
+			j++
+			if out.err != nil {
+				j += c.maxWebs - w // out of cores: stop the series like the paper does
+				break
 			}
-			s.Add(float64(w), m.KRPS)
+			s.Add(float64(w), out.m.KRPS)
 		}
 		if c.label == "NEaT 3x" {
 			neat3Peak = s.MaxY()
@@ -191,14 +215,20 @@ func Figure12(o Options) *Result {
 		{"Multi 1x", stack.Multi, 1},
 		{"Multi 2x", stack.Multi, 2},
 	}
-	for _, c := range configs {
+	outs := RunParallel(len(configs)*len(workloads), o.workers(), func(i int) outcome {
+		c := configs[i/len(workloads)]
+		w := workloads[i%len(workloads)]
+		m, err := amdFig7Config(o, c.kind, c.replicas, w.webs, w.conns, 1, 20)
+		return outcome{m: m, err: err}
+	})
+	for ci, c := range configs {
 		s := fig.NewSeries(c.label)
-		for _, w := range workloads {
-			m, err := amdFig7Config(o, c.kind, c.replicas, w.webs, w.conns, 1, 20)
-			if err != nil {
+		for wi, w := range workloads {
+			out := outs[ci*len(workloads)+wi]
+			if out.err != nil {
 				continue
 			}
-			s.Add(w.x, m.KRPS)
+			s.Add(w.x, out.m.KRPS)
 		}
 	}
 	res.Figures = append(res.Figures, fig)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"neat/internal/app"
 	"neat/internal/baseline"
@@ -31,6 +32,22 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Parallel measures independent sweep points concurrently. Reports are
+	// assembled in configuration order afterwards, so the output matches a
+	// sequential run byte for byte.
+	Parallel bool
+	// Workers caps sweep concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if !o.Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) seed() int64 {

@@ -60,12 +60,16 @@ func Figure4(o Options) *Result {
 		XLabel: "file size (bytes)", YLabel: "see series"}
 	lat := fig.NewSeries("latency [ms]")
 	reqs := fig.NewSeries("requests [kreq]")
-	for _, size := range fileSizes {
-		m, err := fileSizePoint(o, size)
-		if err != nil {
-			res.Notef("%s: %v", report.Bytes(size), err)
+	outs := RunParallel(len(fileSizes), o.workers(), func(i int) outcome {
+		m, err := fileSizePoint(o, fileSizes[i])
+		return outcome{m: m, err: err}
+	})
+	for i, size := range fileSizes {
+		if outs[i].err != nil {
+			res.Notef("%s: %v", report.Bytes(size), outs[i].err)
 			continue
 		}
+		m := outs[i].m
 		lat.Add(float64(size), float64(m.MeanLat)/float64(sim.Millisecond))
 		reqs.Add(float64(size), float64(m.RawKRPS)*m.Window.Seconds())
 	}
@@ -85,12 +89,16 @@ func Figure5(o Options) *Result {
 	rate := fig.NewSeries("request rate [krps]")
 	tput := fig.NewSeries("throughput [MB/s]")
 	var crossover int
-	for _, size := range fileSizes {
-		m, err := fileSizePoint(o, size)
-		if err != nil {
-			res.Notef("%s: %v", report.Bytes(size), err)
+	outs := RunParallel(len(fileSizes), o.workers(), func(i int) outcome {
+		m, err := fileSizePoint(o, fileSizes[i])
+		return outcome{m: m, err: err}
+	})
+	for i, size := range fileSizes {
+		if outs[i].err != nil {
+			res.Notef("%s: %v", report.Bytes(size), outs[i].err)
 			continue
 		}
+		m := outs[i].m
 		rate.Add(float64(size), m.KRPS)
 		tput.Add(float64(size), m.MBps)
 		// Detect the size where the link rather than the CPU limits the

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunParallel evaluates fn(0), ..., fn(n-1) on up to workers goroutines and
+// returns the results in index order. With workers <= 1 it degenerates to a
+// plain sequential loop, so callers need no separate code path.
+//
+// Every sweep point in this package builds its own Bed (and therefore its
+// own Simulator, RNG and metric sinks) from an explicit seed, so points are
+// independent and the assembled tables and figures are byte-identical to a
+// sequential run regardless of scheduling.
+func RunParallel[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// outcome pairs a sweep point's measurement with its configuration error;
+// experiment drivers assemble reports from these in configuration order.
+type outcome struct {
+	m   Measurement
+	err error
+}

@@ -23,14 +23,21 @@ func Table3(o Options) *Result {
 		observe = 80 * sim.Millisecond
 	}
 
+	type t3out struct {
+		outcome faultinject.Outcome
+		ok      bool
+	}
+	outs := RunParallel(runs, o.workers(), func(i int) t3out {
+		oc, ok := faultRun(o, int64(i+1), observe)
+		return t3out{outcome: oc, ok: ok}
+	})
 	var transparent, tcpLost, unreachable int
-	for i := 0; i < runs; i++ {
-		outcome, ok := faultRun(o, int64(i+1), observe)
-		if !ok {
+	for _, out := range outs {
+		if !out.ok {
 			unreachable++
 			continue
 		}
-		switch outcome {
+		switch out.outcome {
 		case faultinject.OutcomeTransparent:
 			transparent++
 		case faultinject.OutcomeTCPLost:
@@ -176,16 +183,22 @@ func Figure13(o Options) *Result {
 	fig := &report.Figure{Title: "Preserved state vs max throughput",
 		XLabel: "max krps", YLabel: "% state preserved"}
 	curve := fig.NewSeries("configurations")
-	for _, c := range configs {
+	// Each configuration has a single measured point, so the parallelism
+	// lives at the configuration level; the series themselves run their
+	// (one-point) sweeps sequentially.
+	seq := o
+	seq.Parallel = false
+	maxes := RunParallel(len(configs), o.workers(), func(i int) float64 {
+		tmp := &report.Figure{}
+		return runXeonSeries(seq, configs[i].series, tmp, 24).MaxY()
+	})
+	for i, c := range configs {
 		preserved := 100 * (1 - 1/float64(c.replicas))
 		if c.kind == stack.Multi {
 			preserved = 100 * (1 - pTCP/float64(c.replicas))
 		}
-		tmp := &report.Figure{}
-		s := runXeonSeries(o, c.series, tmp, 24)
-		max := s.MaxY()
-		tab.AddRow(c.label, fmt.Sprintf("%.1f%%", preserved), max)
-		curve.Add(max, preserved)
+		tab.AddRow(c.label, fmt.Sprintf("%.1f%%", preserved), maxes[i])
+		curve.Add(maxes[i], preserved)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Figures = append(res.Figures, fig)

@@ -25,26 +25,37 @@ type xeonSeries struct {
 	points  []int // which web counts to measure
 }
 
+// xeonPoint measures one web count of a series.
+func xeonPoint(o Options, s xeonSeries, webs, conns int) (Measurement, error) {
+	if webs > len(s.webFill) {
+		return Measurement{}, fmt.Errorf("xeon series %s: %d webs exceed fill order", s.label, webs)
+	}
+	b, err := NewBed(BedConfig{
+		Seed: o.seed(), Machine: Xeon, Kind: s.kind,
+		ReplicaSlots: s.slots,
+		SyscallLoc:   s.syscall,
+		DriverLoc:    s.driver,
+		WebLocs:      s.webFill[:webs],
+		ConnsPerGen:  conns, ReqPerConn: 100,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	return b.Run(o.warm(), o.window()), nil
+}
+
 // runXeonSeries measures the series at each web count.
 func runXeonSeries(o Options, s xeonSeries, fig *report.Figure, conns int) *report.Series {
 	series := fig.NewSeries(s.label)
-	for _, webs := range s.points {
-		if webs > len(s.webFill) {
+	outs := RunParallel(len(s.points), o.workers(), func(i int) outcome {
+		m, err := xeonPoint(o, s, s.points[i], conns)
+		return outcome{m: m, err: err}
+	})
+	for i, webs := range s.points {
+		if outs[i].err != nil {
 			continue
 		}
-		b, err := NewBed(BedConfig{
-			Seed: o.seed(), Machine: Xeon, Kind: s.kind,
-			ReplicaSlots: s.slots,
-			SyscallLoc:   s.syscall,
-			DriverLoc:    s.driver,
-			WebLocs:      s.webFill[:webs],
-			ConnsPerGen:  conns, ReqPerConn: 100,
-		})
-		if err != nil {
-			continue
-		}
-		m := b.Run(o.warm(), o.window())
-		series.Add(float64(webs), m.KRPS)
+		series.Add(float64(webs), outs[i].m.KRPS)
 	}
 	return series
 }
@@ -196,7 +207,13 @@ func Table2(o Options) *Result {
 		{2, 42, 850 * sim.Microsecond, "88% / 5.4% / 19.7% / 90"},
 		{4, 24, 0, "97% / 0.1% / 7.4% / 242"},
 	}
-	for _, row := range rows {
+	type t2out struct {
+		load, kernel, polling string
+		krps                  float64
+		err                   error
+	}
+	outs := RunParallel(len(rows), o.workers(), func(i int) t2out {
+		row := rows[i]
 		b, err := NewBed(BedConfig{
 			Seed: o.seed(), Machine: Xeon, Kind: stack.Single,
 			ReplicaSlots: [][]testbed.ThreadLoc{{loc(2, 0)}, {loc(2, 1)}, {loc(3, 0)}},
@@ -205,8 +222,7 @@ func Table2(o Options) *Result {
 			ConnsPerGen: row.conns, ReqPerConn: 100, ThinkTime: row.think,
 		})
 		if err != nil {
-			res.Notef("row %s: %v", row.paper, err)
-			continue
+			return t2out{err: err}
 		}
 		for _, g := range b.Gens {
 			g.Start()
@@ -231,15 +247,22 @@ func Table2(o Options) *Result {
 		for _, g := range b.Gens {
 			good += g.GoodResponses()
 		}
-		krps := float64(good) / window.Seconds() / 1000
 		if active == 0 {
 			active = 1
 		}
-		tab.AddRow(
-			fmt.Sprintf("%.0f%%", load*100),
-			fmt.Sprintf("%.1f%%", kernel/active*100),
-			fmt.Sprintf("%.1f%%", polling/active*100),
-			krps, row.paper)
+		return t2out{
+			load:    fmt.Sprintf("%.0f%%", load*100),
+			kernel:  fmt.Sprintf("%.1f%%", kernel/active*100),
+			polling: fmt.Sprintf("%.1f%%", polling/active*100),
+			krps:    float64(good) / window.Seconds() / 1000,
+		}
+	})
+	for i, row := range rows {
+		if outs[i].err != nil {
+			res.Notef("row %s: %v", row.paper, outs[i].err)
+			continue
+		}
+		tab.AddRow(outs[i].load, outs[i].kernel, outs[i].polling, outs[i].krps, row.paper)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notef("kernel/polling are shares of the driver's *active* time; their absolute share shrinks as load grows")

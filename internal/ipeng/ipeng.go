@@ -11,6 +11,7 @@ package ipeng
 import (
 	"fmt"
 
+	"neat/internal/bufpool"
 	"neat/internal/proto"
 	"neat/internal/sim"
 )
@@ -200,8 +201,9 @@ func (e *Engine) Output(dst proto.Addr, p proto.IPProto, transport []byte) {
 func (e *Engine) OutputTSO(t TSO) {
 	if t.Dst == e.cfg.Addr {
 		// Loopback TSO: software-segment locally.
-		raw := t.TCP.Marshal(nil, e.cfg.Addr, t.Dst, t.Payload)
-		e.loopback(t.Dst, proto.ProtoTCP, raw)
+		transport := t.TCP.Marshal(bufpool.Get(t.TCP.EncodedLen(len(t.Payload)))[:0], e.cfg.Addr, t.Dst, t.Payload)
+		e.loopback(t.Dst, proto.ProtoTCP, transport)
+		bufpool.Put(transport)
 		return
 	}
 	hop, ok := e.nextHop(t.Dst)
@@ -213,8 +215,9 @@ func (e *Engine) OutputTSO(t TSO) {
 	if !ok {
 		// TSO sends always follow established traffic; resolve first with
 		// a plain queued frame by falling back to non-TSO output.
-		raw := t.TCP.Marshal(nil, e.cfg.Addr, t.Dst, t.Payload)
-		e.Output(t.Dst, proto.ProtoTCP, raw)
+		transport := t.TCP.Marshal(bufpool.Get(t.TCP.EncodedLen(len(t.Payload)))[:0], e.cfg.Addr, t.Dst, t.Payload)
+		e.Output(t.Dst, proto.ProtoTCP, transport)
+		bufpool.Put(transport)
 		return
 	}
 	e.ipID++
@@ -226,18 +229,20 @@ func (e *Engine) OutputTSO(t TSO) {
 }
 
 // loopback short-circuits packets addressed to ourselves (§3.3: each
-// replica implements its own loopback).
+// replica implements its own loopback). transport is copied, not retained.
 func (e *Engine) loopback(dst proto.Addr, p proto.IPProto, transport []byte) {
 	e.stats.Loopback++
 	ip := proto.IPv4Header{
 		TotalLen: uint16(proto.IPv4HeaderLen + len(transport)),
 		TTL:      64, Protocol: p, Src: e.cfg.Addr, Dst: dst,
 	}
-	raw := (&proto.EthernetHeader{Dst: e.cfg.MAC, Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}).Marshal(nil)
+	raw := bufpool.Get(proto.EthernetHeaderLen + int(ip.TotalLen))[:0]
+	raw = (&proto.EthernetHeader{Dst: e.cfg.MAC, Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}).Marshal(raw)
 	raw = ip.Marshal(raw)
 	raw = append(raw, transport...)
 	f, err := proto.DecodeFrame(raw)
 	if err != nil {
+		bufpool.Put(raw)
 		return
 	}
 	e.Input(f)
@@ -252,7 +257,8 @@ func (e *Engine) sendIP(dst proto.Addr, ip proto.IPv4Header, payload []byte) {
 	}
 	if mac, ok := e.arp[hop]; ok {
 		eth := proto.EthernetHeader{Dst: mac, Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}
-		raw := eth.Marshal(nil)
+		raw := bufpool.Get(proto.EthernetHeaderLen + int(ip.TotalLen))[:0]
+		raw = eth.Marshal(raw)
 		raw = ip.Marshal(raw)
 		raw = append(raw, payload...)
 		e.stats.Out++
@@ -260,7 +266,8 @@ func (e *Engine) sendIP(dst proto.Addr, ip proto.IPv4Header, payload []byte) {
 		return
 	}
 	// Queue the frame with a placeholder MAC; rewrite on resolution.
-	raw := (&proto.EthernetHeader{Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}).Marshal(nil)
+	raw := bufpool.Get(proto.EthernetHeaderLen + int(ip.TotalLen))[:0]
+	raw = (&proto.EthernetHeader{Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}).Marshal(raw)
 	raw = ip.Marshal(raw)
 	raw = append(raw, payload...)
 	pend, waiting := e.arpWait[hop]
@@ -273,6 +280,8 @@ func (e *Engine) sendIP(dst proto.Addr, ip proto.IPv4Header, payload []byte) {
 	e.stats.QueuedAwaitingARP++
 	if len(pend.frames) < 64 {
 		pend.frames = append(pend.frames, raw)
+	} else {
+		bufpool.Put(raw)
 	}
 }
 
@@ -295,6 +304,10 @@ func (e *Engine) armARPRetry(target proto.Addr) {
 		if pend.tries >= 3 {
 			e.stats.ARPFailed++
 			delete(e.arpWait, target)
+			for i, raw := range pend.frames {
+				bufpool.Put(raw)
+				pend.frames[i] = nil
+			}
 			return
 		}
 		e.sendARPRequest(target)
@@ -303,21 +316,27 @@ func (e *Engine) armARPRetry(target proto.Addr) {
 }
 
 // Input processes one inbound frame: ARP, ICMP, fragments, transport.
+// Frames consumed here (ARP, fragments, echo requests, misaddressed) are
+// released; only DeliverTransport hands ownership onward.
 func (e *Engine) Input(f *proto.Frame) {
 	if f.ARP != nil {
 		e.inputARP(f.ARP)
+		f.Release()
 		return
 	}
 	if f.IP == nil {
+		f.Release()
 		return
 	}
 	if f.IP.Dst != e.cfg.Addr {
 		e.stats.NotForUs++
+		f.Release()
 		return
 	}
 	e.stats.In++
 	if f.IP.FragOff != 0 || f.IP.Flags&proto.IPFlagMF != 0 {
 		e.inputFragment(f)
+		f.Release()
 		return
 	}
 	if f.ICMP != nil {
@@ -357,8 +376,10 @@ func (e *Engine) inputICMP(f *proto.Frame) {
 	}
 	e.stats.ICMPEchoReplies++
 	reply := proto.ICMPEcho{Type: proto.ICMPEchoReply, Ident: f.ICMP.Ident, Seq: f.ICMP.Seq}
-	body := reply.Marshal(nil, f.Payload)
+	body := reply.Marshal(bufpool.Get(proto.ICMPHeaderLen+len(f.Payload))[:0], f.Payload)
 	e.Output(f.IP.Src, proto.ProtoICMP, body)
+	bufpool.Put(body)
+	f.Release()
 }
 
 // inputFragment buffers fragments and delivers the reassembled packet.
@@ -405,11 +426,13 @@ func (e *Engine) deliverReassembled(last *proto.Frame, transport []byte) {
 	ip := *last.IP
 	ip.Flags, ip.FragOff = 0, 0
 	ip.TotalLen = uint16(proto.IPv4HeaderLen + len(transport))
-	raw := last.Eth.Marshal(nil)
+	raw := bufpool.Get(proto.EthernetHeaderLen + int(ip.TotalLen))[:0]
+	raw = last.Eth.Marshal(raw)
 	raw = ip.Marshal(raw)
 	raw = append(raw, transport...)
 	f, err := proto.DecodeFrame(raw)
 	if err != nil {
+		bufpool.Put(raw)
 		return
 	}
 	if f.ICMP != nil {

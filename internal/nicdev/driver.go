@@ -103,21 +103,27 @@ func (d *Driver) drainRx(ctx *sim.Context) {
 	ctx.ChargeAs(sim.CostPolling, d.costs.PollQueue*int64(2*nq))
 	d.stats.Polls += uint64(2 * nq)
 	for q := 0; q < nq; q++ {
-		frames := d.nic.queues[q].frames
-		if len(frames) == 0 {
+		qu := &d.nic.queues[q]
+		if len(qu.frames) == 0 {
 			continue
 		}
-		d.nic.queues[q].frames = nil
+		// Rotate the queue's two slices: new arrivals append to the spare
+		// while this batch is processed, so nothing reallocates.
+		frames := qu.frames
+		qu.frames = qu.spare[:0]
 		target := d.targets[q]
-		for _, f := range frames {
+		for i, f := range frames {
+			frames[i] = nil
 			if target == nil || target.Dead() {
 				d.stats.RxUnbound++
+				f.Release()
 				continue
 			}
 			ctx.Charge(d.costs.PerPacketRx)
 			d.stats.RxDispatched++
 			ctx.Send(target, RxFrame{Queue: q, Frame: f})
 		}
+		qu.spare = frames[:0]
 	}
 	d.nic.rearm()
 }

@@ -30,10 +30,14 @@ func (n *NIC) SetQueueIRQTarget(q int, p *sim.Proc) {
 }
 
 // DrainQueue removes and returns all frames pending on queue q (the
-// kernel context reads the descriptor ring directly).
+// kernel context reads the descriptor ring directly). The returned slice
+// is only valid until the next DrainQueue of the same queue: the two
+// backing slices rotate so steady-state draining never reallocates.
 func (n *NIC) DrainQueue(q int) []*proto.Frame {
-	frames := n.queues[q].frames
-	n.queues[q].frames = nil
+	qu := &n.queues[q]
+	frames := qu.frames
+	qu.frames = qu.spare[:0]
+	qu.spare = frames[:0]
 	return frames
 }
 
@@ -58,8 +62,7 @@ func (n *NIC) notifyQueue(q int) bool {
 	}
 	if n.irqTargets[q] != nil && n.irqArmed[q] {
 		n.irqArmed[q] = false
-		target := n.irqTargets[q]
-		n.sim.At(n.sim.Now()+n.PipelineLatency, func() { target.Deliver(QueueIRQ{Queue: q}) })
+		n.sim.DeliverAt(n.sim.Now()+n.PipelineLatency, n.irqTargets[q], QueueIRQ{Queue: q})
 	}
 	return true
 }

@@ -19,6 +19,7 @@ package nicdev
 import (
 	"fmt"
 
+	"neat/internal/bufpool"
 	"neat/internal/proto"
 	"neat/internal/sim"
 	"neat/internal/wire"
@@ -86,6 +87,7 @@ type NIC struct {
 	queues     []rxQueue
 	filters    map[proto.Flow]int
 	rssQueues  []int // queues participating in RSS for unmatched flows
+	rssView    []int // cached copy handed out by RSSQueues
 	driver     *Driver
 	intrArmed  bool
 	queueDepth int
@@ -95,15 +97,21 @@ type NIC struct {
 	irqArmed   []bool
 
 	// Hardware flow tracking (§4 extension; see EnableFlowTracking).
+	// trackOrder is a FIFO of live flows; trackHead indexes its logical
+	// front and the dead prefix is compacted away periodically.
 	trackMax   int
 	tracked    map[proto.Flow]int
 	trackOrder []proto.Flow
+	trackHead  int
 
 	stats NICStats
 }
 
 type rxQueue struct {
 	frames []*proto.Frame
+	// spare is the previously drained slice, recycled at the next drain so
+	// steady-state enqueueing never reallocates.
+	spare []*proto.Frame
 }
 
 // NewNIC creates a NIC with n RX/TX queue pairs attached to the given link
@@ -164,23 +172,34 @@ func (n *NIC) SetRSSQueues(queues []int) error {
 		}
 	}
 	n.rssQueues = append([]int(nil), queues...)
+	n.rssView = nil
 	return nil
 }
 
-// RSSQueues returns the queues currently participating in RSS.
-func (n *NIC) RSSQueues() []int { return append([]int(nil), n.rssQueues...) }
+// RSSQueues returns the queues currently participating in RSS. The slice
+// is cached between SetRSSQueues calls; callers must not modify it.
+func (n *NIC) RSSQueues() []int {
+	if n.rssView == nil {
+		n.rssView = append([]int(nil), n.rssQueues...)
+	}
+	return n.rssView
+}
 
-// Receive implements wire.Port: hardware classification and enqueue.
+// Receive implements wire.Port: hardware classification and enqueue. The
+// NIC takes ownership of raw; it travels inside the decoded frame until
+// the terminal consumer releases it.
 func (n *NIC) Receive(raw []byte) {
 	f, err := proto.DecodeFrame(raw)
 	if err != nil {
 		n.stats.RxDropBad++
+		bufpool.Put(raw)
 		return
 	}
 	n.stats.RxFrames++
 	q := n.classify(f)
 	if len(n.queues[q].frames) >= n.queueDepth {
 		n.stats.RxDropFull++
+		f.Release()
 		return
 	}
 	n.queues[q].frames = append(n.queues[q].frames, f)
@@ -189,8 +208,7 @@ func (n *NIC) Receive(raw []byte) {
 	}
 	if n.driver != nil && n.intrArmed {
 		n.intrArmed = false
-		drv := n.driver
-		n.sim.At(n.sim.Now()+n.PipelineLatency, func() { drv.proc.Deliver(rxReady{}) })
+		n.sim.DeliverAt(n.sim.Now()+n.PipelineLatency, n.driver.proc, rxReady{})
 	}
 }
 
@@ -247,7 +265,7 @@ func (n *NIC) SendTSO(t TxTSO) {
 			tcp.Flags = finalFlags
 		}
 		ip := t.IP
-		raw := proto.BuildTCP(t.Eth, ip, tcp, seg)
+		raw := proto.AppendTCP(bufpool.Get(proto.WireSizeTCP(&tcp, len(seg)))[:0], t.Eth, ip, tcp, seg)
 		n.stats.TSOSegments++
 		n.Transmit(raw)
 		seq += uint32(len(seg))
@@ -299,6 +317,7 @@ func (n *NIC) EnableFlowTracking(max int) {
 	}
 	n.tracked = make(map[proto.Flow]int, max)
 	n.trackOrder = n.trackOrder[:0]
+	n.trackHead = 0
 }
 
 // NumTrackedFlows returns the hardware tracking table occupancy.
@@ -310,10 +329,16 @@ func (n *NIC) trackFlow(flow proto.Flow, q int) {
 		return
 	}
 	if len(n.tracked) >= n.trackMax {
-		oldest := n.trackOrder[0]
-		n.trackOrder = n.trackOrder[1:]
+		oldest := n.trackOrder[n.trackHead]
+		n.trackHead++
 		delete(n.tracked, oldest)
 		n.stats.TrackEvictions++
+		// Compact the evicted prefix once it dominates the slice, keeping
+		// memory bounded by the table size instead of the eviction count.
+		if n.trackHead*2 >= len(n.trackOrder) {
+			n.trackOrder = n.trackOrder[:copy(n.trackOrder, n.trackOrder[n.trackHead:])]
+			n.trackHead = 0
+		}
 	}
 	n.tracked[flow] = q
 	n.trackOrder = append(n.trackOrder, flow)

@@ -74,6 +74,12 @@ func (h *TCPHeader) optionsLen() int {
 	return (n + 3) &^ 3 // pad to 4-byte boundary
 }
 
+// EncodedLen returns the marshalled size of the header (with options) plus
+// payloadLen bytes of data, for sizing pooled scratch buffers.
+func (h *TCPHeader) EncodedLen(payloadLen int) int {
+	return TCPHeaderLen + h.optionsLen() + payloadLen
+}
+
 // Marshal appends header+payload with the pseudo-header checksum computed.
 func (h *TCPHeader) Marshal(b []byte, src, dst Addr, payload []byte) []byte {
 	start := len(b)

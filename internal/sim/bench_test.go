@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+type benchSink struct{ n uint64 }
+
+func (s *benchSink) OnEvent(tag uint64) { s.n += tag }
+
+// BenchmarkSimSchedule measures the closure-free schedule+dispatch cycle of
+// the calendar queue in steady state: one insert and one pop per iteration,
+// with the timer horizon spread across the wheel.
+func BenchmarkSimSchedule(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	sink := &benchSink{}
+	for i := 0; i < b.N; i++ {
+		s.AfterEvent(Time(i%1000)*Microsecond, sink, 1)
+		s.Step()
+	}
+	s.Drain()
+	if sink.n == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkSimScheduleFar exercises the far-future heap spill: every
+// insertion lands beyond the wheel horizon and must migrate back in.
+func BenchmarkSimScheduleFar(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	sink := &benchSink{}
+	for i := 0; i < b.N; i++ {
+		s.AfterEvent(10*Millisecond, sink, 1) // past the 1024-bucket horizon
+		s.Step()
+	}
+	s.Drain()
+	if sink.n == 0 {
+		b.Fatal("no events ran")
+	}
+}

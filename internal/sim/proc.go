@@ -121,6 +121,7 @@ type Proc struct {
 	ASLRSeed uint64
 
 	inbox        []Message
+	spare        []Message // recycled inbox storage for the next dispatch
 	state        procState
 	charged      int64
 	chargedByCat [numCostCategories]int64
@@ -218,7 +219,7 @@ func (p *Proc) scheduleDispatch() {
 		p.thread.busyTotal += wake
 		start += wake
 	}
-	p.sim.At(start, p.runDispatch)
+	p.sim.schedule(start, event{kind: evDispatch, proc: p})
 }
 
 // runDispatch drains the inbox, executing the handler for each message that
@@ -232,8 +233,10 @@ func (p *Proc) runDispatch() {
 	p.stats.Dispatches++
 
 	t0 := p.sim.now
+	// Double-buffer the inbox: messages arriving during the dispatch go to
+	// the recycled spare slice, so steady state reallocates neither.
 	batch := p.inbox
-	p.inbox = nil
+	p.inbox = p.spare[:0]
 	p.charged = 0
 	for i := range p.chargedByCat {
 		p.chargedByCat[i] = 0
@@ -244,8 +247,8 @@ func (p *Proc) runDispatch() {
 			break
 		}
 		if tf, ok := msg.(timerFire); ok {
-			if tf.t.cancelled {
-				continue
+			if tf.gen != tf.t.gen {
+				continue // stopped or re-armed since this firing was scheduled
 			}
 			tf.t.fired = true
 			msg = tf.msg
@@ -261,6 +264,10 @@ func (p *Proc) runDispatch() {
 			p.pending[i].cyclesAt = p.charged
 		}
 	}
+	for i := range batch {
+		batch[i] = nil // drop message references before recycling
+	}
+	p.spare = batch[:0]
 
 	// Compute wall time of this dispatch: charged cycles at nominal
 	// frequency, stretched if the sibling hyperthread is busy.
@@ -284,10 +291,11 @@ func (p *Proc) runDispatch() {
 
 	// Release buffered sends at each message's completion point within
 	// the dispatch.
-	for _, out := range p.pending {
-		dst, msg, extra := out.dst, out.msg, out.delay
-		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + extra
-		p.sim.At(at, func() { dst.Deliver(msg) })
+	for i := range p.pending {
+		out := &p.pending[i]
+		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + out.delay
+		p.sim.DeliverAt(at, out.dst, out.msg)
+		*out = outMsg{} // drop references; the slice is recycled
 	}
 	p.pending = p.pending[:0]
 
@@ -297,7 +305,7 @@ func (p *Proc) runDispatch() {
 	if len(p.inbox) > 0 {
 		// More work arrived while running; go again back-to-back.
 		p.state = procScheduled
-		p.sim.At(tEnd, p.runDispatch)
+		p.sim.schedule(tEnd, event{kind: evDispatch, proc: p})
 		return
 	}
 	// Halt (enter MWAIT). The halt path costs kernel time.
@@ -363,14 +371,16 @@ func (c *Context) SendDelayed(dst *Proc, msg Message, delay Time) {
 	c.Proc.pending = append(c.Proc.pending, outMsg{dst: dst, msg: msg, delay: delay})
 }
 
-// Timer is a cancellable self-delivery armed by a handler.
+// Timer is a cancellable self-delivery armed by a handler. A Timer can be
+// re-armed with Retimer, in which case any firing already in flight is
+// dropped (it carries a stale generation).
 type Timer struct {
-	cancelled bool
-	fired     bool
+	gen   uint64 // bumped by Stop and Retimer; stale firings are dropped
+	fired bool
 }
 
 // Stop cancels the timer if it has not fired.
-func (t *Timer) Stop() { t.cancelled = true }
+func (t *Timer) Stop() { t.gen++ }
 
 // Fired reports whether the timer message was delivered.
 func (t *Timer) Fired() bool { return t.fired }
@@ -379,14 +389,24 @@ func (t *Timer) Fired() bool { return t.fired }
 // dispatch completes, unless stopped.
 func (c *Context) TimerAfter(d Time, msg Message) *Timer {
 	t := &Timer{}
-	p := c.Proc
-	p.pending = append(p.pending, outMsg{dst: p, msg: timerFire{t, msg}, delay: d})
+	c.Retimer(t, d, msg)
 	return t
 }
 
+// Retimer re-arms t to deliver msg d after the current dispatch completes,
+// cancelling any previous arming. Hot paths (TCP retransmission, delayed
+// ACK) reuse one Timer per logical timer instead of allocating on every arm.
+func (c *Context) Retimer(t *Timer, d Time, msg Message) {
+	t.gen++
+	t.fired = false
+	p := c.Proc
+	p.pending = append(p.pending, outMsg{dst: p, msg: timerFire{t, t.gen, msg}, delay: d})
+}
+
 // timerFire wraps a timer delivery; runDispatch unwraps it transparently
-// (and drops it when cancelled) so handlers always see the original message.
+// (and drops stale generations) so handlers always see the original message.
 type timerFire struct {
 	t   *Timer
+	gen uint64
 	msg Message
 }

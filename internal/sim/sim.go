@@ -8,10 +8,18 @@
 // The simulation is single-threaded and fully deterministic: events are
 // ordered by (time, sequence) and all randomness flows from one seeded
 // source. Running the same experiment twice yields identical results.
+//
+// The event queue is a calendar queue (timing wheel): near-future events
+// live in fixed time buckets whose slot storage is recycled run after run,
+// and far-future events (retransmission timeouts, TIME_WAIT expiry) fall
+// back to a binary heap until the wheel horizon reaches them. The hottest
+// schedule sites use closure-free event kinds so that steady-state
+// scheduling performs no allocation at all.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -48,13 +56,38 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// EventHandler receives closure-free scheduled events. Objects on the hot
+// path (links, NICs) implement it once and pass a tag identifying the
+// pending work, so scheduling does not allocate.
+type EventHandler interface {
+	OnEvent(tag uint64)
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
+type evKind uint8
+
+const (
+	evFunc     evKind = iota // run fn()
+	evDispatch               // run proc.runDispatch()
+	evDeliver                // proc.Deliver(msg)
+	evHandler                // h.OnEvent(tag)
+)
+
+// event is one queue entry. The kind discriminates which payload fields are
+// live; keeping them unioned in one flat struct lets bucket slots be reused
+// without any per-event allocation.
+type event struct {
+	at   Time
+	seq  uint64
+	kind evKind
+	fn   func()
+	proc *Proc
+	msg  Message
+	h    EventHandler
+	tag  uint64
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It holds only
+// far-future events that do not fit the wheel horizon.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -82,7 +115,7 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
-	old[n] = event{} // release fn for GC
+	old[n] = event{} // release references for GC
 	*h = old[:n]
 	h.siftDown(0)
 	return top
@@ -107,11 +140,133 @@ func (h eventHeap) siftDown(i int) {
 	}
 }
 
+// Calendar-queue geometry: 1024 buckets of 4096 ns each give a ~4.2 ms
+// horizon, comfortably wider than the typical inter-event gap (cycle
+// charges, wire latencies, IPC wakeups are all well under a millisecond)
+// while keeping the wheel small enough to live inline in the Simulator.
+const (
+	wheelBits    = 10
+	wheelBuckets = 1 << wheelBits
+	wheelMask    = wheelBuckets - 1
+	bucketShift  = 12 // 4096 ns per bucket
+)
+
+// eventQueue is a calendar queue. Events whose bucket index falls within
+// [cur, cur+wheelBuckets) live in the wheel; later events wait in the far
+// heap and migrate in as cur advances. Invariant: every far event's bucket
+// index is >= cur, and at any moment the earliest event overall is in the
+// wheel whenever the wheel is non-empty.
+type eventQueue struct {
+	// wheel slot storage is recycled: bucket slices keep their capacity
+	// after being drained, acting as a free list for event slots.
+	wheel [wheelBuckets][]event
+	// occ is an occupancy bitmap over wheel slots for O(1) next-bucket
+	// scans.
+	occ   [wheelBuckets / 64]uint64
+	cur   int64 // monotonic bucket counter: wheel horizon is [cur, cur+wheelBuckets)
+	count int   // events resident in the wheel
+	far   eventHeap
+}
+
+func (q *eventQueue) empty() bool { return q.count == 0 && len(q.far) == 0 }
+
+func (q *eventQueue) len() int { return q.count + len(q.far) }
+
+func (q *eventQueue) push(e event) {
+	if int64(e.at)>>bucketShift >= q.cur+wheelBuckets {
+		q.far.push(e)
+		return
+	}
+	q.wheelInsert(e)
+}
+
+func (q *eventQueue) wheelInsert(e event) {
+	bi := int64(e.at) >> bucketShift
+	if bi < q.cur {
+		// A bounded pop may advance cur past bucket(now) without running
+		// the event it peeked at. Insertions before cur park in the first
+		// bucket: the per-bucket (at, seq) scan still pops them first, and
+		// cur cannot advance past a non-empty current bucket.
+		bi = q.cur
+	}
+	slot := bi & wheelMask
+	q.wheel[slot] = append(q.wheel[slot], e)
+	q.occ[slot>>6] |= 1 << uint(slot&63)
+	q.count++
+}
+
+// migrate pulls far-heap events that now fall inside the wheel horizon.
+// It must run whenever cur advances, or a later wheel insertion could be
+// popped ahead of an earlier far event.
+func (q *eventQueue) migrate() {
+	for len(q.far) > 0 && int64(q.far[0].at)>>bucketShift < q.cur+wheelBuckets {
+		q.wheelInsert(q.far.pop())
+	}
+}
+
+// firstSlot returns the first occupied wheel slot at or after cur,
+// wrapping. Only valid when count > 0.
+func (q *eventQueue) firstSlot() int64 {
+	start := q.cur & wheelMask
+	w := start >> 6
+	if b := q.occ[w] &^ ((1 << uint(start&63)) - 1); b != 0 {
+		return w<<6 | int64(bits.TrailingZeros64(b))
+	}
+	for i := int64(1); i <= int64(len(q.occ)); i++ {
+		wi := (w + i) & (int64(len(q.occ)) - 1)
+		if q.occ[wi] != 0 {
+			return wi<<6 | int64(bits.TrailingZeros64(q.occ[wi]))
+		}
+	}
+	panic("sim: occupancy bitmap empty with count > 0")
+}
+
+// pop removes and returns the earliest event. If bounded, events after
+// limit are left in place and ok is false.
+func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
+	if q.count == 0 {
+		if len(q.far) == 0 {
+			return event{}, false
+		}
+		// The wheel drained with far events pending: jump the horizon to
+		// the earliest far bucket and migrate.
+		q.cur = int64(q.far[0].at) >> bucketShift
+		q.migrate()
+	}
+	slot := q.firstSlot()
+	// Advance cur to the bucket index the slot represents, then migrate:
+	// far events that the advance brought inside the horizon land in
+	// buckets strictly after this one, preserving order.
+	q.cur += (slot - q.cur) & wheelMask
+	q.migrate()
+
+	b := q.wheel[slot]
+	min := 0
+	for i := 1; i < len(b); i++ {
+		if b[i].at < b[min].at || (b[i].at == b[min].at && b[i].seq < b[min].seq) {
+			min = i
+		}
+	}
+	if bounded && b[min].at > limit {
+		return event{}, false
+	}
+	e = b[min]
+	last := len(b) - 1
+	b[min] = b[last]
+	b[last] = event{} // release references for GC; slot capacity is reused
+	q.wheel[slot] = b[:last]
+	if last == 0 {
+		q.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	q.count--
+	return e, true
+}
+
 // Simulator owns the virtual clock and the event queue. All machines,
 // processes, NICs and links of one experiment hang off a single Simulator.
 type Simulator struct {
 	now      Time
-	heap     eventHeap
+	q        eventQueue
 	seq      uint64
 	rng      *rand.Rand
 	machines []*Machine
@@ -137,42 +292,81 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // EventsRun reports how many events have executed so far.
 func (s *Simulator) EventsRun() uint64 { return s.eventsRun }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error in the model; it is clamped to "now" to keep the clock monotonic.
-func (s *Simulator) At(t Time, fn func()) {
+// schedule clamps t to now, stamps the sequence number and enqueues.
+func (s *Simulator) schedule(t Time, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.heap.push(event{at: t, seq: s.seq, fn: fn})
+	e.at = t
+	e.seq = s.seq
+	s.q.push(e)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model; it is clamped to "now" to keep the clock monotonic.
+func (s *Simulator) At(t Time, fn func()) {
+	s.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
+// AtEvent schedules h.OnEvent(tag) at absolute time t without allocating.
+func (s *Simulator) AtEvent(t Time, h EventHandler, tag uint64) {
+	s.schedule(t, event{kind: evHandler, h: h, tag: tag})
+}
+
+// AfterEvent schedules h.OnEvent(tag) d nanoseconds from now.
+func (s *Simulator) AfterEvent(d Time, h EventHandler, tag uint64) {
+	s.AtEvent(s.now+d, h, tag)
+}
+
+// DeliverAt delivers msg to p at absolute time t without allocating a
+// closure. It is the scheduled-delivery primitive behind NIC interrupts
+// and delayed IPC.
+func (s *Simulator) DeliverAt(t Time, p *Proc, msg Message) {
+	s.schedule(t, event{kind: evDeliver, proc: p, msg: msg})
+}
+
+// run executes one popped event.
+func (s *Simulator) run(e event) {
+	s.now = e.at
+	s.eventsRun++
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evDispatch:
+		e.proc.runDispatch()
+	case evDeliver:
+		e.proc.Deliver(e.msg)
+	case evHandler:
+		e.h.OnEvent(e.tag)
+	}
+}
+
 // Idle reports whether no events remain.
-func (s *Simulator) Idle() bool { return len(s.heap) == 0 }
+func (s *Simulator) Idle() bool { return s.q.empty() }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	e, ok := s.q.pop(0, false)
+	if !ok {
 		return false
 	}
-	e := s.heap.pop()
-	s.now = e.at
-	s.eventsRun++
-	e.fn()
+	s.run(e)
 	return true
 }
 
 // RunUntil executes events until the clock reaches t or the queue drains.
 // The clock is left at t even if the queue drained earlier.
 func (s *Simulator) RunUntil(t Time) {
-	for len(s.heap) > 0 && s.heap[0].at <= t {
-		e := s.heap.pop()
-		s.now = e.at
-		s.eventsRun++
-		e.fn()
+	for {
+		e, ok := s.q.pop(t, true)
+		if !ok {
+			break
+		}
+		s.run(e)
 	}
 	if s.now < t {
 		s.now = t

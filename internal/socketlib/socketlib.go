@@ -15,6 +15,8 @@
 package socketlib
 
 import (
+	"sync/atomic"
+
 	"neat/internal/ipc"
 	"neat/internal/proto"
 	"neat/internal/sim"
@@ -22,12 +24,14 @@ import (
 )
 
 // reqIDs are globally unique so the SYSCALL server can correlate
-// acknowledgments without knowing about applications.
-var nextReqID uint64
+// acknowledgments without knowing about applications. The counter is
+// atomic because independent simulations may run concurrently (parallel
+// experiment sweeps); IDs are pure correlation keys, so which values a
+// simulation draws does not influence its behaviour.
+var nextReqID atomic.Uint64
 
 func newReqID() uint64 {
-	nextReqID++
-	return nextReqID
+	return nextReqID.Add(1)
 }
 
 // SendLowWater is the credit level below which Send asks the stack for an

@@ -52,10 +52,15 @@ func (h *ipHost) withCtx(ctx *sim.Context, fn func()) {
 func (h *ipHost) inputFrame(ctx *sim.Context, f *proto.Frame) {
 	ctx.Charge(h.costs.FilterCheck)
 	if h.filter.Check(f) == pfilter.Drop {
+		f.Release()
 		return
 	}
 	ctx.Charge(h.costs.IPIn)
-	h.withCtx(ctx, func() { h.ip.Input(f) })
+	// Inlined withCtx: this runs once per received packet.
+	prev := h.ctx
+	h.ctx = ctx
+	h.ip.Input(f)
+	h.ctx = prev
 }
 
 // handleOp processes UDP socket operations.
@@ -122,7 +127,8 @@ func (h *ipHost) TransmitTSO(eth proto.EthernetHeader, ip proto.IPv4Header, tcp 
 	h.toDriver.Send(h.ctx, nicdev.TxTSO{Eth: eth, IP: ip, TCP: tcp, Payload: payload, MSS: mss})
 }
 
-// DeliverTransport implements ipeng.Env.
+// DeliverTransport implements ipeng.Env. Frame ownership arrives with the
+// call; every branch hands it on or releases it.
 func (h *ipHost) DeliverTransport(f *proto.Frame) {
 	switch {
 	case f.TCP != nil:
@@ -130,9 +136,11 @@ func (h *ipHost) DeliverTransport(f *proto.Frame) {
 	case f.UDP != nil:
 		h.ctx.Charge(h.costs.UDPIn)
 		h.udp.Input(f)
+		f.Release()
 	default:
 		// ICMP echo requests were answered inside the IP engine; anything
 		// else has no consumer.
+		f.Release()
 	}
 }
 
@@ -148,11 +156,13 @@ func (h *ipHost) Output(dst proto.Addr, transport []byte) {
 	h.ip.Output(dst, proto.ProtoUDP, transport)
 }
 
-// Deliver implements udpeng.Env.
+// Deliver implements udpeng.Env. data aliases the inbound frame, which is
+// released when UDP input returns, so the event carries its own copy.
 func (h *ipHost) Deliver(s *udpeng.Socket, src proto.Addr, srcPort uint16, data []byte) {
 	sc, ok := s.Ctx.(*udpSockCtx)
 	if !ok {
 		return
 	}
+	data = append([]byte(nil), data...)
 	h.sendApp(h.ctx, sc.app, EvUDPData{Stack: h.proc, UDPID: sc.id, Src: src, SrcPort: srcPort, Data: data})
 }

@@ -3,6 +3,7 @@ package stack
 import (
 	"fmt"
 
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/ipeng"
 	"neat/internal/nicdev"
@@ -143,16 +144,31 @@ func (r *Replica) buildSingle(th *sim.HWThread) {
 	r.procs = []*sim.Proc{p}
 	r.iph.proc, r.tcph.proc = p, p
 	costs := r.cfg.Costs
-	// Direct in-process calls between the layers.
+	// Direct in-process calls between the layers. These run once per
+	// segment, so the context swaps are inlined rather than going through
+	// withCtx (whose func-literal argument would allocate per call).
 	r.iph.toTCP = func(ctx *sim.Context, f *proto.Frame) {
 		ctx.Charge(costs.TCPSegIn)
-		r.tcph.withCtx(ctx, func() { r.tcph.tcp.Input(f) })
+		prev := r.tcph.ctx
+		r.tcph.ctx = ctx
+		r.tcph.tcp.Input(f)
+		r.tcph.ctx = prev
+		f.Release() // TCP input copies payload into engine buffers
 	}
+	// out is synchronous here: the segment buffer is reclaimed by tcpHost
+	// as soon as the call returns.
+	r.tcph.syncOut = true
 	r.tcph.out = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte) {
-		r.iph.withCtx(ctx, func() { r.iph.ip.Output(dst, p, transport) })
+		prev := r.iph.ctx
+		r.iph.ctx = ctx
+		r.iph.ip.Output(dst, p, transport)
+		r.iph.ctx = prev
 	}
 	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
-		r.iph.withCtx(ctx, func() { r.iph.ip.OutputTSO(t) })
+		prev := r.iph.ctx
+		r.iph.ctx = ctx
+		r.iph.ip.OutputTSO(t)
+		r.iph.ctx = prev
 	}
 }
 
@@ -324,7 +340,11 @@ func (ih *ipHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	case nicdev.RxFrame:
 		h.inputFrame(ctx, m.Frame)
 	case ipOutput:
-		h.withCtx(ctx, func() { h.ip.Output(m.dst, m.proto, m.transport) })
+		prev := h.ctx
+		h.ctx = ctx
+		h.ip.Output(m.dst, m.proto, m.transport)
+		h.ctx = prev
+		bufpool.Put(m.transport) // IP output copied it into the frame
 	case ipOutputTSO:
 		h.withCtx(ctx, func() {
 			h.ip.OutputTSO(ipeng.TSO{TCP: m.hdr, Dst: m.dst, Payload: m.payload, MSS: m.mss})
@@ -344,7 +364,11 @@ func (th *tcpHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	switch m := msg.(type) {
 	case tcpInput:
 		ctx.Charge(h.costs.TCPSegIn)
-		h.withCtx(ctx, func() { h.tcp.Input(m.f) })
+		prev := h.ctx
+		h.ctx = ctx
+		h.tcp.Input(m.f)
+		h.ctx = prev
+		m.f.Release()
 	case tcpTimerMsg:
 		h.onTimer(ctx, m)
 	case tickMsg:

@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/ipeng"
 	"neat/internal/proto"
@@ -22,6 +23,12 @@ type tcpHost struct {
 
 	out    func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte)
 	outTSO func(ctx *sim.Context, t ipeng.TSO)
+	// syncOut marks out as synchronous (single-component replica): segments
+	// marshal into txScratch, which is reclaimed when out returns. Async
+	// outs (multi-component) marshal into a pooled buffer instead, returned
+	// to the pool by the IP process after transmission.
+	syncOut   bool
+	txScratch []byte
 
 	conns     map[uint64]*tcpeng.Conn     // by ConnID (= engine conn ID)
 	listeners map[uint64]*tcpeng.Listener // by the app's listen ReqID
@@ -53,7 +60,17 @@ func (h *tcpHost) withCtx(ctx *sim.Context, fn func()) {
 
 func (h *tcpHost) onTimer(ctx *sim.Context, m tcpTimerMsg) {
 	ctx.Charge(h.costs.TimerOp)
-	h.withCtx(ctx, func() { h.tcp.OnTimer(m.c, m.k) })
+	prev := h.ctx
+	h.ctx = ctx
+	h.tcp.OnTimer(m.c, m.k)
+	h.ctx = prev
+}
+
+// timerSlot is the per-(connection, timer-kind) state kept in TimerCtx: one
+// reusable Timer plus the prebuilt (boxed once) timer message.
+type timerSlot struct {
+	t   sim.Timer
+	msg sim.Message
 }
 
 // handleOp processes TCP socket operations; reports whether msg was one.
@@ -230,23 +247,30 @@ func (h *tcpHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 		h.outTSO(h.ctx, ipeng.TSO{TCP: seg.Hdr, Dst: seg.Dst, Payload: seg.Payload, MSS: seg.MSS})
 		return
 	}
-	transport := seg.Hdr.Marshal(nil, seg.Src, seg.Dst, seg.Payload)
+	if h.syncOut {
+		transport := seg.Hdr.Marshal(h.txScratch[:0], seg.Src, seg.Dst, seg.Payload)
+		h.out(h.ctx, seg.Dst, proto.ProtoTCP, transport)
+		h.txScratch = transport[:0]
+		return
+	}
+	transport := seg.Hdr.Marshal(bufpool.Get(seg.Hdr.EncodedLen(len(seg.Payload)))[:0], seg.Src, seg.Dst, seg.Payload)
 	h.out(h.ctx, seg.Dst, proto.ProtoTCP, transport)
 }
 
 // ArmTimer implements tcpeng.Env.
 func (h *tcpHost) ArmTimer(c *tcpeng.Conn, k tcpeng.TimerKind, d sim.Time) {
-	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
-		t.Stop()
+	slot, ok := c.TimerCtx[k].(*timerSlot)
+	if !ok {
+		slot = &timerSlot{msg: tcpTimerMsg{c: c, k: k}}
+		c.TimerCtx[k] = slot
 	}
-	c.TimerCtx[k] = h.ctx.TimerAfter(d, tcpTimerMsg{c: c, k: k})
+	h.ctx.Retimer(&slot.t, d, slot.msg)
 }
 
 // StopTimer implements tcpeng.Env.
 func (h *tcpHost) StopTimer(c *tcpeng.Conn, k tcpeng.TimerKind) {
-	if t, ok := c.TimerCtx[k].(*sim.Timer); ok {
-		t.Stop()
-		c.TimerCtx[k] = nil
+	if slot, ok := c.TimerCtx[k].(*timerSlot); ok {
+		slot.t.Stop() // the slot stays for reuse on the next arm
 	}
 }
 

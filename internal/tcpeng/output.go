@@ -271,9 +271,12 @@ func (c *Conn) emitData(seq, n uint32, fin bool) {
 	hdr.Window = c.advertisedWindow()
 	e.stats.SegsOut++
 	e.stats.DataBytesOut += uint64(n)
+	// Payload is a view into the send buffer: the environment marshals
+	// (copies) it into the outbound frame, and the buffer bytes it covers
+	// stay in place until the segment is acked, so no defensive copy.
 	e.env.SendSegment(c, OutSegment{
 		Src: c.key.localAddr, Dst: c.key.remoteAddr, Hdr: hdr,
-		Payload: append([]byte(nil), payload...),
+		Payload: payload,
 		TSO:     e.cfg.TSO && int(n) > c.mss,
 		MSS:     c.mss,
 	})

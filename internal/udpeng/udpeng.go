@@ -8,6 +8,7 @@ package udpeng
 import (
 	"errors"
 
+	"neat/internal/bufpool"
 	"neat/internal/proto"
 )
 
@@ -108,10 +109,13 @@ func (s *Socket) SendTo(dst proto.Addr, port uint16, data []byte) error {
 	}
 	e := s.engine
 	h := proto.UDPHeader{SrcPort: s.port, DstPort: port}
-	raw := h.Marshal(nil, e.addr, dst, data)
+	// Output is synchronous (IP copies the datagram into the frame), so
+	// the scratch buffer goes straight back to the pool.
+	raw := h.Marshal(bufpool.Get(proto.UDPHeaderLen+len(data))[:0], e.addr, dst, data)
 	e.stats.Out++
 	e.stats.BytesOut += uint64(len(data))
 	e.env.Output(dst, raw)
+	bufpool.Put(raw)
 	return nil
 }
 

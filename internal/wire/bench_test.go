@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"testing"
+
+	"neat/internal/bufpool"
+	"neat/internal/sim"
+)
+
+type sinkPort struct{ n int }
+
+func (p *sinkPort) Receive(frame []byte) {
+	p.n++
+	bufpool.Put(frame)
+}
+
+// BenchmarkWireOneHop measures one link crossing end to end: a pooled
+// frame is transmitted, serialized, propagated through the recycled-slot
+// delivery event and handed to the far port, which returns the buffer.
+func BenchmarkWireOneHop(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	l := NewLink(s)
+	l.Attach(0, &sinkPort{})
+	far := &sinkPort{}
+	l.Attach(1, far)
+	b.SetBytes(1514)
+	for i := 0; i < b.N; i++ {
+		l.Transmit(0, bufpool.Get(1514))
+		for s.Step() {
+		}
+	}
+	if far.n != b.N {
+		b.Fatalf("delivered %d of %d frames", far.n, b.N)
+	}
+}

@@ -10,12 +10,15 @@
 package wire
 
 import (
+	"neat/internal/bufpool"
 	"neat/internal/sim"
 )
 
 // Port receives frames from a link endpoint. NICs implement Port.
 type Port interface {
 	// Receive is called when a frame fully arrives at this endpoint.
+	// Ownership of the frame buffer transfers to the port (see
+	// Link.Transmit).
 	Receive(frame []byte)
 }
 
@@ -45,10 +48,22 @@ type Link struct {
 	// DupProb duplicates each delivered frame with this probability.
 	DupProb float64
 	// DropFilter, if set, is consulted per frame; returning true drops it.
-	// Used by tests to lose specific segments deterministically.
+	// Used by tests to lose specific segments deterministically. The filter
+	// may inspect the frame but must not retain it.
 	DropFilter func(dir int, frame []byte) bool
 
+	// pend holds frames in flight; slots are recycled through free so a
+	// delivery schedules without allocating (Link implements
+	// sim.EventHandler with the slot index as tag).
+	pend []pendDelivery
+	free []uint32
+
 	stats LinkStats
+}
+
+type pendDelivery struct {
+	frame []byte
+	side  int8
 }
 
 // LinkStats counts link activity.
@@ -74,9 +89,16 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // The frame occupies the transmitter for its serialization time; delivery
 // happens after serialization plus propagation. Frames are delivered in
 // FIFO order per direction.
+//
+// Ownership contract: the sender relinquishes the frame buffer on Transmit
+// and must not touch it afterwards. The link hands it to the receiving
+// Port unchanged (no defensive copy — a copy is made only when the
+// duplication fault hook needs a second instance), and recycles it via
+// bufpool when a fault hook drops the frame instead.
 func (l *Link) Transmit(side int, frame []byte) {
 	dst := l.ports[1-side]
 	if dst == nil {
+		bufpool.Put(frame)
 		return
 	}
 	l.stats.Frames[side]++
@@ -97,25 +119,47 @@ func (l *Link) Transmit(side int, frame []byte) {
 
 	if l.DropFilter != nil && l.DropFilter(side, frame) {
 		l.stats.Dropped[side]++
+		bufpool.Put(frame)
 		return // still consumed line time (collision-free model keeps it simple: drop after serialization accounting)
 	}
 	if l.LossProb > 0 && l.sim.Rand().Float64() < l.LossProb {
 		l.stats.Dropped[side]++
+		bufpool.Put(frame)
 		return
 	}
 
 	arrive := l.lineFree[side] + l.PropDelay
-	deliver := func() {
-		l.stats.Delivered[side]++
-		dst.Receive(frame)
-	}
-	l.sim.At(arrive, deliver)
+	l.scheduleDeliver(arrive, side, frame)
 	if l.DupProb > 0 && l.sim.Rand().Float64() < l.DupProb {
-		l.sim.At(arrive+serial, func() {
-			l.stats.Delivered[side]++
-			dst.Receive(append([]byte(nil), frame...))
-		})
+		dup := bufpool.Get(len(frame))
+		copy(dup, frame)
+		l.scheduleDeliver(arrive+serial, side, dup)
 	}
+}
+
+// scheduleDeliver parks the frame in a recycled pending slot and schedules
+// the closure-free delivery event.
+func (l *Link) scheduleDeliver(at sim.Time, side int, frame []byte) {
+	var slot uint32
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		slot = uint32(len(l.pend))
+		l.pend = append(l.pend, pendDelivery{})
+	}
+	l.pend[slot] = pendDelivery{frame: frame, side: int8(side)}
+	l.sim.AtEvent(at, l, uint64(slot))
+}
+
+// OnEvent completes the pending delivery in slot tag (sim.EventHandler).
+func (l *Link) OnEvent(tag uint64) {
+	p := &l.pend[tag]
+	frame, side := p.frame, int(p.side)
+	p.frame = nil
+	l.free = append(l.free, uint32(tag))
+	l.stats.Delivered[side]++
+	l.ports[1-side].Receive(frame)
 }
 
 // Utilization returns the fraction of capacity used by direction side over
