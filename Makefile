@@ -14,11 +14,11 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # verify is the pre-merge gate: static checks, a full build, the whole
-# test suite, and the parallel-sweep determinism tests under the race
-# detector (the concurrent experiment runner must stay race-free AND
-# byte-identical to a sequential run).
+# test suite, and the parallel-sweep + fault-matrix determinism tests
+# under the race detector (the concurrent experiment runner must stay
+# race-free AND byte-identical to a sequential run).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run TestParallel
+	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix'

@@ -1,27 +1,60 @@
-// Command neat-faults runs the §6.6 fault-injection campaign standalone:
-// N failing runs against a multi-component NEaT stack under web load,
-// classifying each recovery, and printing the Table 3 breakdown.
+// Command neat-faults runs fault-injection campaigns standalone.
+//
+// The default mode reproduces §6.6: N failing runs against a
+// multi-component NEaT stack under web load, classifying each recovery,
+// and printing the Table 3 breakdown.
+//
+// -matrix runs the extended campaign instead: every fault kind (crash,
+// hang, storm) against every component of the plane (pf, ip, udp, tcp,
+// driver, syscall) under watchdog failure detection, reported as an
+// extended Table 3.
+//
+// -replay re-executes a single matrix run verbosely for debugging: the
+// same seed reproduces the run bit for bit, and the report dumps the
+// watchdog and management-plane counters the campaign aggregates away.
 //
 // Usage:
 //
-//	neat-faults [-runs N] [-seed N] [-v]
+//	neat-faults [-runs N] [-seed N] [-quick]           Table 3 (§6.6)
+//	neat-faults -matrix [-seed N] [-quick]             fault matrix
+//	neat-faults -replay SEED [-kind K] [-comp C]       verbose single run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"neat/internal/experiments"
+	"neat/internal/faultinject"
 )
 
 func main() {
-	runs := flag.Int("runs", 100, "number of failing runs to collect")
+	runs := flag.Int("runs", 100, "number of failing runs to collect (Table 3 mode)")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	quick := flag.Bool("quick", false, "shorter observation windows")
+	matrix := flag.Bool("matrix", false, "run the extended kind × component fault matrix")
+	replay := flag.Int64("replay", 0, "re-run one matrix run with this seed, verbosely")
+	kindName := flag.String("kind", "crash", "fault kind for -replay: crash, hang or storm")
+	comp := flag.String("comp", "tcp", "component for -replay: pf, ip, udp, tcp, driver or syscall")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick || *runs < 100, Seed: *seed}
-	res := experiments.Table3(o)
-	fmt.Print(res.String())
-	fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
+	switch {
+	case *replay != 0:
+		kind, err := faultinject.KindFromString(*kindName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		o := experiments.Options{Quick: *quick, Seed: *seed}
+		fmt.Print(experiments.FaultReplay(o, *replay, kind, *comp).String())
+	case *matrix:
+		o := experiments.Options{Quick: *quick, Seed: *seed}
+		fmt.Print(experiments.FaultMatrix(o).String())
+		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
+	default:
+		o := experiments.Options{Quick: *quick || *runs < 100, Seed: *seed}
+		fmt.Print(experiments.Table3(o).String())
+		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
+	}
 }

@@ -42,6 +42,10 @@ const (
 	SlotActive
 	SlotTerminating // lazy termination: draining connections (§3.4)
 	SlotRecovering
+	// SlotQuarantined is the escalation terminus: the slot failed too many
+	// times within the sliding window and is permanently fenced — processes
+	// killed, queue unbound, no further respawns.
+	SlotQuarantined
 )
 
 // String names the state.
@@ -55,6 +59,8 @@ func (s SlotState) String() string {
 		return "terminating"
 	case SlotRecovering:
 		return "recovering"
+	case SlotQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("SlotState(%d)", int(s))
 	}
@@ -98,6 +104,12 @@ type Config struct {
 	// capacity the paper quotes for Intel 10G filters).
 	UseNICFlowTracking   bool
 	NICTrackingTableSize int
+	// Watchdog configures heartbeat-based failure detection (watchdog.go).
+	// Disabled by default: paper-fidelity mode keeps the instantaneous
+	// crash oracle of §3.6. Enabling it supervises every stack component,
+	// the NIC driver and the SYSCALL server with periodic heartbeats, which
+	// also detects hangs/livelocks the oracle cannot see.
+	Watchdog WatchdogConfig
 }
 
 // Stats counts management-plane events.
@@ -113,6 +125,11 @@ type Stats struct {
 	ReplicasGarbage     uint64 // lazily terminated replicas collected
 	FiltersInstalled    uint64
 	FiltersRemoved      uint64
+	SecondaryCrashes    uint64 // crashes merged into an in-flight recovery
+	ReplicaRebuilds     uint64 // whole-replica rebuilds (escalation step 2)
+	SlotsQuarantined    uint64 // slots fenced by escalation (step 3)
+	DriverRecoveries    uint64 // NIC driver respawns
+	SyscallRecoveries   uint64 // SYSCALL server respawns
 }
 
 // ErrNoFreeSlot is returned by ScaleUp when every slot is in use.
@@ -139,6 +156,14 @@ type System struct {
 	// terminated replicas) so the crash watcher ignores them.
 	expectedKills map[*sim.Proc]bool
 
+	// wd is the heartbeat failure detector (nil in paper-fidelity mode).
+	wd *Watchdog
+
+	// Sliding failure windows for the singleton system services, driving
+	// their exponential respawn backoff.
+	driverFails  []sim.Time
+	syscallFails []sim.Time
+
 	stats Stats
 }
 
@@ -147,6 +172,20 @@ type slot struct {
 	state   SlotState
 	replica *stack.Replica
 	threads []*sim.HWThread
+
+	// failTimes is the slot's sliding failure window (escalation + backoff).
+	failTimes []sim.Time
+
+	// Recovery-cycle bookkeeping: set when the slot enters SlotRecovering,
+	// updated if further components die before the respawn fires, consumed
+	// by completeRecovery. Keeping it on the slot (instead of captured in
+	// the After closure) is what lets a second crash within the
+	// RecoveryDelay window merge into the cycle instead of being dropped.
+	recPrev        SlotState
+	recTCPLost     bool
+	recStateful    bool
+	recTransparent bool
+	recSnap        *tcpeng.Snapshot
 }
 
 // New boots a NEaT system.
@@ -167,6 +206,7 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 	if cfg.RecoveryDelay == 0 {
 		cfg.RecoveryDelay = 500 * sim.Microsecond
 	}
+	cfg.Watchdog = cfg.Watchdog.withDefaults()
 	sys := &System{
 		s: s, cfg: cfg,
 		conns:         map[*stack.Replica]map[uint64]*sim.Proc{},
@@ -193,7 +233,19 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 		sys.scheduleCheckpoints()
 	}
 	if cfg.AutoRecover {
-		s.OnCrash(sys.onCrash)
+		if cfg.Watchdog.Enabled {
+			// Watchdog mode: no crash oracle — failures are detected (and
+			// hangs can only be detected) by missed heartbeats. The whole
+			// plane is supervised: driver, SYSCALL server, every replica.
+			sys.wd = newWatchdog(sys)
+			sys.wd.Watch(cfg.Driver.Proc())
+			sys.wd.Watch(sys.sys.Proc())
+			for _, sl := range sys.slots {
+				sys.superviseReplica(sl)
+			}
+		} else {
+			s.OnCrash(sys.onCrash)
+		}
 	}
 	return sys, nil
 }
@@ -204,6 +256,13 @@ func (sys *System) SyscallProc() *sim.Proc { return sys.sys.Proc() }
 
 // Syscall returns the SYSCALL server.
 func (sys *System) Syscall() *sysserver.Server { return sys.sys }
+
+// Driver returns the NIC driver the system manages.
+func (sys *System) Driver() *nicdev.Driver { return sys.cfg.Driver }
+
+// Watchdog returns the heartbeat failure detector, or nil in
+// paper-fidelity (instant-oracle) mode.
+func (sys *System) Watchdog() *Watchdog { return sys.wd }
 
 // Stats returns a snapshot of the management counters.
 func (sys *System) Stats() Stats { return sys.stats }
@@ -265,6 +324,19 @@ func (sys *System) activate(sl *slot) {
 	sys.installHooks(sl)
 	sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
 	sys.replayListens(r)
+	sys.superviseReplica(sl)
+}
+
+// superviseReplica puts every process of the slot's replica under watchdog
+// supervision (no-op in paper-fidelity mode, where the crash oracle covers
+// all processes for free).
+func (sys *System) superviseReplica(sl *slot) {
+	if sys.wd == nil || sl.replica == nil {
+		return
+	}
+	for _, p := range sl.replica.Procs() {
+		sys.wd.Watch(p)
+	}
 }
 
 // installHooks wires connection-lifecycle hooks for NIC steering, crash
@@ -417,7 +489,11 @@ func (sys *System) ScaleDown() error {
 // collect garbage-collects a drained terminating replica.
 func (sys *System) collect(sl *slot) {
 	for _, p := range sl.replica.Procs() {
-		sys.expectedKills[p] = true
+		if sys.wd != nil {
+			sys.wd.Unwatch(p)
+		} else {
+			sys.expectedKills[p] = true
+		}
 	}
 	sys.cfg.Driver.BindQueue(sl.index, nil)
 	sl.replica.Kill()
@@ -428,6 +504,11 @@ func (sys *System) collect(sl *slot) {
 }
 
 // updateRSS points the NIC's RSS indirection at the active replicas only.
+// With zero active replicas (all terminating, recovering or quarantined)
+// the NIC is put into the explicit drop-all state: unmatched flows are
+// dropped in hardware instead of hashing onto a queue whose replica cannot
+// accept them, while exact-match filters keep serving the established
+// connections of terminating replicas.
 func (sys *System) updateRSS() {
 	var queues []int
 	for _, sl := range sys.slots {
@@ -435,9 +516,7 @@ func (sys *System) updateRSS() {
 			queues = append(queues, sl.index)
 		}
 	}
-	if len(queues) > 0 {
-		sys.cfg.NIC.SetRSSQueues(queues)
-	}
+	sys.cfg.NIC.SetRSSQueues(queues)
 }
 
 // scheduleCheckpoints drives the periodic OpCheckpoint ticks.
@@ -454,11 +533,21 @@ func (sys *System) scheduleCheckpoints() {
 
 // ---- recovery (§3.6) ----
 
-// onCrash is the failure detector: the microkernel notifies us of a dead
-// process and we spawn a replacement after RecoveryDelay.
+// onCrash is the instantaneous failure detector of paper-fidelity mode:
+// the microkernel notifies us of a dead process and we spawn a replacement
+// after RecoveryDelay. Watchdog mode replaces this oracle with heartbeat
+// probing (watchdog.go), which additionally catches hangs.
 func (sys *System) onCrash(p *sim.Proc, cause error) {
 	if sys.expectedKills[p] {
 		delete(sys.expectedKills, p)
+		return
+	}
+	if p == sys.cfg.Driver.Proc() {
+		sys.recoverDriver()
+		return
+	}
+	if p == sys.sys.Proc() {
+		sys.recoverSyscall()
 		return
 	}
 	for _, sl := range sys.slots {
@@ -467,80 +556,300 @@ func (sys *System) onCrash(p *sim.Proc, cause error) {
 		}
 		for _, rp := range sl.replica.Procs() {
 			if rp == p {
-				sys.recover(sl, p)
+				sys.recover(sl, p, sys.cfg.RecoveryDelay)
 				return
 			}
 		}
 	}
 }
 
-// recover replaces the dead component. The driver stops passing packets to
-// the dead process automatically (deliveries to dead processes are
-// dropped) until the replacement announces itself — the paper's "driver
-// does not pass any packets to the recovering replica until it announces
-// itself again" (§3.6).
-func (sys *System) recover(sl *slot, dead *sim.Proc) {
-	if sl.state == SlotRecovering {
+// watchdogFailure routes a watchdog detection to the right recovery path.
+// The failed process may still be running (hung, or spuriously suspected
+// on a lossy channel): either way the incarnation is no longer trusted and
+// is killed before its replacement is spawned.
+func (sys *System) watchdogFailure(p *sim.Proc) {
+	if !p.Dead() {
+		p.Crash(ErrWatchdogKilled)
+	}
+	if p == sys.cfg.Driver.Proc() {
+		sys.recoverDriver()
 		return
 	}
-	prev := sl.state
-	sl.state = SlotRecovering
+	if p == sys.sys.Proc() {
+		sys.recoverSyscall()
+		return
+	}
+	for _, sl := range sys.slots {
+		if sl.replica == nil {
+			continue
+		}
+		for _, rp := range sl.replica.Procs() {
+			if rp == p {
+				sys.escalate(sl, p)
+				return
+			}
+		}
+	}
+}
+
+// escalate drives the supervision ladder for a replica failure in watchdog
+// mode: component restart on a first failure, whole-replica rebuild on a
+// repeated failure within the sliding window, quarantine once the window
+// fills up — with exponentially backed-off respawn delays throughout, so a
+// crash storm converges to a fenced slot instead of a respawn busy-loop.
+func (sys *System) escalate(sl *slot, dead *sim.Proc) {
+	if sl.replica == nil || sl.state == SlotQuarantined {
+		return
+	}
+	if sl.state == SlotRecovering {
+		// A second component died while its sibling's respawn is pending:
+		// merge into the in-flight recovery cycle.
+		sys.recover(sl, dead, 0)
+		return
+	}
+	wd := sys.cfg.Watchdog
+	now := sys.s.Now()
+	kept := sl.failTimes[:0]
+	for _, t := range sl.failTimes {
+		if t >= now-wd.Window {
+			kept = append(kept, t)
+		}
+	}
+	sl.failTimes = append(kept, now)
+	n := len(sl.failTimes)
+	if n >= wd.MaxRestarts {
+		sys.quarantine(sl)
+		return
+	}
+	delay := sys.cfg.RecoveryDelay << (n - 1)
+	if delay > wd.BackoffMax || delay <= 0 {
+		delay = wd.BackoffMax
+	}
+	if n >= 2 && sl.replica.Kind() == stack.Multi {
+		// Second strike: stop trusting the surviving component and rebuild
+		// the whole replica from scratch.
+		sys.stats.ReplicaRebuilds++
+		for _, p := range sl.replica.Procs() {
+			if !p.Dead() {
+				sys.wd.Unwatch(p)
+				p.Crash(ErrWatchdogKilled)
+			}
+		}
+		dead = sl.replica.SockProc()
+	}
+	sys.recover(sl, dead, delay)
+}
+
+// recover accounts a dead component of a replica slot and schedules its
+// rebuild after delay. The first crash of a recovery cycle opens the
+// cycle; further crashes within the same cycle (e.g. the second component
+// of a multi-component replica dying inside the RecoveryDelay window)
+// merge into it: their consequences are recorded — a TCP-component death
+// reclassifies a provisionally transparent recovery as connection-losing —
+// instead of being silently dropped. The driver stops passing packets to
+// dead processes automatically until the replacement announces itself
+// (§3.6).
+func (sys *System) recover(sl *slot, dead *sim.Proc, delay sim.Time) {
 	r := sl.replica
-	sys.stats.Recoveries++
+	first := sl.state != SlotRecovering
+	if first {
+		sl.recPrev = sl.state
+		sl.state = SlotRecovering
+		sl.recTCPLost = false
+		sl.recStateful = false
+		sl.recTransparent = false
+		sl.recSnap = nil
+		sys.stats.Recoveries++
+	} else {
+		sys.stats.SecondaryCrashes++
+	}
 
 	tcpLost := r.Kind() == stack.Single || dead == r.SockProc()
-	snap := sys.checkpoints[sl.index]
-	stateful := tcpLost && sys.cfg.CheckpointInterval > 0 && snap != nil
-	if tcpLost && stateful {
-		// Stateful recovery: connections will be restored from the last
-		// checkpoint — do not declare them lost.
+	if tcpLost && !sl.recTCPLost {
+		sl.recTCPLost = true
+		if sl.recTransparent {
+			// The earlier crash of this cycle looked transparent; the TCP
+			// component dying within the same window reclassifies the whole
+			// recovery as connection-losing.
+			sys.stats.TransparentRecov--
+			sl.recTransparent = false
+		}
+		snap := sys.checkpoints[sl.index]
+		sl.recStateful = sys.cfg.CheckpointInterval > 0 && snap != nil
+		sl.recSnap = snap
 		sys.stats.TCPStateLost++
-		sys.conns[r] = map[uint64]*sim.Proc{}
-	} else if tcpLost {
-		sys.stats.TCPStateLost++
-		// All connections of this replica are gone. Tell the owning apps:
-		// their libraries observe the shared-memory channels tearing down.
-		for connID, app := range sys.conns[r] {
-			sys.stats.ConnectionsLost++
-			if app != nil {
-				app.Deliver(stack.EvClosed{Stack: dead, ConnID: connID,
-					Reset: true, Err: stack.ErrReplicaFailure})
+		if !sl.recStateful {
+			// All connections of this replica are gone. Tell the owning
+			// apps: their libraries observe the shared-memory channels
+			// tearing down. (Stateful mode restores them from the last
+			// checkpoint instead — do not declare them lost.)
+			for connID, app := range sys.conns[r] {
+				sys.stats.ConnectionsLost++
+				if app != nil {
+					app.Deliver(stack.EvClosed{Stack: dead, ConnID: connID,
+						Reset: true, Err: stack.ErrReplicaFailure})
+				}
 			}
 		}
 		sys.conns[r] = map[uint64]*sim.Proc{}
-	} else {
+	} else if !tcpLost && first {
+		sl.recTransparent = true
 		sys.stats.TransparentRecov++
 	}
 
-	sys.s.After(sys.cfg.RecoveryDelay, func() {
-		if r.Kind() == stack.Single {
-			r.Rebuild(sl.threads[0])
-		} else {
-			// Restart whichever components are dead (both, if the whole
-			// replica was killed).
-			if r.SockProc().Dead() {
-				r.RestartTCP(sl.threads[1])
+	if first {
+		sys.s.After(delay, func() { sys.completeRecovery(sl) })
+	}
+}
+
+// completeRecovery is the reincarnation step: respawn whatever died,
+// splice the new processes into the replica's channels, re-announce the
+// NIC queue, and replay or restore state as needed. It reads the slot's
+// recovery flags (not closure captures) so crashes merged into the cycle
+// after scheduling are honored.
+func (sys *System) completeRecovery(sl *slot) {
+	r := sl.replica
+	if r == nil || sl.state != SlotRecovering {
+		return // quarantined (or collected) while the respawn was pending
+	}
+	if r.Kind() == stack.Single {
+		r.Rebuild(sl.threads[0])
+	} else {
+		// Restart whichever components are dead (both, if the whole
+		// replica was killed).
+		if r.SockProc().Dead() {
+			r.RestartTCP(sl.threads[1])
+		}
+		if r.EntryProc().Dead() {
+			r.RestartIP(sl.threads[0])
+		}
+	}
+	sys.installHooks(sl)
+	sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
+	if sl.recTCPLost && sl.recStateful {
+		// The snapshot carries the listener table; only genuinely new
+		// listens (registered after the snapshot) need replaying, and
+		// replaying all is harmless (duplicates are rejected).
+		r.SockProc().Deliver(stack.OpRestore{Snap: sl.recSnap})
+		sys.replayListens(r)
+	} else if sl.recTCPLost {
+		sys.replayListens(r)
+	}
+	if sl.recPrev == SlotTerminating {
+		sl.state = SlotTerminating
+	} else {
+		sl.state = SlotActive
+	}
+	sl.recSnap = nil
+	sys.updateRSS()
+	sys.superviseReplica(sl)
+}
+
+// quarantine permanently fences a slot that keeps failing: processes
+// killed, connections declared lost, NIC queue unbound, slot removed from
+// RSS, and no further respawns attempted. The escalation terminus — a
+// slot caught in a crash storm must not consume unbounded respawn work,
+// and the remaining replicas keep serving.
+func (sys *System) quarantine(sl *slot) {
+	r := sl.replica
+	if r == nil || sl.state == SlotQuarantined {
+		return
+	}
+	sl.state = SlotQuarantined
+	sys.stats.SlotsQuarantined++
+	for connID, app := range sys.conns[r] {
+		sys.stats.ConnectionsLost++
+		if app != nil {
+			app.Deliver(stack.EvClosed{Stack: r.SockProc(), ConnID: connID,
+				Reset: true, Err: stack.ErrReplicaFailure})
+		}
+	}
+	delete(sys.conns, r)
+	for _, p := range r.Procs() {
+		if sys.wd != nil {
+			sys.wd.Unwatch(p)
+		}
+		if !p.Dead() {
+			if sys.wd == nil {
+				sys.expectedKills[p] = true
 			}
-			if r.EntryProc().Dead() {
-				r.RestartIP(sl.threads[0])
+			p.Kill()
+		}
+	}
+	sys.cfg.Driver.BindQueue(sl.index, nil)
+	sl.replica = nil
+	sys.updateRSS()
+}
+
+// Quarantine administratively fences slot i (an ops action; the escalation
+// ladder calls the same path).
+func (sys *System) Quarantine(i int) error {
+	if i < 0 || i >= len(sys.slots) {
+		return fmt.Errorf("core: slot %d out of range", i)
+	}
+	sl := sys.slots[i]
+	if sl.replica == nil {
+		return fmt.Errorf("core: slot %d has no replica (%s)", i, sl.state)
+	}
+	sys.quarantine(sl)
+	return nil
+}
+
+// recoverDriver respawns the NIC driver after a failure. The replacement
+// keeps the driver endpoint (replica TX channels stay valid — the
+// reincarnation-server contract for system services), but knows no queue
+// bindings: the management plane re-announces every live replica and then
+// kicks the device to drain whatever accumulated in the hardware queues
+// while the driver was down. Frames delivered to the dead incarnation were
+// lost; TCP retransmission covers for them.
+func (sys *System) recoverDriver() {
+	sys.stats.DriverRecoveries++
+	delay := sys.backoffDelay(&sys.driverFails)
+	sys.s.After(delay, func() {
+		d := sys.cfg.Driver
+		d.Restart()
+		for _, sl := range sys.slots {
+			if sl.replica != nil && sl.state != SlotQuarantined && !sl.replica.EntryProc().Dead() {
+				d.BindQueue(sl.index, sl.replica.EntryProc())
 			}
 		}
-		sys.installHooks(sl)
-		sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
-		if tcpLost && stateful {
-			// The snapshot carries the listener table; only genuinely new
-			// listens (registered after the snapshot) need replaying, and
-			// replaying all is harmless (duplicates are rejected).
-			r.SockProc().Deliver(stack.OpRestore{Snap: snap})
-			sys.replayListens(r)
-		} else if tcpLost {
-			sys.replayListens(r)
+		d.Kick()
+		if sys.wd != nil {
+			sys.wd.Watch(d.Proc())
 		}
-		if prev == SlotTerminating {
-			sl.state = SlotTerminating
-		} else {
-			sl.state = SlotActive
-		}
-		sys.updateRSS()
 	})
+}
+
+// recoverSyscall respawns the SYSCALL server. The listen table lives in
+// the management plane and survives; applications keep their endpoint
+// reference; only in-flight control-plane operations are lost.
+func (sys *System) recoverSyscall() {
+	sys.stats.SyscallRecoveries++
+	delay := sys.backoffDelay(&sys.syscallFails)
+	sys.s.After(delay, func() {
+		sys.sys.Restart()
+		if sys.wd != nil {
+			sys.wd.Watch(sys.sys.Proc())
+		}
+	})
+}
+
+// backoffDelay records a failure into the sliding window and returns the
+// respawn delay: RecoveryDelay doubled per recent failure, capped at
+// BackoffMax — a respawn storm must not busy-loop the reincarnation path.
+func (sys *System) backoffDelay(times *[]sim.Time) sim.Time {
+	wd := sys.cfg.Watchdog
+	now := sys.s.Now()
+	kept := (*times)[:0]
+	for _, t := range *times {
+		if t >= now-wd.Window {
+			kept = append(kept, t)
+		}
+	}
+	*times = append(kept, now)
+	delay := sys.cfg.RecoveryDelay << (len(*times) - 1)
+	if delay > wd.BackoffMax || delay <= 0 {
+		delay = wd.BackoffMax
+	}
+	return delay
 }

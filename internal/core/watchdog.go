@@ -1,0 +1,240 @@
+// Watchdog: heartbeat-based failure detection for the whole NEaT plane.
+//
+// Paper-fidelity mode relies on the microkernel's instantaneous crash
+// notification (sim.OnCrash) — a perfect oracle that cannot see a hung
+// process, because a livelocked component is alive as far as the kernel is
+// concerned while draining no work. The watchdog replaces the oracle with
+// an imperfect detector of the kind a real reincarnation server must use:
+// it pings every supervised process on a fixed interval and declares a
+// process failed after K consecutive unanswered probes.
+//
+// Heartbeats are answered by the dispatch loop itself, never by the
+// component's handler (sim.HeartbeatPing), so an ack certifies exactly
+// "this process is draining its inbox". Crashes (deliveries dropped),
+// hangs (deliveries queued but never dispatched) and sufficiently lossy
+// message channels all look identical to the prober: missed acks. The
+// third case makes the detector imperfect — a spurious detection kills and
+// respawns a healthy process, which is safe (state loss is the same as a
+// crash) but wasted work, the classic trade-off of timeout-based failure
+// detectors.
+//
+// Detection latency is bounded: a process that fails at time t is declared
+// dead no later than t + (Misses+1)·Interval + one probe round-trip — the
+// first probe after the failure may lag it by up to a full interval, and
+// Misses further intervals must elapse before the threshold is crossed.
+package core
+
+import (
+	"errors"
+
+	"neat/internal/metrics"
+	"neat/internal/sim"
+)
+
+// ErrWatchdogKilled is the crash cause recorded when the watchdog kills a
+// process it declared failed (hung, or spuriously suspected) before
+// respawning it.
+var ErrWatchdogKilled = errors.New("core: killed by watchdog after missed heartbeats")
+
+// WatchdogConfig tunes heartbeat-based failure detection.
+type WatchdogConfig struct {
+	// Enabled switches failure detection from the paper-fidelity
+	// instantaneous crash oracle to heartbeat probing. Default off: the
+	// oracle reproduces §3.6/Table 3 exactly.
+	Enabled bool
+	// Interval between probe rounds (default 100 µs).
+	Interval sim.Time
+	// Misses is K: a process is declared failed after K consecutive
+	// unanswered probes (default 3).
+	Misses int
+	// MaxRestarts is M: the M-th failure of one slot within Window
+	// quarantines the slot instead of respawning again (default 5).
+	MaxRestarts int
+	// Window is the sliding failure window for escalation and backoff
+	// (default 50 ms).
+	Window sim.Time
+	// BackoffMax caps the exponential respawn backoff (default 8 ms).
+	BackoffMax sim.Time
+}
+
+// withDefaults fills zero fields. Called unconditionally by New so the
+// backoff parameters are usable even in oracle mode.
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Interval == 0 {
+		c.Interval = 100 * sim.Microsecond
+	}
+	if c.Misses == 0 {
+		c.Misses = 3
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 5
+	}
+	if c.Window == 0 {
+		c.Window = 50 * sim.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 8 * sim.Millisecond
+	}
+	return c
+}
+
+// WatchdogStats counts detector activity.
+type WatchdogStats struct {
+	ProbesSent       uint64
+	AcksReceived     uint64
+	ProbesMissed     uint64
+	CrashesDetected  uint64 // declared processes that were dead
+	HangsDetected    uint64 // declared processes that were hung (alive, not draining)
+	SpuriousDetected uint64 // declared processes that were healthy (lossy channel)
+}
+
+// Watchdog is the prober process. It runs on the SYSCALL thread (the
+// management-plane core): a distinct process, so a hung SYSCALL server
+// does not take the detector down with it. The watchdog itself is the root
+// of the supervision tree and is assumed reliable, as the reincarnation
+// server is in MINIX-lineage systems.
+type Watchdog struct {
+	sys  *System
+	cfg  WatchdogConfig
+	proc *sim.Proc
+
+	seq uint64
+	// targets is the ordered supervised set — iteration must be
+	// deterministic, so a map is used only for lookup.
+	targets []*sim.Proc
+	entries map[*sim.Proc]*watchEntry
+	timer   sim.Timer
+
+	stats  WatchdogStats
+	detect metrics.Histogram // failure-onset → declaration latency
+}
+
+type watchEntry struct {
+	awaiting bool   // a probe is outstanding
+	missed   int    // consecutive unanswered probes
+	lastSeq  uint64 // seq of the outstanding probe; stale acks are ignored
+}
+
+// wdTick drives one probe round.
+type wdTick struct{}
+
+// Per-operation cycle costs of the prober (small: the watchdog must stay
+// negligible next to the data plane).
+const (
+	wdTickCycles  = 200
+	wdProbeCycles = 120
+	wdAckCycles   = 60
+)
+
+func newWatchdog(sys *System) *Watchdog {
+	w := &Watchdog{sys: sys, cfg: sys.cfg.Watchdog,
+		entries: map[*sim.Proc]*watchEntry{}}
+	w.proc = sim.NewProc(sys.cfg.SyscallThread, "watchdog", w, sim.ProcConfig{
+		Component: "watchdog", WakeCycles: 1400, HaltCycles: 900, DispatchCycles: 80,
+	})
+	sys.s.DeliverAt(sys.s.Now()+w.cfg.Interval, w.proc, wdTick{})
+	return w
+}
+
+// Proc returns the watchdog's process.
+func (w *Watchdog) Proc() *sim.Proc { return w.proc }
+
+// Stats returns a snapshot of the detector counters.
+func (w *Watchdog) Stats() WatchdogStats { return w.stats }
+
+// DetectionLatency returns the failure-onset → declaration latency
+// distribution across all detections.
+func (w *Watchdog) DetectionLatency() *metrics.Histogram { return &w.detect }
+
+// NumWatched returns the supervised-process count.
+func (w *Watchdog) NumWatched() int { return len(w.targets) }
+
+// Watch adds p to the supervised set (idempotent).
+func (w *Watchdog) Watch(p *sim.Proc) {
+	if p == nil {
+		return
+	}
+	if _, ok := w.entries[p]; ok {
+		return
+	}
+	w.entries[p] = &watchEntry{}
+	w.targets = append(w.targets, p)
+}
+
+// Unwatch removes p from the supervised set (no-op if absent).
+func (w *Watchdog) Unwatch(p *sim.Proc) {
+	if _, ok := w.entries[p]; !ok {
+		return
+	}
+	delete(w.entries, p)
+	for i, t := range w.targets {
+		if t == p {
+			w.targets = append(w.targets[:i], w.targets[i+1:]...)
+			break
+		}
+	}
+}
+
+// HandleMessage implements sim.Handler.
+func (w *Watchdog) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	switch m := msg.(type) {
+	case wdTick:
+		w.tick(ctx)
+		ctx.Retimer(&w.timer, w.cfg.Interval, wdTick{})
+	case sim.HeartbeatAck:
+		ctx.Charge(wdAckCycles)
+		if e := w.entries[m.From]; e != nil && m.Seq == e.lastSeq {
+			e.awaiting = false
+			e.missed = 0
+			w.stats.AcksReceived++
+		}
+	}
+}
+
+// tick runs one probe round: count probes that went unanswered since the
+// previous round, declare processes that crossed the miss threshold, and
+// ping the rest.
+func (w *Watchdog) tick(ctx *sim.Context) {
+	ctx.Charge(wdTickCycles)
+	var failed []*sim.Proc
+	for _, p := range w.targets {
+		e := w.entries[p]
+		if e.awaiting {
+			e.missed++
+			w.stats.ProbesMissed++
+			if e.missed >= w.cfg.Misses {
+				// Declared after the loop: declaration mutates the target
+				// set (unwatch, escalation kills).
+				failed = append(failed, p)
+				continue
+			}
+		}
+		w.seq++
+		e.lastSeq = w.seq
+		e.awaiting = true
+		w.stats.ProbesSent++
+		ctx.Charge(wdProbeCycles)
+		ctx.Send(p, sim.HeartbeatPing{ReplyTo: w.proc, Seq: w.seq})
+	}
+	for _, p := range failed {
+		w.declare(p)
+	}
+}
+
+// declare classifies and reports a failed process, then hands it to the
+// management plane for recovery.
+func (w *Watchdog) declare(p *sim.Proc) {
+	switch {
+	case p.Hung():
+		w.stats.HangsDetected++
+	case p.Dead():
+		w.stats.CrashesDetected++
+	default:
+		w.stats.SpuriousDetected++
+	}
+	if p.Dead() || p.Hung() {
+		w.detect.Observe(w.sys.s.Now() - p.FailedAt())
+	}
+	w.Unwatch(p)
+	w.sys.watchdogFailure(p)
+}

@@ -83,6 +83,9 @@ type BedConfig struct {
 	ReplicaSlots [][]testbed.ThreadLoc
 	SyscallLoc   testbed.ThreadLoc
 	DriverLoc    testbed.ThreadLoc // Xeon only (AMD pins the driver to core 0)
+	// Watchdog switches failure detection to heartbeat probing (the
+	// fault-matrix campaign; Table 3 keeps the paper's crash oracle).
+	Watchdog core.WatchdogConfig
 
 	// Linux baseline configuration (used when LinuxCores > 0): kernel
 	// contexts on threads LinuxLocs, web i colocated with context i.
@@ -162,9 +165,10 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 		scfg.Costs = ServerStackCosts()
 		sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
 			Kind: cfg.Kind, TCP: tcp,
-			Slots:   cfg.ReplicaSlots,
-			Syscall: cfg.SyscallLoc,
-			Stack:   &scfg,
+			Slots:    cfg.ReplicaSlots,
+			Syscall:  cfg.SyscallLoc,
+			Stack:    &scfg,
+			Watchdog: cfg.Watchdog,
 		})
 		if err != nil {
 			return nil, err

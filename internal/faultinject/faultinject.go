@@ -34,12 +34,73 @@ type Component struct {
 	Weight float64 // proportional to estimated code size
 }
 
-// DefaultComponents is the per-component code-size model.
+// DefaultComponents is the per-component code-size model of §6.6: the
+// paper injects faults into the stack replicas only.
 var DefaultComponents = []Component{
 	{Name: "pf", Weight: 155},
 	{Name: "ip", Weight: 230},
 	{Name: "udp", Weight: 153},
 	{Name: "tcp", Weight: 462},
+}
+
+// MatrixComponents extends the fault surface to the whole plane for the
+// fault-matrix campaign: the singleton NIC driver and SYSCALL server are
+// injectable too. Their weights follow the same code-size rationale
+// (a 10G driver is a substantial body of code; the SYSCALL server is
+// thin). DefaultComponents is deliberately left unchanged so Table 3
+// reproduces the paper.
+var MatrixComponents = []Component{
+	{Name: "pf", Weight: 155},
+	{Name: "ip", Weight: 230},
+	{Name: "udp", Weight: 153},
+	{Name: "tcp", Weight: 462},
+	{Name: "driver", Weight: 180},
+	{Name: "syscall", Weight: 90},
+}
+
+// Kind is the class of injected fault.
+type Kind int
+
+// Fault kinds of the extended model. The paper's methodology (§6.6) only
+// crashes processes; hangs exercise the imperfect failure detector
+// (a hung process is invisible to the crash oracle), and storms exercise
+// the escalation ladder.
+const (
+	// KindCrash kills the target instantly (the paper's fault model).
+	KindCrash Kind = iota
+	// KindHang livelocks the target: it stays alive but stops draining
+	// its inbox. Only a heartbeat watchdog can detect this.
+	KindHang
+	// KindStorm crashes the target repeatedly in quick succession
+	// (callers drive the repeat cadence via ReInject).
+	KindStorm
+)
+
+// KindFromString parses a fault-kind name ("crash", "hang", "storm").
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "crash":
+		return KindCrash, nil
+	case "hang":
+		return KindHang, nil
+	case "storm":
+		return KindStorm, nil
+	}
+	return 0, errors.New("faultinject: unknown fault kind " + s)
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindHang:
+		return "hang"
+	case KindStorm:
+		return "storm"
+	default:
+		return "unknown"
+	}
 }
 
 // Outcome classifies one failing run.
@@ -116,6 +177,8 @@ type Injection struct {
 }
 
 // Inject crashes the component's process in a random live replica of sys.
+// On a drained system (no live replicas — all slots empty or quarantined)
+// it reports ok=false without injecting anything.
 func (inj *Injector) Inject(sys *core.System) (Injection, bool) {
 	replicas := sys.Replicas()
 	if len(replicas) == 0 {
@@ -123,17 +186,7 @@ func (inj *Injector) Inject(sys *core.System) (Injection, bool) {
 	}
 	r := replicas[inj.rng.Intn(len(replicas))]
 	comp := inj.Pick()
-	var target *sim.Proc
-	switch {
-	case r.Kind() == stack.Single:
-		// Everything lives in one process; any component fault kills it.
-		target = r.Procs()[0]
-	case comp == "tcp":
-		target = r.SockProc()
-	default:
-		// pf, ip and udp share the IP process in the two-process layout.
-		target = r.EntryProc()
-	}
+	target := Target(sys, r, comp)
 	injection := Injection{
 		Component:     comp,
 		Replica:       r,
@@ -142,4 +195,74 @@ func (inj *Injector) Inject(sys *core.System) (Injection, bool) {
 	}
 	target.Crash(ErrInjected)
 	return injection, true
+}
+
+// Target resolves the process currently implementing comp: the singleton
+// "driver"/"syscall" system processes, or comp's process within replica r.
+// Re-resolving through Target after a recovery finds the replacement
+// incarnation (replica restarts create new processes; the singletons keep
+// their endpoint).
+func Target(sys *core.System, r *stack.Replica, comp string) *sim.Proc {
+	switch comp {
+	case "driver":
+		return sys.Driver().Proc()
+	case "syscall":
+		return sys.SyscallProc()
+	}
+	switch {
+	case r == nil:
+		return nil
+	case r.Kind() == stack.Single:
+		// Everything lives in one process; any component fault kills it.
+		return r.Procs()[0]
+	case comp == "tcp":
+		return r.SockProc()
+	default:
+		// pf, ip and udp share the IP process in the two-process layout.
+		return r.EntryProc()
+	}
+}
+
+// InjectKind injects a fault of the given kind into the named component.
+// Replica components target a random live replica (ok=false on a drained
+// system, as Inject); "driver" and "syscall" target the singleton system
+// processes regardless of replica state. KindStorm applies its first
+// crash; callers repeat via ReInject at their chosen cadence.
+func (inj *Injector) InjectKind(sys *core.System, kind Kind, comp string) (Injection, bool) {
+	var r *stack.Replica
+	if comp != "driver" && comp != "syscall" {
+		replicas := sys.Replicas()
+		if len(replicas) == 0 {
+			return Injection{}, false
+		}
+		r = replicas[inj.rng.Intn(len(replicas))]
+	}
+	target := Target(sys, r, comp)
+	if target == nil {
+		return Injection{}, false
+	}
+	injection := Injection{
+		Component:     comp,
+		Replica:       r,
+		Proc:          target,
+		ExpectTCPLoss: r != nil && (r.Kind() == stack.Single || comp == "tcp"),
+	}
+	if kind == KindHang {
+		target.Hang()
+	} else {
+		target.Crash(ErrInjected)
+	}
+	return injection, true
+}
+
+// ReInject repeats a fault against the current incarnation of a previous
+// injection's component (for crash storms: each respawn is killed again).
+// Reports false once the target is gone (slot quarantined).
+func ReInject(sys *core.System, prev Injection) bool {
+	target := Target(sys, prev.Replica, prev.Component)
+	if target == nil || target.Dead() {
+		return false
+	}
+	target.Crash(ErrInjected)
+	return true
 }

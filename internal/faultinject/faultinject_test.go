@@ -4,6 +4,10 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"neat/internal/core"
+	"neat/internal/stack"
+	"neat/internal/testbed"
 )
 
 func TestWeightsMatchPaper(t *testing.T) {
@@ -26,10 +30,119 @@ func TestPickDistribution(t *testing.T) {
 	if math.Abs(got-0.462) > 0.02 {
 		t.Fatalf("empirical tcp share %.3f, want ≈0.462", got)
 	}
+	// Every component's empirical share must track its code-size weight,
+	// not just TCP's.
+	var total float64
 	for _, c := range DefaultComponents {
-		if counts[c.Name] == 0 {
-			t.Fatalf("component %s never picked", c.Name)
+		total += c.Weight
+	}
+	for _, c := range DefaultComponents {
+		want := c.Weight / total
+		emp := float64(counts[c.Name]) / n
+		if math.Abs(emp-want) > 0.02 {
+			t.Fatalf("component %s: empirical share %.3f, want ≈%.3f", c.Name, emp, want)
 		}
+	}
+}
+
+func TestMatrixComponentsExtendDefault(t *testing.T) {
+	inj := New(rand.New(rand.NewSource(3)), MatrixComponents)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[inj.Pick()]++
+	}
+	for _, name := range []string{"driver", "syscall"} {
+		if counts[name] == 0 {
+			t.Fatalf("matrix component %s never picked", name)
+		}
+	}
+	// Adding plane components must dilute the TCP share below the
+	// replica-only 46.2 %.
+	if s := inj.TCPShare(); s >= 0.462 {
+		t.Fatalf("matrix TCP share %.3f, want < 0.462", s)
+	}
+}
+
+// drainableBed boots a minimal 2-replica NEaT system for injection tests.
+func drainableBed(t *testing.T) (*testbed.Net, *core.System) {
+	t.Helper()
+	net := testbed.New(11)
+	server := testbed.DefaultAMDHost(net, 0, 4)
+	client := testbed.DefaultClientHost(net, 1, 1)
+	sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+		Kind:    stack.Single,
+		Slots:   testbed.SingleSlots(2, 2),
+		Syscall: testbed.ThreadLoc{Core: 1},
+	})
+	if err != nil {
+		t.Fatalf("BuildNEaT: %v", err)
+	}
+	return net, sys
+}
+
+func TestInjectDrainedSystemNoPanic(t *testing.T) {
+	net, sys := drainableBed(t)
+	inj := New(net.Sim.Rand(), nil)
+
+	// Live system: injection works.
+	if _, ok := inj.Inject(sys); !ok {
+		t.Fatal("injection on a live system failed")
+	}
+
+	// Drain it: quarantine every slot (the crashed replica included).
+	for i := 0; i < 2; i++ {
+		if err := sys.Quarantine(i); err != nil {
+			t.Fatalf("quarantine slot %d: %v", i, err)
+		}
+	}
+	if n := len(sys.Replicas()); n != 0 {
+		t.Fatalf("system not drained: %d replicas", n)
+	}
+
+	// Replica-targeted injections must decline, not panic.
+	if _, ok := inj.Inject(sys); ok {
+		t.Fatal("Inject on a drained system reported ok")
+	}
+	if _, ok := inj.InjectKind(sys, KindCrash, "tcp"); ok {
+		t.Fatal("InjectKind(tcp) on a drained system reported ok")
+	}
+	// The singleton system services remain injectable.
+	if _, ok := inj.InjectKind(sys, KindHang, "driver"); !ok {
+		t.Fatal("driver injection should not depend on replica state")
+	}
+	if !sys.Driver().Proc().Hung() {
+		t.Fatal("driver hang not applied")
+	}
+}
+
+func TestInjectKindHangAndStorm(t *testing.T) {
+	net, sys := drainableBed(t)
+	inj := New(net.Sim.Rand(), MatrixComponents)
+
+	hi, ok := inj.InjectKind(sys, KindHang, "tcp")
+	if !ok {
+		t.Fatal("hang injection failed")
+	}
+	if !hi.Proc.Hung() || hi.Proc.Dead() {
+		t.Fatal("hang target should be alive and hung")
+	}
+
+	si, ok := inj.InjectKind(sys, KindStorm, "syscall")
+	if !ok {
+		t.Fatal("storm injection failed")
+	}
+	if !si.Proc.Dead() {
+		t.Fatal("storm target should be dead after the first strike")
+	}
+	// ReInject declines while the incarnation is still dead...
+	if ReInject(sys, si) {
+		t.Fatal("ReInject hit an already-dead incarnation")
+	}
+	// ...and hits again once it respawns.
+	sys.Syscall().Restart()
+	if !ReInject(sys, si) {
+		t.Fatal("ReInject missed the respawned incarnation")
 	}
 }
 

@@ -73,6 +73,24 @@ func (d *Driver) Stats() DriverStats { return d.stats }
 // unbinds the queue (replica crashed or terminating).
 func (d *Driver) BindQueue(q int, proc *sim.Proc) { d.targets[q] = proc }
 
+// Restart revives a dead driver process in place (the reincarnation-server
+// contract: system services keep their IPC endpoint across incarnations,
+// so replicas' TX channels stay valid). The fresh incarnation knows no
+// queue bindings — the management plane must re-announce every replica and
+// then Kick the device. Frames that reached the dead process were lost;
+// frames sitting in the NIC's hardware queues survive.
+func (d *Driver) Restart() {
+	d.proc.Respawn()
+	for i := range d.targets {
+		d.targets[i] = nil
+	}
+}
+
+// Kick re-arms the NIC's RX notification after a driver restart, re-firing
+// the interrupt if frames accumulated in the hardware queues while the
+// driver was down. Call it after the queue bindings are re-announced.
+func (d *Driver) Kick() { d.nic.rearm() }
+
 // QueueTarget returns the process bound to queue q, or nil.
 func (d *Driver) QueueTarget(q int) *sim.Proc { return d.targets[q] }
 

@@ -60,6 +60,7 @@ type NICStats struct {
 	RxFrames       uint64
 	RxDropFull     uint64 // RX queue overflow drops
 	RxDropBad      uint64 // undecodable frames
+	RxDropNoRSS    uint64 // unmatched flows dropped while the RSS set is empty
 	RxFiltered     uint64 // frames steered by an exact filter
 	RxHashed       uint64 // frames steered by RSS
 	TxFrames       uint64
@@ -162,10 +163,12 @@ func (n *NIC) NumFilters() int { return len(n.filters) }
 // queues. NEaT uses this for lazy termination (§3.4): a replica in
 // termination state is removed from RSS so it receives no new connections,
 // while its exact-match filters keep serving existing ones.
+//
+// An empty set is the explicit drop-all state: with no replica able to
+// accept new connections (all quarantined or terminating), unmatched flows
+// are dropped in hardware (counted as RxDropNoRSS) instead of being hashed
+// onto a dead queue. Exact-match filters keep steering existing flows.
 func (n *NIC) SetRSSQueues(queues []int) error {
-	if len(queues) == 0 {
-		return fmt.Errorf("nicdev: RSS needs at least one queue")
-	}
 	for _, q := range queues {
 		if q < 0 || q >= len(n.queues) {
 			return fmt.Errorf("nicdev: queue %d out of range", q)
@@ -197,6 +200,11 @@ func (n *NIC) Receive(raw []byte) {
 	}
 	n.stats.RxFrames++
 	q := n.classify(f)
+	if q < 0 {
+		n.stats.RxDropNoRSS++
+		f.Release()
+		return
+	}
 	if len(n.queues[q].frames) >= n.queueDepth {
 		n.stats.RxDropFull++
 		f.Release()
@@ -214,6 +222,7 @@ func (n *NIC) Receive(raw []byte) {
 
 // classify picks the RX queue for a decoded frame: exact filter first, then
 // RSS hash over the enabled queues; non-flow traffic (ARP) goes to queue 0.
+// Returns -1 when the flow is unmatched and the RSS set is empty (drop-all).
 func (n *NIC) classify(f *proto.Frame) int {
 	flow, ok := f.Flow()
 	if !ok {
@@ -226,6 +235,9 @@ func (n *NIC) classify(f *proto.Frame) int {
 	if q, hit := n.tracked[flow]; hit {
 		n.stats.TrackHits++
 		return q
+	}
+	if len(n.rssQueues) == 0 {
+		return -1
 	}
 	n.stats.RxHashed++
 	q := n.rssQueues[int(flow.Hash())%len(n.rssQueues)]

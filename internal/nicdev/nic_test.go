@@ -111,11 +111,26 @@ func TestRSSRestrictedQueues(t *testing.T) {
 	if got := len(rig.got["C"]); got != 16 {
 		t.Fatalf("restricted RSS: queue C got %d of 16 (%v)", got, rig.got)
 	}
-	if err := rig.nic.SetRSSQueues(nil); err == nil {
-		t.Fatal("empty RSS set accepted")
-	}
 	if err := rig.nic.SetRSSQueues([]int{9}); err == nil {
 		t.Fatal("out-of-range RSS queue accepted")
+	}
+	// Empty RSS set is the explicit drop-all state: unmatched flows are
+	// dropped in hardware, exact filters keep steering.
+	if err := rig.nic.SetRSSQueues(nil); err != nil {
+		t.Fatalf("empty RSS set rejected: %v", err)
+	}
+	pinned := proto.Flow{Src: ipA, Dst: ipB, SrcPort: 3000, DstPort: 80, Proto: proto.ProtoTCP}
+	if err := rig.nic.InstallFilter(pinned, 1); err != nil {
+		t.Fatal(err)
+	}
+	rig.link.Transmit(0, tcpFrame(3000, nil)) // filtered: still delivered
+	rig.link.Transmit(0, tcpFrame(4000, nil)) // unmatched: dropped
+	rig.s.Drain()
+	if got := len(rig.got["B"]); got != 1 {
+		t.Fatalf("exact filter stopped steering in drop-all state: %v", rig.got)
+	}
+	if n := rig.nic.Stats().RxDropNoRSS; n != 1 {
+		t.Fatalf("RxDropNoRSS=%d, want 1", n)
 	}
 }
 

@@ -73,11 +73,32 @@ type ProcStats struct {
 	Dispatches   uint64
 	Messages     uint64
 	Dropped      uint64 // messages dropped because the process was dead
+	DropInjected uint64 // messages dropped by fault injection (SetDropRate)
 	Halts        uint64 // idle transitions (MWAIT entries)
 	CostNs       [numCostCategories]Time
 	CyclesByCat  [numCostCategories]int64
 	TotalCharged int64 // cycles
 }
+
+// HeartbeatPing probes a process for liveness. It is answered by the
+// dispatch loop itself, never by the process handler: a process acks a
+// ping if and only if it is actually draining its inbox, so both crashes
+// (deliveries dropped) and livelocks (deliveries queued but never
+// dispatched) manifest identically to the prober as missing acks.
+type HeartbeatPing struct {
+	ReplyTo *Proc
+	Seq     uint64
+}
+
+// HeartbeatAck is the dispatch loop's reply to a HeartbeatPing.
+type HeartbeatAck struct {
+	From *Proc
+	Seq  uint64
+}
+
+// HeartbeatCycles is the cost of answering one heartbeat probe (an inbox
+// pop plus a channel write — no protocol work).
+const HeartbeatCycles = 120
 
 // BusyNs returns total execution time across all categories.
 func (st *ProcStats) BusyNs() Time {
@@ -128,6 +149,9 @@ type Proc struct {
 	pending      []outMsg // sends buffered during the current dispatch
 	stats        ProcStats
 	crashed      error
+	hung         bool    // livelocked: alive but never drains the inbox
+	dropRate     float64 // injected IPC loss probability per delivery
+	failedAt     Time    // when the current fault (crash or hang) began
 }
 
 type outMsg struct {
@@ -187,6 +211,54 @@ func (p *Proc) Stats() ProcStats { return p.stats }
 // Dead reports whether the process has crashed or been killed.
 func (p *Proc) Dead() bool { return p.state == procDead }
 
+// Hung reports whether the process is livelocked (alive but not draining
+// its inbox).
+func (p *Proc) Hung() bool { return p.hung }
+
+// FailedAt returns the simulated time the current fault (crash or hang)
+// began, for measuring failure-detection latency. Zero if never failed.
+func (p *Proc) FailedAt() Time { return p.failedAt }
+
+// Hang livelocks the process: it stays alive — deliveries are accepted
+// and queue up — but its dispatch loop never runs again, so nothing is
+// processed and no heartbeat is answered. This is the fault the crash
+// oracle cannot see: only an active prober (a watchdog counting missed
+// heartbeats) can detect it. A hung process can still be crashed/killed.
+func (p *Proc) Hang() {
+	if p.state == procDead || p.hung {
+		return
+	}
+	p.hung = true
+	p.failedAt = p.sim.now
+}
+
+// SetDropRate injects IPC message loss: every delivery to this process is
+// dropped with probability rate (drawn from the simulation's deterministic
+// random source). Lost deliveries include heartbeat probes, so a lossy
+// channel can cause spurious failure detections — the imperfect-detector
+// scenario. Rate 0 disables injection.
+func (p *Proc) SetDropRate(rate float64) { p.dropRate = rate }
+
+// Respawn revives a dead process in place as a fresh incarnation: empty
+// inbox, fresh ASLR seed, cleared fault state. The Proc object — its IPC
+// endpoint — stays the same, modelling the reincarnation-server contract
+// for system services (NIC driver, SYSCALL server): clients keep their
+// channel to the stable endpoint while the process behind it is replaced.
+// Cumulative statistics survive; all in-flight state is gone.
+func (p *Proc) Respawn() {
+	if p.state != procDead {
+		return
+	}
+	p.state = procIdle
+	p.crashed = nil
+	p.hung = false
+	p.dropRate = 0
+	p.failedAt = 0
+	p.inbox = nil
+	p.pending = p.pending[:0]
+	p.ASLRSeed = p.sim.rng.Uint64()
+}
+
 // QueueLen returns the number of undelivered messages in the inbox.
 func (p *Proc) QueueLen() int { return len(p.inbox) }
 
@@ -199,8 +271,12 @@ func (p *Proc) Deliver(msg Message) {
 		p.stats.Dropped++
 		return
 	}
+	if p.dropRate > 0 && p.sim.rng.Float64() < p.dropRate {
+		p.stats.DropInjected++
+		return
+	}
 	p.inbox = append(p.inbox, msg)
-	if p.state == procIdle {
+	if p.state == procIdle && !p.hung {
 		p.scheduleDispatch()
 	}
 }
@@ -229,6 +305,12 @@ func (p *Proc) runDispatch() {
 	if p.state != procScheduled {
 		return // killed between scheduling and running
 	}
+	if p.hung {
+		// Livelocked: the dispatch fires but drains nothing; queued
+		// messages (including heartbeat probes) sit in the inbox forever.
+		p.state = procIdle
+		return
+	}
 	p.state = procRunning
 	p.stats.Dispatches++
 
@@ -252,6 +334,16 @@ func (p *Proc) runDispatch() {
 			}
 			tf.t.fired = true
 			msg = tf.msg
+		}
+		if hb, ok := msg.(HeartbeatPing); ok {
+			// Liveness probes are answered by the dispatch loop itself:
+			// the ack certifies "this process is draining its inbox".
+			p.stats.Messages++
+			p.charged += p.DispatchCycles + HeartbeatCycles
+			p.chargedByCat[CostProcessing] += p.DispatchCycles + HeartbeatCycles
+			p.pending = append(p.pending, outMsg{dst: hb.ReplyTo,
+				msg: HeartbeatAck{From: p, Seq: hb.Seq}, cyclesAt: p.charged})
+			continue
 		}
 		p.stats.Messages++
 		p.charged += p.DispatchCycles
@@ -302,7 +394,7 @@ func (p *Proc) runDispatch() {
 	if p.state == procDead {
 		return
 	}
-	if len(p.inbox) > 0 {
+	if len(p.inbox) > 0 && !p.hung {
 		// More work arrived while running; go again back-to-back.
 		p.state = procScheduled
 		p.sim.schedule(tEnd, event{kind: evDispatch, proc: p})
@@ -334,6 +426,11 @@ func (p *Proc) Crash(cause error) {
 	}
 	p.state = procDead
 	p.crashed = cause
+	if !p.hung {
+		// A hung process killed by a watchdog keeps its hang time: failure
+		// detection latency is measured from when the fault began.
+		p.failedAt = p.sim.now
+	}
 	p.inbox = nil
 	p.pending = p.pending[:0]
 	p.sim.notifyCrash(p, cause)

@@ -337,3 +337,146 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+func TestHangStopsDrainingButStaysAlive(t *testing.T) {
+	s := New(1)
+	m := NewMachine(s, "m", 1, 1, 1_000_000_000)
+	handled := 0
+	p := NewProc(m.Thread(0, 0), "w", HandlerFunc(func(ctx *Context, msg Message) {
+		handled++
+	}), ProcConfig{})
+	p.Deliver("a")
+	s.Drain()
+	if handled != 1 {
+		t.Fatalf("handled=%d", handled)
+	}
+	p.Hang()
+	if p.Dead() || !p.Hung() {
+		t.Fatalf("hang state: dead=%v hung=%v", p.Dead(), p.Hung())
+	}
+	if p.FailedAt() != s.Now() {
+		t.Fatalf("FailedAt=%v, want %v", p.FailedAt(), s.Now())
+	}
+	for i := 0; i < 5; i++ {
+		p.Deliver(i)
+	}
+	s.RunFor(Millisecond)
+	if handled != 1 {
+		t.Fatalf("hung process handled messages: %d", handled)
+	}
+	// Deliveries are accepted (not dropped): the inbox piles up.
+	if p.QueueLen() != 5 {
+		t.Fatalf("queue=%d, want 5", p.QueueLen())
+	}
+	if p.Stats().Dropped != 0 {
+		t.Fatalf("dropped=%d", p.Stats().Dropped)
+	}
+}
+
+func TestHeartbeatAnsweredOnlyWhenDraining(t *testing.T) {
+	s := New(1)
+	m := NewMachine(s, "m", 2, 1, 1_000_000_000)
+	var acks []HeartbeatAck
+	wd := NewProc(m.Thread(0, 0), "wd", HandlerFunc(func(ctx *Context, msg Message) {
+		if a, ok := msg.(HeartbeatAck); ok {
+			acks = append(acks, a)
+		}
+	}), ProcConfig{})
+	handled := 0
+	p := NewProc(m.Thread(1, 0), "w", HandlerFunc(func(ctx *Context, msg Message) {
+		handled++
+	}), ProcConfig{})
+	p.Deliver(HeartbeatPing{ReplyTo: wd, Seq: 7})
+	s.Drain()
+	if len(acks) != 1 || acks[0].From != p || acks[0].Seq != 7 {
+		t.Fatalf("acks=%v", acks)
+	}
+	if handled != 0 {
+		t.Fatal("heartbeat leaked into the process handler")
+	}
+	// Hung: ping queues but is never answered.
+	p.Hang()
+	p.Deliver(HeartbeatPing{ReplyTo: wd, Seq: 8})
+	s.RunFor(Millisecond)
+	if len(acks) != 1 {
+		t.Fatalf("hung process answered a heartbeat: %v", acks)
+	}
+	// Dead: ping dropped, never answered.
+	p.Kill()
+	p.Deliver(HeartbeatPing{ReplyTo: wd, Seq: 9})
+	s.RunFor(Millisecond)
+	if len(acks) != 1 {
+		t.Fatalf("dead process answered a heartbeat: %v", acks)
+	}
+}
+
+func TestDropRateInjectsLoss(t *testing.T) {
+	s := New(42)
+	m := NewMachine(s, "m", 1, 1, 1_000_000_000)
+	handled := 0
+	p := NewProc(m.Thread(0, 0), "w", HandlerFunc(func(ctx *Context, msg Message) {
+		handled++
+	}), ProcConfig{})
+	p.SetDropRate(0.5)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p.Deliver(i)
+	}
+	s.Drain()
+	inj := p.Stats().DropInjected
+	if handled+int(inj) != n {
+		t.Fatalf("handled=%d dropped=%d, want sum %d", handled, inj, n)
+	}
+	if inj < n/3 || inj > 2*n/3 {
+		t.Fatalf("injected drops=%d out of statistical range for rate 0.5", inj)
+	}
+	p.SetDropRate(0)
+	p.Deliver("x")
+	s.Drain()
+	if p.Stats().DropInjected != inj {
+		t.Fatal("drops injected after rate reset")
+	}
+}
+
+func TestRespawnRevivesEndpointInPlace(t *testing.T) {
+	s := New(1)
+	m := NewMachine(s, "m", 1, 1, 1_000_000_000)
+	handled := 0
+	p := NewProc(m.Thread(0, 0), "svc", HandlerFunc(func(ctx *Context, msg Message) {
+		handled++
+	}), ProcConfig{})
+	seed1 := p.ASLRSeed
+	s.RunUntil(Microsecond)
+	p.Hang()
+	p.Deliver("stuck")
+	p.Crash(ErrKilled)
+	hangT := p.FailedAt()
+	if hangT == 0 {
+		t.Fatal("no failure time recorded")
+	}
+	p.Respawn()
+	if p.Dead() || p.Hung() {
+		t.Fatalf("respawn left proc dead=%v hung=%v", p.Dead(), p.Hung())
+	}
+	if p.CrashCause() != nil || p.FailedAt() != 0 {
+		t.Fatalf("fault state survived respawn: %v %v", p.CrashCause(), p.FailedAt())
+	}
+	if p.QueueLen() != 0 {
+		t.Fatalf("inbox survived respawn: %d", p.QueueLen())
+	}
+	if p.ASLRSeed == seed1 {
+		t.Fatal("respawn reused the address-space layout")
+	}
+	// The same endpoint keeps working for clients that held the reference.
+	p.Deliver("hello")
+	s.Drain()
+	if handled != 1 {
+		t.Fatalf("respawned proc handled=%d", handled)
+	}
+	// Respawn on a live process is a no-op.
+	seed2 := p.ASLRSeed
+	p.Respawn()
+	if p.ASLRSeed != seed2 {
+		t.Fatal("Respawn touched a live process")
+	}
+}

@@ -80,6 +80,19 @@ func New(th *sim.HWThread, mgr Manager, ipcCost ipc.Costs) *Server {
 // Proc returns the server process (the target applications call into).
 func (s *Server) Proc() *sim.Proc { return s.proc }
 
+// Restart revives a dead SYSCALL server process in place. The endpoint is
+// stable (applications keep their reference; the reincarnation-server
+// contract for system services), but all per-incarnation state is gone:
+// shared-memory channels are re-established lazily on the next send, and
+// in-flight operations that were awaiting replica acks are lost — their
+// callers observe a timeout and retry, as against a rebooted kernel. The
+// listen table itself lives in the management plane and survives.
+func (s *Server) Restart() {
+	s.proc.Respawn()
+	s.conns = map[*sim.Proc]*ipc.Conn{}
+	s.pending = map[uint64]*pendingListen{}
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats { return s.stats }
 

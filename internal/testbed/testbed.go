@@ -130,6 +130,9 @@ type NEaTConfig struct {
 	RecoveryDelay sim.Time
 	// CheckpointInterval enables stateful TCP recovery (0 = stateless).
 	CheckpointInterval sim.Time
+	// Watchdog enables heartbeat-based failure detection with the
+	// escalation ladder (default: the paper's instantaneous crash oracle).
+	Watchdog core.WatchdogConfig
 	// Stack optionally overrides the full replica template (built from
 	// StackConfig when nil).
 	Stack *stack.Config
@@ -159,6 +162,7 @@ func (h *Host) BuildNEaT(peer *Host, cfg NEaTConfig) (*core.System, error) {
 		AutoRecover:        !cfg.DisableRecovery,
 		UseFlowFilters:     !cfg.DisableFlowFilters,
 		UseNICFlowTracking: cfg.UseNICFlowTracking,
+		Watchdog:           cfg.Watchdog,
 	})
 }
 
