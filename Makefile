@@ -14,11 +14,14 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # verify is the pre-merge gate: static checks, a full build, the whole
-# test suite, and the parallel-sweep + fault-matrix determinism tests
-# under the race detector (the concurrent experiment runner must stay
-# race-free AND byte-identical to a sequential run).
+# test suite, the parallel-sweep + fault-matrix + traced-breakdown
+# determinism tests under the race detector (the concurrent experiment
+# runner must stay race-free AND byte-identical to a sequential run, with
+# or without tracing), and the allocation guard (tracing disabled must
+# keep the simulator's scheduling/dispatch allocation budget).
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix'
+	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown'
+	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs' -count=1

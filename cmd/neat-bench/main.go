@@ -6,6 +6,7 @@
 // Usage:
 //
 //	neat-bench [-quick] [-seed N] [-only table1|fig4|fig5|fig7|fig9|fig11|fig12|table2|table3|fig13]
+//	neat-bench -breakdown          # traced run: per-hop latency breakdown tables
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (table1, fig4, fig5, fig7, fig9, fig11, fig12, table2, table3, fig13)")
 	parallel := flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)")
 	workers := flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
+	breakdown := flag.Bool("breakdown", false, "run the traced per-hop latency breakdown instead of the paper tables")
 	flag.Parse()
 
 	o := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Workers: *workers}
@@ -37,8 +39,15 @@ func main() {
 		"table2": experiments.Table2,
 		"table3": experiments.Table3,
 		"fig13":  experiments.Figure13,
+		// Not part of the default run: tracing is opt-in, and the paper
+		// tables above are measured untraced.
+		"breakdown": experiments.LatencyBreakdown,
 	}
 
+	if *breakdown {
+		fmt.Print(experiments.LatencyBreakdown(o).String())
+		return
+	}
 	if *only != "" {
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {

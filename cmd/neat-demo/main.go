@@ -30,7 +30,9 @@ func main() {
 	server := neat.NewServerMachine(net, neat.AMD12)
 	client := neat.NewClientMachine(net, *webs)
 
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: *replicas + 1})
+	// Observe attaches the tracing layer: the demo ends by replaying the
+	// lifecycle event timeline the management plane recorded.
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: *replicas + 1, Observe: true})
 	if err != nil {
 		panic(err)
 	}
@@ -118,6 +120,13 @@ func main() {
 	}
 	fmt.Printf("\ntotals: %d responses served, %d client-visible errors (from the crash), events simulated: %d\n",
 		totalResponses(gens), errs, net.Sim.EventsRun())
+
+	reg := sys.Metrics()
+	fmt.Printf("server metrics: %d frames in, %d frames out, %d filters installed, %d recoveries\n",
+		reg.Counter("nic.rx_frames").Value(), reg.Counter("nic.tx_frames").Value(),
+		reg.Counter("core.filters_installed").Value(), reg.Counter("core.recoveries").Value())
+	fmt.Println()
+	fmt.Print(neat.Timeline(sys.Trace().Events(), "what the management plane did, when").String())
 }
 
 func totalResponses(gens []*app.Loadgen) uint64 {

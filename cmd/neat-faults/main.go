@@ -13,11 +13,17 @@
 // same seed reproduces the run bit for bit, and the report dumps the
 // watchdog and management-plane counters the campaign aggregates away.
 //
+// -timeline re-executes a single matrix run with the observability layer
+// attached and prints the management plane's annotated lifecycle-event
+// timeline (detections, escalations, RSS rebinds, recoveries) in
+// simulated-time order.
+//
 // Usage:
 //
 //	neat-faults [-runs N] [-seed N] [-quick]           Table 3 (§6.6)
 //	neat-faults -matrix [-seed N] [-quick]             fault matrix
 //	neat-faults -replay SEED [-kind K] [-comp C]       verbose single run
+//	neat-faults -timeline SEED [-kind K] [-comp C]     annotated event timeline
 package main
 
 import (
@@ -35,18 +41,23 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter observation windows")
 	matrix := flag.Bool("matrix", false, "run the extended kind × component fault matrix")
 	replay := flag.Int64("replay", 0, "re-run one matrix run with this seed, verbosely")
-	kindName := flag.String("kind", "crash", "fault kind for -replay: crash, hang or storm")
-	comp := flag.String("comp", "tcp", "component for -replay: pf, ip, udp, tcp, driver or syscall")
+	timeline := flag.Int64("timeline", 0, "re-run one matrix run with this seed and print the lifecycle-event timeline")
+	kindName := flag.String("kind", "crash", "fault kind for -replay/-timeline: crash, hang or storm")
+	comp := flag.String("comp", "tcp", "component for -replay/-timeline: pf, ip, udp, tcp, driver or syscall")
 	flag.Parse()
 
 	switch {
-	case *replay != 0:
+	case *replay != 0 || *timeline != 0:
 		kind, err := faultinject.KindFromString(*kindName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		o := experiments.Options{Quick: *quick, Seed: *seed}
+		if *timeline != 0 {
+			fmt.Print(experiments.FaultTimeline(o, *timeline, kind, *comp).String())
+			return
+		}
 		fmt.Print(experiments.FaultReplay(o, *replay, kind, *comp).String())
 	case *matrix:
 		o := experiments.Options{Quick: *quick, Seed: *seed}

@@ -24,8 +24,9 @@ func main() {
 	client := neat.NewClientMachine(net, 1)
 
 	// NEaT on the server: 2 single-component replicas (cores 2-3), the
-	// SYSCALL server on core 1, the NIC driver on core 0.
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 2})
+	// SYSCALL server on core 1, the NIC driver on core 0. Observe attaches
+	// the tracing layer so we can ask where the echo's time went.
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 2, Observe: true})
 	if err != nil {
 		panic(err)
 	}
@@ -53,6 +54,17 @@ func main() {
 	fmt.Printf("replicas used by the listening socket: %d subsockets\n", len(sys.Replicas()))
 	fmt.Printf("echo reply received: %q\n", cliProc.got)
 	fmt.Printf("simulated time: %v, events: %d\n", net.Sim.Now(), net.Sim.EventsRun())
+
+	// The observability API: System.Metrics() pulls every counter of the
+	// running system into a registry, and System.Trace() holds the per-hop
+	// latency breakdown recorded since boot.
+	reg := sys.Metrics()
+	fmt.Printf("NIC frames rx/tx: %d/%d, driver dispatches: %d\n",
+		reg.Counter("nic.rx_frames").Value(), reg.Counter("nic.tx_frames").Value(),
+		reg.Counter("driver.rx_dispatched").Value())
+	fmt.Println()
+	fmt.Print(sys.Trace().Breakdown().Filter("amd.").
+		Table("per-hop latency on the server (queueing vs processing)").String())
 }
 
 type echoServer struct {

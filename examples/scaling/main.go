@@ -15,7 +15,6 @@ import (
 	"neat"
 	"neat/internal/app"
 	"neat/internal/ipc"
-	"neat/internal/metrics"
 	"neat/internal/sim"
 )
 
@@ -24,8 +23,10 @@ func main() {
 	server := neat.NewServerMachine(net, neat.AMD12)
 	client := neat.NewClientMachine(net, 4)
 
-	// Four slots, only one active at boot.
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 4})
+	// Four slots, only one active at boot. Observe records the lifecycle
+	// timeline: every scale-up, RSS rebind and lazy collection below shows
+	// up as a timestamped event.
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 4, Observe: true})
 	if err != nil {
 		panic(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	measure := func() (krps float64, stackUtil float64) {
-		sampler := metrics.NewCPUSampler(server.Machine)
+		sampler := neat.NewCPUSampler(server)
 		for _, g := range gens {
 			g.BeginMeasure()
 		}
@@ -107,4 +108,7 @@ func main() {
 	krps, _ := measure()
 	fmt.Printf("rate with %d replica(s):   %.1f krps — existing connections never broke\n",
 		sys.NumActive(), krps)
+
+	fmt.Println()
+	fmt.Print(neat.Timeline(sys.Trace().Events(), "lifecycle event timeline").String())
 }

@@ -22,22 +22,30 @@ func main() {
 	fmt.Println()
 	fmt.Println("#webs   krps    errors")
 	fmt.Println("-----   -----   ------")
+	var breakdown neat.Breakdown
 	for webs := 1; webs <= 6; webs++ {
-		krps, errs := runFarm(webs)
+		// Trace the largest farm: the breakdown shows where a request's
+		// time goes at full load. The smaller runs stay untraced (tracing
+		// is opt-in and free when off).
+		krps, errs, bd := runFarm(webs, webs == 6)
+		breakdown = bd
 		fmt.Printf("%5d   %5.1f   %6d\n", webs, krps, errs)
 	}
 	fmt.Println()
 	fmt.Println("paper reference (Figure 7): NEaT 3x scales to 6 instances at ≈302 krps")
+	fmt.Println()
+	fmt.Print(breakdown.Filter("amd.").
+		Table("per-hop latency at 6 instances (queueing vs processing)").String())
 }
 
 // runFarm builds a fresh deterministic testbed with the given number of
 // lighttpd instances and measures the request rate.
-func runFarm(webs int) (krps float64, errors uint64) {
+func runFarm(webs int, observe bool) (krps float64, errors uint64, bd neat.Breakdown) {
 	net := neat.NewNetwork(42)
 	server := neat.NewServerMachine(net, neat.AMD12)
 	client := neat.NewClientMachine(net, webs)
 
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 3})
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 3, Observe: observe})
 	if err != nil {
 		panic(err)
 	}
@@ -77,5 +85,8 @@ func runFarm(webs int) (krps float64, errors uint64) {
 		good += g.GoodResponses()
 		errors += g.Stats().ConnErrors
 	}
-	return float64(good) / window.Seconds() / 1000, errors
+	if observe {
+		bd = sys.Trace().Breakdown()
+	}
+	return float64(good) / window.Seconds() / 1000, errors, bd
 }

@@ -26,11 +26,13 @@ import (
 	"errors"
 	"fmt"
 
+	"neat/internal/metrics"
 	"neat/internal/nicdev"
 	"neat/internal/sim"
 	"neat/internal/stack"
 	"neat/internal/sysserver"
 	"neat/internal/tcpeng"
+	"neat/internal/trace"
 )
 
 // SlotState is the lifecycle state of a replica slot.
@@ -110,6 +112,18 @@ type Config struct {
 	// the NIC driver and the SYSCALL server with periodic heartbeats, which
 	// also detects hangs/livelocks the oracle cannot see.
 	Watchdog WatchdogConfig
+	// Observe attaches the observability layer (default: off, zero cost).
+	Observe ObserveConfig
+}
+
+// ObserveConfig attaches the observability layer to a system. The zero
+// value is fully disabled: no trace points fire and no events are kept.
+type ObserveConfig struct {
+	// Trace, when non-nil, receives the management plane's lifecycle
+	// events (respawns, escalations, quarantines, RSS rebinds, scaling).
+	// Callers who also want per-message latency breakdowns attach the same
+	// tracer to the simulator (trace.Tracer.Attach) before the run.
+	Trace *trace.Tracer
 }
 
 // Stats counts management-plane events.
@@ -267,6 +281,109 @@ func (sys *System) Watchdog() *Watchdog { return sys.wd }
 // Stats returns a snapshot of the management counters.
 func (sys *System) Stats() Stats { return sys.stats }
 
+// Trace returns the attached lifecycle tracer, or nil when the system was
+// built without observability.
+func (sys *System) Trace() *trace.Tracer { return sys.cfg.Observe.Trace }
+
+// eventf records a lifecycle event on the observability timeline. With no
+// tracer attached (the default) it returns before formatting anything.
+func (sys *System) eventf(kind, format string, args ...interface{}) {
+	if sys.cfg.Observe.Trace == nil {
+		return
+	}
+	sys.cfg.Observe.Trace.Emit(kind, fmt.Sprintf(format, args...))
+}
+
+// Metrics collects the system's live counters into a fresh registry:
+// management-plane stats, NIC and driver counters, SYSCALL server
+// activity, watchdog detector stats (when enabled) and per-process
+// dispatch/cost statistics. Collection is pull-style — nothing on the hot
+// path writes to the registry, so building one costs only at read time.
+func (sys *System) Metrics() *metrics.Registry {
+	r := metrics.NewRegistry()
+	st := sys.stats
+	r.SetCounter("core.recoveries", st.Recoveries)
+	r.SetCounter("core.tcp_state_lost", st.TCPStateLost)
+	r.SetCounter("core.transparent_recoveries", st.TransparentRecov)
+	r.SetCounter("core.connections_lost", st.ConnectionsLost)
+	r.SetCounter("core.checkpoints", st.Checkpoints)
+	r.SetCounter("core.connections_restored", st.ConnectionsRestored)
+	r.SetCounter("core.scale_ups", st.ScaleUps)
+	r.SetCounter("core.scale_downs", st.ScaleDowns)
+	r.SetCounter("core.replicas_collected", st.ReplicasGarbage)
+	r.SetCounter("core.filters_installed", st.FiltersInstalled)
+	r.SetCounter("core.filters_removed", st.FiltersRemoved)
+	r.SetCounter("core.secondary_crashes", st.SecondaryCrashes)
+	r.SetCounter("core.replica_rebuilds", st.ReplicaRebuilds)
+	r.SetCounter("core.slots_quarantined", st.SlotsQuarantined)
+	r.SetCounter("core.driver_recoveries", st.DriverRecoveries)
+	r.SetCounter("core.syscall_recoveries", st.SyscallRecoveries)
+
+	ns := sys.cfg.NIC.Stats()
+	r.SetCounter("nic.rx_frames", ns.RxFrames)
+	r.SetCounter("nic.rx_drop_full", ns.RxDropFull)
+	r.SetCounter("nic.rx_drop_bad", ns.RxDropBad)
+	r.SetCounter("nic.rx_drop_no_rss", ns.RxDropNoRSS)
+	r.SetCounter("nic.rx_filtered", ns.RxFiltered)
+	r.SetCounter("nic.rx_hashed", ns.RxHashed)
+	r.SetCounter("nic.tx_frames", ns.TxFrames)
+	r.SetCounter("nic.tso_requests", ns.TSORequests)
+	r.SetCounter("nic.tso_segments", ns.TSOSegments)
+	r.SetCounter("nic.track_hits", ns.TrackHits)
+	r.SetCounter("nic.track_inserts", ns.TrackInserts)
+	r.SetCounter("nic.track_evictions", ns.TrackEvictions)
+
+	ds := sys.cfg.Driver.Stats()
+	r.SetCounter("driver.rx_dispatched", ds.RxDispatched)
+	r.SetCounter("driver.rx_unbound", ds.RxUnbound)
+	r.SetCounter("driver.tx_sent", ds.TxSent)
+	r.SetCounter("driver.polls", ds.Polls)
+
+	ss := sys.sys.Stats()
+	r.SetCounter("syscall.listens", ss.Listens)
+	r.SetCounter("syscall.connects", ss.Connects)
+	r.SetCounter("syscall.udp_binds", ss.UDPBinds)
+
+	if sys.wd != nil {
+		ws := sys.wd.Stats()
+		r.SetCounter("watchdog.probes_sent", ws.ProbesSent)
+		r.SetCounter("watchdog.acks_received", ws.AcksReceived)
+		r.SetCounter("watchdog.probes_missed", ws.ProbesMissed)
+		r.SetCounter("watchdog.crashes_detected", ws.CrashesDetected)
+		r.SetCounter("watchdog.hangs_detected", ws.HangsDetected)
+		r.SetCounter("watchdog.spurious_detected", ws.SpuriousDetected)
+		r.Histogram("watchdog.detection_latency").Merge(sys.wd.DetectionLatency())
+	}
+
+	r.SetGauge("core.replicas_active", float64(sys.NumActive()))
+	r.SetGauge("core.connections_live", float64(sys.TotalConns()))
+	collectProcStats(r, "driver", sys.cfg.Driver.Proc())
+	collectProcStats(r, "syscall", sys.sys.Proc())
+	for _, sl := range sys.slots {
+		if sl.replica == nil {
+			continue
+		}
+		for _, p := range sl.replica.Procs() {
+			collectProcStats(r, fmt.Sprintf("replica%d.%s", sl.index, p.Component), p)
+		}
+	}
+	return r
+}
+
+// collectProcStats mirrors one process's dispatch statistics into the
+// registry under the given prefix.
+func collectProcStats(r *metrics.Registry, prefix string, p *sim.Proc) {
+	st := p.Stats()
+	r.SetCounter("proc."+prefix+".dispatches", st.Dispatches)
+	r.SetCounter("proc."+prefix+".messages", st.Messages)
+	r.SetCounter("proc."+prefix+".dropped", st.Dropped)
+	r.SetCounter("proc."+prefix+".halts", st.Halts)
+	r.SetCounter("proc."+prefix+".cycles", uint64(st.TotalCharged))
+	r.SetCounter("proc."+prefix+".cycles_processing", uint64(st.CyclesByCat[sim.CostProcessing]))
+	r.SetCounter("proc."+prefix+".cycles_polling", uint64(st.CyclesByCat[sim.CostPolling]))
+	r.SetCounter("proc."+prefix+".cycles_kernel", uint64(st.CyclesByCat[sim.CostKernel]))
+}
+
 // Replicas returns the live replicas (active and terminating).
 func (sys *System) Replicas() []*stack.Replica {
 	var out []*stack.Replica
@@ -325,6 +442,7 @@ func (sys *System) activate(sl *slot) {
 	sys.cfg.Driver.BindQueue(sl.index, r.EntryProc())
 	sys.replayListens(r)
 	sys.superviseReplica(sl)
+	sys.eventf("spawn", "replica %d activated (%s)", sl.index, cfg.Name)
 }
 
 // superviseReplica puts every process of the slot's replica under watchdog
@@ -453,6 +571,7 @@ func (sys *System) UnregisterListen(reqID uint64) {
 func (sys *System) ScaleUp() (*stack.Replica, error) {
 	for _, sl := range sys.slots {
 		if sl.state == SlotEmpty {
+			sys.eventf("scale-up", "activating slot %d", sl.index)
 			sys.activate(sl)
 			sys.updateRSS()
 			sys.stats.ScaleUps++
@@ -477,6 +596,8 @@ func (sys *System) ScaleDown() error {
 		}
 		sl.state = SlotTerminating
 		sys.stats.ScaleDowns++
+		sys.eventf("scale-down", "slot %d terminating lazily (%d conns draining)",
+			sl.index, sl.replica.TCP().NumConns())
 		sys.updateRSS()
 		if sl.replica.TCP().NumConns() == 0 {
 			sys.collect(sl)
@@ -501,6 +622,7 @@ func (sys *System) collect(sl *slot) {
 	sl.replica = nil
 	sl.state = SlotEmpty
 	sys.stats.ReplicasGarbage++
+	sys.eventf("collect", "slot %d drained and collected", sl.index)
 }
 
 // updateRSS points the NIC's RSS indirection at the active replicas only.
@@ -517,6 +639,7 @@ func (sys *System) updateRSS() {
 		}
 	}
 	sys.cfg.NIC.SetRSSQueues(queues)
+	sys.eventf("rss", "RSS rebind -> queues %v", queues)
 }
 
 // scheduleCheckpoints drives the periodic OpCheckpoint ticks.
@@ -568,6 +691,7 @@ func (sys *System) onCrash(p *sim.Proc, cause error) {
 // on a lossy channel): either way the incarnation is no longer trusted and
 // is killed before its replacement is spawned.
 func (sys *System) watchdogFailure(p *sim.Proc) {
+	sys.eventf("watchdog", "declared %s failed", p.Name)
 	if !p.Dead() {
 		p.Crash(ErrWatchdogKilled)
 	}
@@ -629,6 +753,7 @@ func (sys *System) escalate(sl *slot, dead *sim.Proc) {
 		// Second strike: stop trusting the surviving component and rebuild
 		// the whole replica from scratch.
 		sys.stats.ReplicaRebuilds++
+		sys.eventf("escalate", "slot %d strike %d: whole-replica rebuild", sl.index, n)
 		for _, p := range sl.replica.Procs() {
 			if !p.Dead() {
 				sys.wd.Unwatch(p)
@@ -660,8 +785,11 @@ func (sys *System) recover(sl *slot, dead *sim.Proc, delay sim.Time) {
 		sl.recTransparent = false
 		sl.recSnap = nil
 		sys.stats.Recoveries++
+		sys.eventf("recover", "slot %d: %s failed, respawn in %v", sl.index, dead.Name, delay)
 	} else {
 		sys.stats.SecondaryCrashes++
+		sys.eventf("recover", "slot %d: %s failed, merged into in-flight recovery",
+			sl.index, dead.Name)
 	}
 
 	tcpLost := r.Kind() == stack.Single || dead == r.SockProc()
@@ -743,6 +871,7 @@ func (sys *System) completeRecovery(sl *slot) {
 	sl.recSnap = nil
 	sys.updateRSS()
 	sys.superviseReplica(sl)
+	sys.eventf("respawn", "slot %d back to %s", sl.index, sl.state)
 }
 
 // quarantine permanently fences a slot that keeps failing: processes
@@ -757,6 +886,7 @@ func (sys *System) quarantine(sl *slot) {
 	}
 	sl.state = SlotQuarantined
 	sys.stats.SlotsQuarantined++
+	sys.eventf("quarantine", "slot %d fenced permanently", sl.index)
 	for connID, app := range sys.conns[r] {
 		sys.stats.ConnectionsLost++
 		if app != nil {
@@ -805,6 +935,7 @@ func (sys *System) Quarantine(i int) error {
 func (sys *System) recoverDriver() {
 	sys.stats.DriverRecoveries++
 	delay := sys.backoffDelay(&sys.driverFails)
+	sys.eventf("driver-recover", "NIC driver failed, respawn in %v", delay)
 	sys.s.After(delay, func() {
 		d := sys.cfg.Driver
 		d.Restart()
@@ -826,6 +957,7 @@ func (sys *System) recoverDriver() {
 func (sys *System) recoverSyscall() {
 	sys.stats.SyscallRecoveries++
 	delay := sys.backoffDelay(&sys.syscallFails)
+	sys.eventf("syscall-recover", "SYSCALL server failed, respawn in %v", delay)
 	sys.s.After(delay, func() {
 		sys.sys.Restart()
 		if sys.wd != nil {

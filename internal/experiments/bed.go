@@ -13,6 +13,7 @@ import (
 	"neat/internal/stack"
 	"neat/internal/tcpeng"
 	"neat/internal/testbed"
+	"neat/internal/trace"
 )
 
 // MachineKind selects the system-under-test machine of §6.
@@ -102,6 +103,12 @@ type BedConfig struct {
 	ThinkTime   sim.Time
 	TSO         bool
 	Timeout     sim.Time
+
+	// Observe attaches the observability layer: a message tracer on the
+	// whole simulated network plus the server system's lifecycle event
+	// timeline, exposed as Bed.Trace. Off by default — measurement beds
+	// must not pay for tracing they do not read.
+	Observe bool
 }
 
 // Bed is an instantiated configuration ready to measure.
@@ -114,6 +121,9 @@ type Bed struct {
 	Linux  *baseline.System
 	Webs   []*app.HTTPD
 	Gens   []*app.Loadgen
+	// Trace is the attached tracer when the bed was built with
+	// BedConfig.Observe; nil otherwise.
+	Trace *trace.Tracer
 }
 
 // NewBed builds and boots a configuration.
@@ -131,6 +141,12 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 		cfg.ReqPerConn = 100
 	}
 	n := testbed.New(cfg.Seed)
+	var tr *trace.Tracer
+	if cfg.Observe {
+		// Attach before anything is built so every delivery carries an
+		// arrival stamp from the first event on.
+		tr = trace.New().Attach(n.Sim)
+	}
 
 	queues := len(cfg.ReplicaSlots)
 	if cfg.LinuxCores > 0 {
@@ -148,7 +164,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 	tcp := tcpeng.DefaultConfig()
 	tcp.TSO = cfg.TSO
 
-	b := &Bed{Net: n, Server: server, Client: client}
+	b := &Bed{Net: n, Server: server, Client: client, Trace: tr}
 
 	if cfg.LinuxCores > 0 {
 		scale := cfg.LinuxKernelScale
@@ -169,6 +185,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 			Syscall:  cfg.SyscallLoc,
 			Stack:    &scfg,
 			Watchdog: cfg.Watchdog,
+			Observe:  core.ObserveConfig{Trace: tr},
 		})
 		if err != nil {
 			return nil, err
@@ -254,7 +271,9 @@ type Measurement struct {
 	Latency metrics.Histogram
 }
 
-// Run starts the load, warms up, measures for window and reports.
+// Run starts the load, warms up, measures for window and reports. The
+// measurement is derived from the bed's workload registry — the registry
+// is the source of truth, Measurement its httperf-style view.
 func (b *Bed) Run(warm, window sim.Time) Measurement {
 	for _, g := range b.Gens {
 		g.Start()
@@ -264,21 +283,58 @@ func (b *Bed) Run(warm, window sim.Time) Measurement {
 		g.BeginMeasure()
 	}
 	b.Net.Sim.RunFor(window)
+	return measurementFrom(b.WorkloadRegistry(), window)
+}
 
+// WorkloadRegistry collects the load generators' counters into a fresh
+// registry (the client-side "httperf report" instruments).
+func (b *Bed) WorkloadRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	good := r.Counter("loadgen.responses_good")
+	raw := r.Counter("loadgen.window_responses")
+	bytes := r.Counter("loadgen.window_bytes")
+	errs := r.Counter("loadgen.conn_errors")
+	lat := r.Histogram("loadgen.latency")
+	for _, g := range b.Gens {
+		st := g.Stats()
+		good.Add(g.GoodResponses())
+		raw.Add(st.WindowResponses)
+		bytes.Add(st.WindowBytes)
+		errs.Add(st.ConnErrors)
+		lat.Merge(g.Latency())
+	}
+	return r
+}
+
+// Registry assembles the bed's full observability registry: the workload
+// instruments plus the server and client systems' metrics under "server."
+// and "client." prefixes and the link counters.
+func (b *Bed) Registry() *metrics.Registry {
+	r := b.WorkloadRegistry()
+	if b.NEaT != nil {
+		r.Absorb("server.", b.NEaT.Metrics())
+	}
+	if b.CliSys != nil {
+		r.Absorb("client.", b.CliSys.Metrics())
+	}
+	ls := b.Net.Link.Stats()
+	r.SetCounter("link.frames_from_server", ls.Frames[0])
+	r.SetCounter("link.frames_from_client", ls.Frames[1])
+	r.SetCounter("link.dropped_from_server", ls.Dropped[0])
+	r.SetCounter("link.dropped_from_client", ls.Dropped[1])
+	return r
+}
+
+// measurementFrom derives the httperf-style report from the workload
+// registry.
+func measurementFrom(r *metrics.Registry, window sim.Time) Measurement {
 	var m Measurement
 	m.Window = window
-	var good, raw, bytes uint64
-	for _, g := range b.Gens {
-		good += g.GoodResponses()
-		st := g.Stats()
-		raw += st.WindowResponses
-		bytes += st.WindowBytes
-		m.Errors += st.ConnErrors
-		m.Latency.Merge(g.Latency())
-	}
-	m.KRPS = metrics.KRate(good, window)
-	m.RawKRPS = metrics.KRate(raw, window)
-	m.MBps = float64(bytes) / (1 << 20) / window.Seconds()
+	m.KRPS = metrics.KRate(r.Counter("loadgen.responses_good").Value(), window)
+	m.RawKRPS = metrics.KRate(r.Counter("loadgen.window_responses").Value(), window)
+	m.Errors = r.Counter("loadgen.conn_errors").Value()
+	m.MBps = float64(r.Counter("loadgen.window_bytes").Value()) / (1 << 20) / window.Seconds()
+	m.Latency = *r.Histogram("loadgen.latency")
 	m.MeanLat = m.Latency.Mean()
 	m.P99Lat = m.Latency.Quantile(0.99)
 	return m

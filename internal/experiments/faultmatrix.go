@@ -10,6 +10,7 @@ import (
 	"neat/internal/sim"
 	"neat/internal/stack"
 	"neat/internal/testbed"
+	"neat/internal/trace"
 )
 
 // The fault-matrix campaign extends the paper's Table 3 along two axes:
@@ -227,6 +228,74 @@ func FaultReplay(o Options, seed int64, kind faultinject.Kind, comp string) *Res
 	det := replayCounters(o, seed, kind, comp, observe)
 	res.Tables = append(res.Tables, det)
 	res.Notef("replay is deterministic: the same seed reproduces this run exactly")
+	return res
+}
+
+// FaultTimeline re-executes a single fault-matrix run with the
+// observability layer attached and reports the management plane's
+// lifecycle-event timeline: every spawn, detection, escalation, RSS
+// rebind and recovery, stamped with simulated time. It is the annotated
+// companion to FaultReplay — the counters say what happened, the
+// timeline says when and in what order.
+func FaultTimeline(o Options, seed int64, kind faultinject.Kind, comp string) *Result {
+	res := &Result{Name: fmt.Sprintf("Fault timeline: %s of %q (seed %d)", kind, comp, seed)}
+	observe := 150 * sim.Millisecond
+	if o.Quick {
+		observe = 70 * sim.Millisecond
+	}
+	b, err := NewBed(BedConfig{
+		Seed: seed, Machine: AMD, Kind: stack.Multi,
+		ReplicaSlots: testbed.MultiSlots(2, 2),
+		SyscallLoc:   testbed.ThreadLoc{Core: 1},
+		WebLocs:      coreRange(6, 2),
+		ConnsPerGen:  16, ReqPerConn: 100,
+		Timeout:  150 * sim.Millisecond,
+		Watchdog: core.WatchdogConfig{Enabled: true},
+		Observe:  true,
+	})
+	if err != nil {
+		res.Notef("bed failed: %v", err)
+		return res
+	}
+	for _, g := range b.Gens {
+		g.Start()
+	}
+	b.Net.Sim.RunFor(20 * sim.Millisecond)
+	// Boot noise (initial spawns, first RSS programming) ends here; keep
+	// the timeline focused on the injected fault and its recovery.
+	boot := len(b.Trace.Events())
+
+	inj := faultinject.New(b.Net.Sim.Rand(), faultinject.MatrixComponents)
+	injection, ok := inj.InjectKind(b.NEaT, kind, comp)
+	if !ok {
+		res.Notef("no injectable %s component in this configuration", comp)
+		return res
+	}
+	if kind == faultinject.KindStorm {
+		var strike func(left int)
+		strike = func(left int) {
+			if left == 0 {
+				return
+			}
+			faultinject.ReInject(b.NEaT, injection)
+			b.Net.Sim.After(stormGap, func() { strike(left - 1) })
+		}
+		b.Net.Sim.After(stormGap, func() { strike(stormStrikes - 1) })
+	}
+	b.Net.Sim.RunFor(observe + 40*sim.Millisecond)
+
+	events := b.Trace.Events()[boot:]
+	res.Tables = append(res.Tables, trace.Timeline(events,
+		fmt.Sprintf("Lifecycle events after injecting %s into %s (%s)",
+			kind, injection.Component, injection.Proc.Name)))
+	res.Tables = append(res.Tables,
+		report.Metrics("Watchdog instruments at the end of the run",
+			b.NEaT.Metrics().Filter("watchdog.")))
+	if s := trace.EventCounts(events); s != "" {
+		res.Notef("event counts: %s", s)
+	}
+	res.Notef("%d boot-time events before the injection omitted", boot)
+	res.Notef("the timeline is deterministic: the same seed reproduces it exactly")
 	return res
 }
 

@@ -76,10 +76,21 @@ func (h *Histogram) Min() sim.Time { return h.min }
 // Max returns the largest sample.
 func (h *Histogram) Max() sim.Time { return h.max }
 
-// Quantile estimates the q-quantile (0 < q <= 1).
+// Quantile estimates the q-quantile. Out-of-range q values clamp to the
+// exact extremes: q <= 0 returns Min and q >= 1 returns Max (both exact,
+// not bucket estimates). An empty histogram returns 0 for any q. Bucket
+// estimates are clamped into [Min, Max], so a single-sample or
+// single-bucket histogram never reports a value outside its observed
+// range.
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
 	}
 	target := uint64(q * float64(h.count))
 	if target == 0 {
@@ -92,6 +103,9 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 			u := bucketUpper(b)
 			if u > h.max {
 				u = h.max
+			}
+			if u < h.min {
+				u = h.min
 			}
 			return u
 		}

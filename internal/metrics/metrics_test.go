@@ -125,6 +125,122 @@ func TestBucketMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("empty histogram Quantile(%v)=%v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("q0-and-q1-are-exact", func(t *testing.T) {
+		var h Histogram
+		for _, v := range []sim.Time{7 * sim.Microsecond, 3 * sim.Millisecond, 250 * sim.Microsecond} {
+			h.Observe(v)
+		}
+		if got := h.Quantile(0); got != 7*sim.Microsecond {
+			t.Fatalf("Quantile(0)=%v, want exact min %v", got, 7*sim.Microsecond)
+		}
+		if got := h.Quantile(-0.5); got != h.Min() {
+			t.Fatalf("Quantile(-0.5)=%v, want min", got)
+		}
+		if got := h.Quantile(1); got != 3*sim.Millisecond {
+			t.Fatalf("Quantile(1)=%v, want exact max %v", got, 3*sim.Millisecond)
+		}
+		if got := h.Quantile(1.5); got != h.Max() {
+			t.Fatalf("Quantile(1.5)=%v, want max", got)
+		}
+	})
+	t.Run("single-sample-stays-in-range", func(t *testing.T) {
+		var h Histogram
+		h.Observe(5 * sim.Microsecond)
+		for _, q := range []float64{0.01, 0.5, 0.99} {
+			got := h.Quantile(q)
+			if got != 5*sim.Microsecond {
+				t.Fatalf("Quantile(%v)=%v, want the only sample %v", q, got, 5*sim.Microsecond)
+			}
+		}
+	})
+	t.Run("single-bucket-clamps-to-observed", func(t *testing.T) {
+		// All samples in one bucket but not equal: estimates must stay
+		// inside [min, max], not report the bucket's upper bound.
+		var h Histogram
+		h.Observe(1000 * sim.Microsecond)
+		h.Observe(1100 * sim.Microsecond)
+		h.Observe(1300 * sim.Microsecond)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got := h.Quantile(q)
+			if got < h.Min() || got > h.Max() {
+				t.Fatalf("Quantile(%v)=%v outside [%v, %v]", q, got, h.Min(), h.Max())
+			}
+		}
+	})
+	t.Run("sub-microsecond", func(t *testing.T) {
+		var h Histogram
+		h.Observe(10)
+		h.Observe(20)
+		for _, q := range []float64{0.5, 0.99} {
+			if got := h.Quantile(q); got < 10 || got > 20 {
+				t.Fatalf("Quantile(%v)=%v outside observed [10ns, 20ns]", q, got)
+			}
+		}
+	})
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	// Merge must be associative and the identity must hold: (a∪b)∪c equals
+	// a∪(b∪c) equals observing everything into one histogram, and merging
+	// an empty histogram changes nothing.
+	cases := []struct {
+		name    string
+		a, b, c []sim.Time
+	}{
+		{"all-empty", nil, nil, nil},
+		{"left-empty", nil, []sim.Time{sim.Microsecond}, []sim.Time{sim.Millisecond}},
+		{"middle-empty", []sim.Time{5 * sim.Microsecond}, nil, []sim.Time{9 * sim.Second}},
+		{"disjoint-ranges", []sim.Time{1, 2, 3}, []sim.Time{sim.Millisecond}, []sim.Time{sim.Second, 2 * sim.Second}},
+		{"overlapping", []sim.Time{10 * sim.Microsecond, 20 * sim.Microsecond},
+			[]sim.Time{15 * sim.Microsecond}, []sim.Time{12 * sim.Microsecond, 18 * sim.Microsecond}},
+		{"identical", []sim.Time{sim.Millisecond}, []sim.Time{sim.Millisecond}, []sim.Time{sim.Millisecond}},
+	}
+	fill := func(vs []sim.Time) *Histogram {
+		var h Histogram
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		return &h
+	}
+	same := func(x, y *Histogram) bool {
+		return x.Count() == y.Count() && x.Min() == y.Min() && x.Max() == y.Max() &&
+			x.Mean() == y.Mean() && x.Quantile(0.5) == y.Quantile(0.5) &&
+			x.Quantile(0.99) == y.Quantile(0.99)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			left := fill(tc.a) // (a ∪ b) ∪ c
+			left.Merge(fill(tc.b))
+			left.Merge(fill(tc.c))
+			bc := fill(tc.b) // a ∪ (b ∪ c)
+			bc.Merge(fill(tc.c))
+			right := fill(tc.a)
+			right.Merge(bc)
+			all := fill(append(append(append([]sim.Time(nil), tc.a...), tc.b...), tc.c...))
+			if !same(left, right) {
+				t.Fatalf("(a∪b)∪c = %v, a∪(b∪c) = %v", left, right)
+			}
+			if !same(left, all) {
+				t.Fatalf("merged = %v, direct = %v", left, all)
+			}
+			id := fill(tc.a)
+			id.Merge(&Histogram{})
+			if !same(id, fill(tc.a)) {
+				t.Fatalf("merging empty changed %v", id)
+			}
+		})
+	}
+}
+
 func TestHistogramMergeProperty(t *testing.T) {
 	// Property: merging two histograms preserves count, sum-of-means, min
 	// and max.

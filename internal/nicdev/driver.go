@@ -129,6 +129,7 @@ func (d *Driver) drainRx(ctx *sim.Context) {
 		// while this batch is processed, so nothing reallocates.
 		frames := qu.frames
 		qu.frames = qu.spare[:0]
+		d.nic.drainRxStamps(q, len(frames))
 		target := d.targets[q]
 		for i, f := range frames {
 			frames[i] = nil

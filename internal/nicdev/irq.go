@@ -38,6 +38,7 @@ func (n *NIC) DrainQueue(q int) []*proto.Frame {
 	frames := qu.frames
 	qu.frames = qu.spare[:0]
 	qu.spare = frames[:0]
+	n.drainRxStamps(q, len(frames))
 	return frames
 }
 

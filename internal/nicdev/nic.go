@@ -85,7 +85,10 @@ type NIC struct {
 	// PipelineLatency is the RX classification + DMA latency.
 	PipelineLatency sim.Time
 
-	queues     []rxQueue
+	queues []rxQueue
+	// rxqHop holds one fixed trace-hop name per RX queue so the traced
+	// path allocates no strings per frame.
+	rxqHop     []string
 	filters    map[proto.Flow]int
 	rssQueues  []int // queues participating in RSS for unmatched flows
 	rssView    []int // cached copy handed out by RSSQueues
@@ -113,6 +116,10 @@ type rxQueue struct {
 	// spare is the previously drained slice, recycled at the next drain so
 	// steady-state enqueueing never reallocates.
 	spare []*proto.Frame
+	// at/spareAt are hardware-enqueue stamps parallel to frames/spare,
+	// populated only while a tracer is installed and recycled the same way.
+	at      []sim.Time
+	spareAt []sim.Time
 }
 
 // NewNIC creates a NIC with n RX/TX queue pairs attached to the given link
@@ -132,6 +139,7 @@ func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int
 	}
 	for q := 0; q < nQueues; q++ {
 		n.rssQueues = append(n.rssQueues, q)
+		n.rxqHop = append(n.rxqHop, fmt.Sprintf("%s.rxq%d", name, q))
 	}
 	l.Attach(side, n)
 	return n
@@ -211,6 +219,9 @@ func (n *NIC) Receive(raw []byte) {
 		return
 	}
 	n.queues[q].frames = append(n.queues[q].frames, f)
+	if n.sim.Tracer() != nil {
+		n.queues[q].at = append(n.queues[q].at, n.sim.Now())
+	}
 	if n.notifyQueue(q) {
 		return
 	}
@@ -284,6 +295,27 @@ func (n *NIC) SendTSO(t TxTSO) {
 		if len(payload) == 0 {
 			break
 		}
+	}
+}
+
+// drainRxStamps rotates queue q's hardware-enqueue stamp buffers after a
+// drain of `drained` frames and, when a tracer is installed, emits one
+// RX-queue span per drained frame (queueing = residency in the hardware
+// queue; the driver's per-frame cycles are charged to the driver hop).
+// A stamp count that does not match the drain (tracer installed or
+// removed mid-run) skips emission and resynchronizes the buffers.
+func (n *NIC) drainRxStamps(q int, drained int) {
+	qu := &n.queues[q]
+	at := qu.at
+	qu.at = qu.spareAt[:0]
+	qu.spareAt = at[:0]
+	tr := n.sim.Tracer()
+	if tr == nil || len(at) != drained {
+		return
+	}
+	now := n.sim.Now()
+	for _, t0 := range at {
+		tr.OnSpan(n.rxqHop[q], now-t0, 0)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"neat/internal/metrics"
 	"neat/internal/sim"
 )
 
@@ -69,6 +70,23 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
+}
+
+// Metrics renders a registry as an instrument/value table: counters
+// first, then gauges, then histogram summaries, each group in sorted
+// name order (the registry's own deterministic enumeration).
+func Metrics(title string, r *metrics.Registry) *Table {
+	t := &Table{Title: title, Columns: []string{"instrument", "value"}}
+	for _, name := range r.CounterNames() {
+		t.AddRow(name, r.Counter(name).Value())
+	}
+	for _, name := range r.GaugeNames() {
+		t.AddRow(name, fmt.Sprintf("%.3f", r.Gauge(name).Value()))
+	}
+	for _, name := range r.HistogramNames() {
+		t.AddRow(name, r.Histogram(name).String())
+	}
+	return t
 }
 
 // Series is one labelled curve of a figure.

@@ -143,6 +143,13 @@ type Proc struct {
 
 	inbox        []Message
 	spare        []Message // recycled inbox storage for the next dispatch
+	// inboxAt/spareAt are arrival stamps parallel to inbox/spare. They are
+	// populated only while a Tracer is installed (both stay nil otherwise),
+	// and their storage is recycled exactly like the inbox double-buffer, so
+	// tracing off costs nothing and tracing on costs no steady-state
+	// allocation.
+	inboxAt      []Time
+	spareAt      []Time
 	state        procState
 	charged      int64
 	chargedByCat [numCostCategories]int64
@@ -255,6 +262,7 @@ func (p *Proc) Respawn() {
 	p.dropRate = 0
 	p.failedAt = 0
 	p.inbox = nil
+	p.inboxAt = nil
 	p.pending = p.pending[:0]
 	p.ASLRSeed = p.sim.rng.Uint64()
 }
@@ -276,6 +284,9 @@ func (p *Proc) Deliver(msg Message) {
 		return
 	}
 	p.inbox = append(p.inbox, msg)
+	if p.sim.tracer != nil {
+		p.inboxAt = append(p.inboxAt, p.sim.now)
+	}
 	if p.state == procIdle && !p.hung {
 		p.scheduleDispatch()
 	}
@@ -316,15 +327,29 @@ func (p *Proc) runDispatch() {
 
 	t0 := p.sim.now
 	// Double-buffer the inbox: messages arriving during the dispatch go to
-	// the recycled spare slice, so steady state reallocates neither.
+	// the recycled spare slice, so steady state reallocates neither. The
+	// arrival stamps rotate in lockstep when tracing is on.
 	batch := p.inbox
+	batchAt := p.inboxAt
 	p.inbox = p.spare[:0]
+	p.inboxAt = p.spareAt[:0]
 	p.charged = 0
 	for i := range p.chargedByCat {
 		p.chargedByCat[i] = 0
 	}
+	// The hyperthreading stretch factor depends only on the dispatch start
+	// time, so it can be computed up front; the per-message trace uses it
+	// to place each handler's start/end inside the batch's wall time.
+	factor := 1.0
+	if p.thread.siblingBusy(t0) {
+		factor = p.machine.HTPenalty
+	}
+	tr := p.sim.tracer
+	// A tracer installed mid-run sees batches whose older messages carry no
+	// arrival stamp; such mixed batches are skipped rather than mismatched.
+	traced := tr != nil && len(batchAt) == len(batch)
 	ctx := Context{Sim: p.sim, Proc: p}
-	for _, msg := range batch {
+	for i, msg := range batch {
 		if p.state == procDead {
 			break
 		}
@@ -338,6 +363,7 @@ func (p *Proc) runDispatch() {
 		if hb, ok := msg.(HeartbeatPing); ok {
 			// Liveness probes are answered by the dispatch loop itself:
 			// the ack certifies "this process is draining its inbox".
+			// They are not part of the message path, so they are not traced.
 			p.stats.Messages++
 			p.charged += p.DispatchCycles + HeartbeatCycles
 			p.chargedByCat[CostProcessing] += p.DispatchCycles + HeartbeatCycles
@@ -346,27 +372,30 @@ func (p *Proc) runDispatch() {
 			continue
 		}
 		p.stats.Messages++
+		chargedBefore := p.charged
 		p.charged += p.DispatchCycles
 		p.chargedByCat[CostProcessing] += p.DispatchCycles
 		pendingStart := len(p.pending)
 		p.handler.HandleMessage(&ctx, msg)
 		// Sends emitted while handling this message leave when the
 		// message's processing completes, not when the batch ends.
-		for i := pendingStart; i < len(p.pending); i++ {
-			p.pending[i].cyclesAt = p.charged
+		for j := pendingStart; j < len(p.pending); j++ {
+			p.pending[j].cyclesAt = p.charged
+		}
+		if traced {
+			start := t0 + Time(float64(p.machine.Cycles(chargedBefore))*factor)
+			end := t0 + Time(float64(p.machine.Cycles(p.charged))*factor)
+			tr.OnMessage(p, msg, batchAt[i], start, end)
 		}
 	}
 	for i := range batch {
 		batch[i] = nil // drop message references before recycling
 	}
 	p.spare = batch[:0]
+	p.spareAt = batchAt[:0]
 
 	// Compute wall time of this dispatch: charged cycles at nominal
 	// frequency, stretched if the sibling hyperthread is busy.
-	factor := 1.0
-	if p.thread.siblingBusy(t0) {
-		factor = p.machine.HTPenalty
-	}
 	dur := Time(float64(p.machine.Cycles(p.charged)) * factor)
 	tEnd := t0 + dur
 	p.thread.freeAt = tEnd
@@ -432,6 +461,7 @@ func (p *Proc) Crash(cause error) {
 		p.failedAt = p.sim.now
 	}
 	p.inbox = nil
+	p.inboxAt = nil
 	p.pending = p.pending[:0]
 	p.sim.notifyCrash(p, cause)
 }

@@ -262,6 +262,27 @@ func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
 	return e, true
 }
 
+// Tracer observes the message path of a simulation. It is the hook behind
+// the opt-in observability layer: when a tracer is installed, every process
+// dispatch reports per-message queueing and processing times, and
+// non-process hardware hops (wire serialization, NIC RX queues) report
+// spans. With no tracer installed (the default) every trace point is a
+// single nil check — zero allocation, zero behavioural impact.
+//
+// A Tracer is per-Simulator state, never global: parallel experiment
+// sweeps run one simulator (and one tracer) per sweep point, which keeps
+// concurrent runs byte-identical to sequential ones.
+type Tracer interface {
+	// OnMessage reports one handled message on process p: it arrived in the
+	// inbox at arrivedAt, its handler started at start (queueing time is
+	// start-arrivedAt) and finished at end (processing time is end-start).
+	OnMessage(p *Proc, msg Message, arrivedAt, start, end Time)
+	// OnSpan reports one traversal of a non-process hop (wire direction,
+	// NIC RX queue) identified by hop: time spent queued behind other work
+	// and time spent being processed/serialized.
+	OnSpan(hop string, queued, processed Time)
+}
+
 // Simulator owns the virtual clock and the event queue. All machines,
 // processes, NICs and links of one experiment hang off a single Simulator.
 type Simulator struct {
@@ -273,6 +294,10 @@ type Simulator struct {
 	procs    []*Proc
 
 	crashWatchers []func(*Proc, error)
+
+	// tracer is the installed observability hook, or nil (the default:
+	// every trace point reduces to one nil check).
+	tracer Tracer
 
 	// Stats
 	eventsRun uint64
@@ -291,6 +316,15 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // EventsRun reports how many events have executed so far.
 func (s *Simulator) EventsRun() uint64 { return s.eventsRun }
+
+// SetTracer installs (or, with nil, removes) the observability hook.
+// Install it before the simulation runs: messages already sitting in
+// process inboxes at install time carry no arrival stamp, and their
+// dispatch batches are skipped by the per-message trace.
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+// Tracer returns the installed observability hook, or nil.
+func (s *Simulator) Tracer() Tracer { return s.tracer }
 
 // schedule clamps t to now, stamps the sequence number and enqueues.
 func (s *Simulator) schedule(t Time, e event) {

@@ -136,6 +136,9 @@ type NEaTConfig struct {
 	// Stack optionally overrides the full replica template (built from
 	// StackConfig when nil).
 	Stack *stack.Config
+	// Observe attaches the observability layer (lifecycle events; combine
+	// with trace.Tracer.Attach on the simulator for message tracing).
+	Observe core.ObserveConfig
 }
 
 // BuildNEaT boots a NEaT system on host h talking to peer.
@@ -163,6 +166,7 @@ func (h *Host) BuildNEaT(peer *Host, cfg NEaTConfig) (*core.System, error) {
 		UseFlowFilters:     !cfg.DisableFlowFilters,
 		UseNICFlowTracking: cfg.UseNICFlowTracking,
 		Watchdog:           cfg.Watchdog,
+		Observe:            cfg.Observe,
 	})
 }
 

@@ -1,0 +1,241 @@
+// Package trace is the opt-in message-tracing half of the observability
+// layer: it implements sim.Tracer, aggregating per-hop queueing and
+// processing latency as messages cross wire → NIC → driver → replica
+// components → SYSCALL server → socket library, and records the
+// management plane's lifecycle events (respawns, watchdog escalations,
+// RSS rebinds) on the same timeline.
+//
+// Overhead contract: with no Tracer installed, every trace point in the
+// hot path is a single nil check and no arrival stamps are kept — zero
+// allocation, zero behavioural impact. With a Tracer installed, samples
+// land in per-hop log-bucketed histograms keyed by process identity (one
+// map lookup per message, no per-message records), and the arrival-stamp
+// slices recycle exactly like the inbox double-buffers they shadow.
+//
+// Determinism contract: a Tracer is per-Simulator state. Parallel
+// experiment sweeps build one simulator+tracer per sweep point and
+// assemble results in configuration order, so trace output is
+// byte-identical between sequential and concurrent runs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neat/internal/metrics"
+	"neat/internal/report"
+	"neat/internal/sim"
+)
+
+// Span is the aggregate view of one hop of the message path: how many
+// messages traversed it, how long they queued before the hop ran, and how
+// long the hop spent processing them.
+type Span struct {
+	// Hop names the trace point, machine-qualified: "amd.nicdrv",
+	// "amd.neat0.tcp", "wire.dir0", "amd.nic.rxq0", ...
+	Hop string
+	// Component is the coarse label used for path ordering ("wire", "nic",
+	// "driver", "ip", "tcp", "syscall", "app", ...).
+	Component string
+	// Count is the number of traversals.
+	Count uint64
+	// Queue aggregates arrival → handling-start latency.
+	Queue metrics.Histogram
+	// Proc aggregates handling-start → handling-end latency.
+	Proc metrics.Histogram
+}
+
+// Event is one lifecycle/fault event on the trace timeline.
+type Event struct {
+	At     sim.Time
+	Kind   string // e.g. "respawn", "escalate", "quarantine", "rss"
+	Detail string
+}
+
+// Tracer implements sim.Tracer. Create one with New, install it with
+// sim.Simulator.SetTracer (Attach does both) before the simulation runs,
+// and read the aggregates back with Breakdown and Events.
+type Tracer struct {
+	procSpans map[*sim.Proc]*Span
+	nameSpans map[string]*Span
+	events    []Event
+	sim       *sim.Simulator
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{
+		procSpans: map[*sim.Proc]*Span{},
+		nameSpans: map[string]*Span{},
+	}
+}
+
+// Attach installs the tracer on s (and binds the event timeline's clock).
+// Call it before the simulation runs.
+func (t *Tracer) Attach(s *sim.Simulator) *Tracer {
+	t.sim = s
+	s.SetTracer(t)
+	return t
+}
+
+// OnMessage implements sim.Tracer: one handled message on process p.
+func (t *Tracer) OnMessage(p *sim.Proc, msg sim.Message, arrivedAt, start, end sim.Time) {
+	sp := t.procSpans[p]
+	if sp == nil {
+		sp = &Span{Hop: hopName(p), Component: p.Component}
+		t.procSpans[p] = sp
+	}
+	sp.Count++
+	sp.Queue.Observe(start - arrivedAt)
+	sp.Proc.Observe(end - start)
+}
+
+// OnSpan implements sim.Tracer: one traversal of a non-process hop.
+func (t *Tracer) OnSpan(hop string, queued, processed sim.Time) {
+	sp := t.nameSpans[hop]
+	if sp == nil {
+		sp = &Span{Hop: hop, Component: classify(hop)}
+		t.nameSpans[hop] = sp
+	}
+	sp.Count++
+	sp.Queue.Observe(queued)
+	sp.Proc.Observe(processed)
+}
+
+// Emit records a lifecycle event at the current simulated time. The
+// management plane calls it (via its observability hook) on respawns,
+// escalations, quarantines, RSS rebinds and scaling actions.
+func (t *Tracer) Emit(kind, detail string) {
+	var at sim.Time
+	if t.sim != nil {
+		at = t.sim.Now()
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind, Detail: detail})
+}
+
+// Events returns the lifecycle timeline in emission (= simulated time)
+// order. The slice is owned by the tracer; do not modify.
+func (t *Tracer) Events() []Event { return t.events }
+
+// hopName machine-qualifies a process name, except when the name already
+// carries the machine prefix (the NIC driver is named "<host>.nicdrv").
+func hopName(p *sim.Proc) string {
+	m := p.Machine().Name
+	if strings.HasPrefix(p.Name, m+".") {
+		return p.Name
+	}
+	return m + "." + p.Name
+}
+
+// componentRank orders hops along the message path for rendering.
+var componentRank = map[string]int{
+	"wire": 0, "nic": 1, "driver": 2, "pf": 3, "ip": 4, "udp": 5,
+	"tcp": 6, "syscall": 7, "app": 8,
+}
+
+func rank(component string) int {
+	if r, ok := componentRank[component]; ok {
+		return r
+	}
+	return len(componentRank)
+}
+
+// classify derives the component of a named (non-process) hop.
+func classify(hop string) string {
+	switch {
+	case strings.HasPrefix(hop, "wire"):
+		return "wire"
+	case strings.Contains(hop, ".nic."):
+		return "nic"
+	default:
+		return hop
+	}
+}
+
+// Breakdown is the per-hop latency breakdown, ordered along the message
+// path (wire → NIC → driver → stack components → SYSCALL → apps) and by
+// hop name within a component.
+type Breakdown []*Span
+
+// Breakdown snapshots the current per-hop aggregates.
+func (t *Tracer) Breakdown() Breakdown {
+	out := make(Breakdown, 0, len(t.procSpans)+len(t.nameSpans))
+	for _, sp := range t.procSpans {
+		out = append(out, sp)
+	}
+	for _, sp := range t.nameSpans {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := rank(out[i].Component), rank(out[j].Component)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Hop < out[j].Hop
+	})
+	return out
+}
+
+// Filter returns the spans whose hop name has the given prefix (typically
+// a machine name, to isolate the server side of a two-machine bed).
+func (b Breakdown) Filter(prefix string) Breakdown {
+	var out Breakdown
+	for _, sp := range b {
+		if strings.HasPrefix(sp.Hop, prefix) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Table renders the breakdown as a report table: queueing vs processing
+// per hop, with mean and p99 for each.
+func (b Breakdown) Table(title string) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Columns: []string{"hop", "component", "msgs",
+			"queue mean", "queue p99", "proc mean", "proc p99"},
+	}
+	for _, sp := range b {
+		t.AddRow(sp.Hop, sp.Component, sp.Count,
+			sp.Queue.Mean(), sp.Queue.Quantile(0.99),
+			sp.Proc.Mean(), sp.Proc.Quantile(0.99))
+	}
+	return t
+}
+
+// String renders the breakdown table with a default title.
+func (b Breakdown) String() string {
+	return b.Table("Per-hop latency breakdown (queueing vs processing)").String()
+}
+
+// Timeline renders the lifecycle events as a report table.
+func Timeline(events []Event, title string) *report.Table {
+	t := &report.Table{Title: title, Columns: []string{"t", "event", "detail"}}
+	for _, e := range events {
+		t.AddRow(e.At, e.Kind, e.Detail)
+	}
+	if len(events) == 0 {
+		t.AddRow("-", "none", "no lifecycle events recorded")
+	}
+	return t
+}
+
+// EventCounts summarizes the timeline as kind → count, rendered sorted.
+func EventCounts(events []Event) string {
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

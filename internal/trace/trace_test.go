@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"neat/internal/sim"
+)
+
+// newBusyProc builds a one-proc simulator with a handler that charges a
+// fixed cycle cost per message.
+func newBusyProc(t *testing.T) (*sim.Simulator, *sim.Proc, *Tracer) {
+	t.Helper()
+	s := sim.New(1)
+	m := sim.NewMachine(s, "m", 1, 1, 1_000_000_000)
+	p := sim.NewProc(m.Thread(0, 0), "p", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
+		ctx.Charge(1000) // 1 µs at 1 GHz
+	}), sim.ProcConfig{})
+	tr := New().Attach(s)
+	return s, p, tr
+}
+
+func TestTracerRecordsMessageSpans(t *testing.T) {
+	s, p, tr := newBusyProc(t)
+	for i := 0; i < 10; i++ {
+		p.Deliver("x")
+		s.Drain()
+	}
+	bd := tr.Breakdown()
+	if len(bd) != 1 {
+		t.Fatalf("spans=%d, want 1", len(bd))
+	}
+	sp := bd[0]
+	if sp.Hop != "m.p" {
+		t.Fatalf("hop=%q, want machine-qualified %q", sp.Hop, "m.p")
+	}
+	if sp.Count != 10 || sp.Queue.Count() != 10 || sp.Proc.Count() != 10 {
+		t.Fatalf("count=%d queue=%d proc=%d, want 10 each", sp.Count, sp.Queue.Count(), sp.Proc.Count())
+	}
+	// The handler charges 1000 cycles at 1 GHz: processing time is 1 µs
+	// (plus the configured dispatch overhead, zero here).
+	if mean := sp.Proc.Mean(); mean != sim.Microsecond {
+		t.Fatalf("proc mean=%v, want 1µs", mean)
+	}
+}
+
+func TestTracerNamedSpansAndOrdering(t *testing.T) {
+	_, p, tr := newBusyProc(t)
+	p.Deliver("x")
+	tr.OnSpan("wire.dir0", 5, 3)
+	tr.OnSpan("m.nic.rxq0", 7, 0)
+	tr.OnSpan("wire.dir0", 9, 3)
+	bd := tr.Breakdown()
+	// Path order: wire (rank 0) before nic (rank 1) before the app proc.
+	if len(bd) != 2 {
+		// The delivered message has not dispatched yet (sim never ran), so
+		// only the two named spans exist.
+		t.Fatalf("spans=%d, want 2", len(bd))
+	}
+	if bd[0].Hop != "wire.dir0" || bd[0].Component != "wire" {
+		t.Fatalf("first span %q (%s), want wire.dir0", bd[0].Hop, bd[0].Component)
+	}
+	if bd[1].Hop != "m.nic.rxq0" || bd[1].Component != "nic" {
+		t.Fatalf("second span %q (%s), want m.nic.rxq0", bd[1].Hop, bd[1].Component)
+	}
+	if bd[0].Count != 2 || bd[0].Queue.Max() != 9 {
+		t.Fatalf("wire span count=%d max=%v", bd[0].Count, bd[0].Queue.Max())
+	}
+}
+
+func TestBreakdownFilterAndTable(t *testing.T) {
+	tr := New()
+	tr.OnSpan("amd.nicdrv", 10, 20)
+	tr.OnSpan("client.nicdrv", 10, 20)
+	got := tr.Breakdown().Filter("amd.")
+	if len(got) != 1 || got[0].Hop != "amd.nicdrv" {
+		t.Fatalf("filtered=%v", got)
+	}
+	out := got.Table("title").String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "amd.nicdrv") {
+		t.Fatalf("table:\n%s", out)
+	}
+	if strings.Contains(out, "client.nicdrv") {
+		t.Fatalf("filter leaked client hop:\n%s", out)
+	}
+}
+
+func TestEventsTimelineAndCounts(t *testing.T) {
+	s, _, tr := newBusyProc(t)
+	tr.Emit("spawn", "replica 0")
+	s.RunFor(3 * sim.Millisecond)
+	tr.Emit("rss", "rebind")
+	tr.Emit("spawn", "replica 1")
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events=%d", len(ev))
+	}
+	if ev[0].At != 0 || ev[1].At != 3*sim.Millisecond {
+		t.Fatalf("timestamps %v, %v", ev[0].At, ev[1].At)
+	}
+	if got := EventCounts(ev); got != "rss×1 spawn×2" {
+		t.Fatalf("counts=%q", got)
+	}
+	out := Timeline(ev, "events").String()
+	if !strings.Contains(out, "replica 1") || !strings.Contains(out, "3.000ms") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	empty := Timeline(nil, "events").String()
+	if !strings.Contains(empty, "none") {
+		t.Fatalf("empty timeline:\n%s", empty)
+	}
+}
+
+// TestTracerMidRunAttachSkipsUnstampedBatch documents the mid-run attach
+// contract: messages delivered before the tracer was installed carry no
+// arrival stamp, so their batch is skipped rather than mis-attributed.
+func TestTracerMidRunAttachSkipsUnstampedBatch(t *testing.T) {
+	s := sim.New(1)
+	m := sim.NewMachine(s, "m", 1, 1, 1_000_000_000)
+	p := sim.NewProc(m.Thread(0, 0), "p", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
+		ctx.Charge(1000)
+	}), sim.ProcConfig{})
+	p.Deliver("before") // unstamped: no tracer yet
+	tr := New().Attach(s)
+	s.Drain()
+	if got := len(tr.Breakdown()); got != 0 {
+		t.Fatalf("unstamped batch was traced: %d spans", got)
+	}
+	p.Deliver("after")
+	s.Drain()
+	bd := tr.Breakdown()
+	if len(bd) != 1 || bd[0].Count != 1 {
+		t.Fatalf("stamped message not traced: %v", bd)
+	}
+}

@@ -66,6 +66,10 @@ type pendDelivery struct {
 	side  int8
 }
 
+// wireHopName gives each direction a fixed trace-hop name, so the traced
+// path allocates no strings per frame.
+var wireHopName = [2]string{"wire.dir0", "wire.dir1"}
+
 // LinkStats counts link activity.
 type LinkStats struct {
 	Frames    [2]uint64 // frames accepted for transmission per direction
@@ -110,12 +114,18 @@ func (l *Link) Transmit(side int, frame []byte) {
 	}
 	onWire += DefaultOverheadBytes
 
-	start := l.sim.Now()
+	now := l.sim.Now()
+	start := now
 	if l.lineFree[side] > start {
 		start = l.lineFree[side]
 	}
 	serial := sim.Time(int64(onWire) * 8 * int64(sim.Second) / l.BitsPerSec)
 	l.lineFree[side] = start + serial
+	if tr := l.sim.Tracer(); tr != nil {
+		// Wire hop: queueing is the wait for the transmitter to free up,
+		// processing is the serialization time at line rate.
+		tr.OnSpan(wireHopName[side], start-now, serial)
+	}
 
 	if l.DropFilter != nil && l.DropFilter(side, frame) {
 		l.stats.Dropped[side]++

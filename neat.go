@@ -27,13 +27,18 @@
 package neat
 
 import (
+	"fmt"
+
 	"neat/internal/core"
 	"neat/internal/experiments"
+	"neat/internal/metrics"
 	"neat/internal/proto"
+	"neat/internal/report"
 	"neat/internal/sim"
 	"neat/internal/stack"
 	"neat/internal/tcpeng"
 	"neat/internal/testbed"
+	"neat/internal/trace"
 )
 
 // Re-exported building blocks. The internal packages carry the full API;
@@ -47,6 +52,57 @@ type Machine = testbed.Host
 
 // System is a running NEaT network stack.
 type System = core.System
+
+// Observability. The unified API has three layers, all reached through
+// the facade (examples and tools should not import the internal packages
+// directly):
+//
+//   - System.Metrics() returns a Registry: every counter, gauge and
+//     histogram of the system, pulled on demand from the live components
+//     (zero cost until asked).
+//   - SystemConfig{Observe: true} attaches a Tracer before boot; then
+//     System.Trace().Breakdown() gives per-hop queueing-vs-processing
+//     latency Spans and System.Trace().Events() the lifecycle timeline
+//     (spawns, detections, escalations, RSS rebinds, recoveries).
+//   - Tracing is opt-in and free when off: an untraced system runs the
+//     exact same instruction path as one built before this API existed.
+
+// Registry is a named collection of counters, gauges and histograms.
+type Registry = metrics.Registry
+
+// Histogram is a power-of-two-bucketed latency/value histogram.
+type Histogram = metrics.Histogram
+
+// Tracer records per-message spans and lifecycle events.
+type Tracer = trace.Tracer
+
+// Span aggregates one hop of the message path: how long messages queued
+// there and how long the hop spent processing them.
+type Span = trace.Span
+
+// Breakdown is the per-hop latency table, ordered along the packet path
+// (wire → NIC → driver → stack components → SYSCALL → application).
+type Breakdown = trace.Breakdown
+
+// TraceEvent is one timestamped lifecycle event.
+type TraceEvent = trace.Event
+
+// Table is a formatted report table (what Breakdown.Table and Timeline
+// return; print with String()).
+type Table = report.Table
+
+// Timeline renders lifecycle events as a simulated-time-ordered table.
+func Timeline(events []TraceEvent, title string) *Table {
+	return trace.Timeline(events, title)
+}
+
+// CPUSampler measures per-core utilization over a simulated window.
+type CPUSampler = metrics.CPUSampler
+
+// NewCPUSampler starts sampling machine m's cores now.
+func NewCPUSampler(m *Machine) *CPUSampler {
+	return metrics.NewCPUSampler(m.Machine)
+}
 
 // ReplicaKind selects single- or multi-component replicas.
 type ReplicaKind = stack.Kind
@@ -103,38 +159,98 @@ func NewClientMachine(n *Network, stacks int) *Machine {
 	return testbed.DefaultClientHost(n, 1, stacks)
 }
 
-// SystemConfig configures StartNEaT.
+// SystemConfig configures StartNEaT. The zero value is a working system:
+// two single-component replicas on cores 2 and 3, no TSO, the paper's
+// instantaneous crash oracle for failure detection, and no observability
+// instruments attached.
 type SystemConfig struct {
-	// Replicas is the partition count (default 2).
+	// Replicas is the partition count (default 2). The testbed NICs
+	// expose 8 RX/TX queue pairs, so at most 8 replicas are steerable.
 	Replicas int
 	// Kind selects single- (default) or multi-component replicas.
+	// Multi-component replicas occupy two consecutive cores each.
 	Kind ReplicaKind
 	// FirstCore is the first core used for replicas (default 2: core 0
 	// hosts the NIC driver and core 1 the SYSCALL server).
 	FirstCore int
-	// TSO enables TCP segmentation offload.
+	// TSO enables TCP segmentation offload (default off, as in the
+	// paper's headline configurations).
 	TSO bool
+	// Watchdog switches failure detection from the instantaneous crash
+	// oracle to heartbeat probing with the escalation ladder (§ watchdog
+	// in DESIGN.md). Default off: the oracle matches the paper's
+	// methodology.
+	Watchdog bool
+	// Observe attaches the observability layer before boot: a message
+	// tracer on the whole simulated network plus the lifecycle event
+	// timeline, reachable via System.Trace(). Default off; an untraced
+	// system pays zero observation cost.
+	Observe bool
+}
+
+// Validate reports the first configuration error, with enough context to
+// fix it. StartNEaT calls it; call it directly to check a config built
+// from user input.
+func (cfg SystemConfig) Validate() error {
+	if cfg.Replicas < 0 {
+		return fmt.Errorf("neat: SystemConfig.Replicas is %d; want 0 (default 2) or a positive count", cfg.Replicas)
+	}
+	if cfg.Replicas > 8 {
+		return fmt.Errorf("neat: SystemConfig.Replicas is %d, but the testbed NICs expose 8 RX/TX queue pairs; use at most 8 replicas", cfg.Replicas)
+	}
+	if cfg.Kind != stack.Single && cfg.Kind != stack.Multi {
+		return fmt.Errorf("neat: SystemConfig.Kind is %d; want neat.SingleComponent or neat.MultiComponent", cfg.Kind)
+	}
+	if cfg.FirstCore == 1 || cfg.FirstCore < 0 {
+		return fmt.Errorf("neat: SystemConfig.FirstCore is %d; cores 0 and 1 host the NIC driver and the SYSCALL server, so replicas start at core 2 (the default)", cfg.FirstCore)
+	}
+	return nil
 }
 
 // StartNEaT boots a NEaT system on machine m serving traffic from peer.
 func StartNEaT(m, peer *Machine, cfg SystemConfig) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Replicas == 0 {
 		cfg.Replicas = 2
 	}
 	if cfg.FirstCore == 0 {
 		cfg.FirstCore = 2
 	}
-	tcp := tcpeng.DefaultConfig()
-	tcp.TSO = cfg.TSO
+	perReplica := 1
 	slots := testbed.SingleSlots(cfg.FirstCore, cfg.Replicas)
 	if cfg.Kind == stack.Multi {
+		perReplica = 2
 		slots = testbed.MultiSlots(cfg.FirstCore, cfg.Replicas)
 	}
+	if last := cfg.FirstCore + perReplica*cfg.Replicas - 1; last >= m.Machine.NumCores() {
+		return nil, fmt.Errorf("neat: %d %s replicas starting at core %d need cores up to %d, but machine %q has %d cores; use fewer replicas or a lower FirstCore",
+			cfg.Replicas, kindName(cfg.Kind), cfg.FirstCore, last, m.Machine.Name, m.Machine.NumCores())
+	}
+	tcp := tcpeng.DefaultConfig()
+	tcp.TSO = cfg.TSO
+	var obs core.ObserveConfig
+	if cfg.Observe {
+		obs.Trace = trace.New().Attach(m.Net.Sim)
+	}
+	var wd core.WatchdogConfig
+	wd.Enabled = cfg.Watchdog
 	return m.BuildNEaT(peer, testbed.NEaTConfig{
 		Kind: cfg.Kind, TCP: tcp,
-		Slots:   slots,
-		Syscall: testbed.ThreadLoc{Core: 1},
+		Slots:    slots,
+		Syscall:  testbed.ThreadLoc{Core: 1},
+		Watchdog: wd,
+		Observe:  obs,
 	})
+}
+
+// kindName names a replica kind in error messages.
+func kindName(k ReplicaKind) string {
+	if k == stack.Multi {
+		return "multi-component"
+	}
+	return "single-component"
 }
 
 // StartClientSystem boots the load-generator-side stack on machine m.

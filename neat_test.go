@@ -1,6 +1,7 @@
 package neat_test
 
 import (
+	"strings"
 	"testing"
 
 	"neat"
@@ -76,6 +77,143 @@ func TestXeonModelAvailable(t *testing.T) {
 	}
 	if got := len(sys.Replicas()); got != 2 {
 		t.Fatalf("replicas=%d", got)
+	}
+}
+
+// TestSystemConfigValidate covers the consolidated configuration surface:
+// the zero value works, and each bad field produces an actionable error.
+func TestSystemConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     neat.SystemConfig
+		wantErr string // empty = valid
+	}{
+		{"zero-value-defaults", neat.SystemConfig{}, ""},
+		{"full-valid", neat.SystemConfig{Replicas: 8, Kind: neat.MultiComponent,
+			FirstCore: 4, TSO: true, Watchdog: true, Observe: true}, ""},
+		{"negative-replicas", neat.SystemConfig{Replicas: -1}, "Replicas"},
+		{"too-many-replicas", neat.SystemConfig{Replicas: 9}, "queue pairs"},
+		{"bad-kind", neat.SystemConfig{Kind: neat.ReplicaKind(7)}, "Kind"},
+		{"reserved-core", neat.SystemConfig{FirstCore: 1}, "SYSCALL"},
+		{"negative-core", neat.SystemConfig{FirstCore: -2}, "FirstCore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStartNEaTRejectsOversizedLayout checks the machine-aware check:
+// replicas that do not fit the core count fail with a helpful error
+// instead of panicking inside the testbed.
+func TestStartNEaTRejectsOversizedLayout(t *testing.T) {
+	net := neat.NewNetwork(9)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, 1)
+	// 6 multi-component replicas need cores 2..13 on a 12-core machine.
+	_, err := neat.StartNEaT(server, client, neat.SystemConfig{
+		Replicas: 6, Kind: neat.MultiComponent,
+	})
+	if err == nil {
+		t.Fatal("StartNEaT accepted 6 multi-component replicas on 12 cores")
+	}
+	for _, want := range []string{"12 cores", "fewer replicas"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q lacks %q", err, want)
+		}
+	}
+	// Validation errors surface before Validate-clean machine checks too.
+	if _, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: -3}); err == nil {
+		t.Fatal("StartNEaT accepted negative replicas")
+	}
+}
+
+// TestObservabilityFacade exercises the re-exported observability API the
+// way the examples do: metrics registry, trace breakdown, event timeline.
+func TestObservabilityFacade(t *testing.T) {
+	net := neat.NewNetwork(123)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, 1)
+	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 2, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := neat.StartClientSystem(client, server, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clisys.Trace() != nil {
+		t.Fatal("client system should be untraced (Observe not set)")
+	}
+	tr := sys.Trace()
+	if tr == nil {
+		t.Fatal("Observe: true but System.Trace() is nil")
+	}
+
+	srv := apiApp(server.AppThread(5), sys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+		ln := lib.Listen(ctx, 4000, 8)
+		ln.OnAccept = func(ctx *sim.Context, s *socketlib.Socket) {
+			s.OnData = func(ctx *sim.Context, data []byte, eof bool) {
+				if len(data) > 0 {
+					s.Send(ctx, data)
+				}
+			}
+		}
+	})
+	srv.Deliver("go")
+	net.Sim.RunFor(neat.Millisecond)
+	cli := apiApp(client.AppThread(4), clisys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+		s := lib.Connect(ctx, neat.IPv4(10, 0, 0, 1), 4000)
+		s.OnConnect = func(ctx *sim.Context, err error) {
+			if err == nil {
+				s.Send(ctx, []byte("ping"))
+			}
+		}
+	})
+	cli.Deliver("go")
+	net.Sim.RunFor(50 * neat.Millisecond)
+
+	reg := sys.Metrics()
+	if reg.Counter("nic.rx_frames").Value() == 0 {
+		t.Fatal("nic.rx_frames is zero after a TCP exchange")
+	}
+	if reg.Counter("syscall.listens").Value() == 0 {
+		t.Fatal("syscall.listens is zero after Listen")
+	}
+	if reg.Gauge("core.replicas_active").Value() != 2 {
+		t.Fatalf("core.replicas_active=%v", reg.Gauge("core.replicas_active").Value())
+	}
+	if reg.String() == "" {
+		t.Fatal("empty registry dump")
+	}
+
+	var bd neat.Breakdown = tr.Breakdown().Filter("amd.")
+	if len(bd) == 0 {
+		t.Fatal("empty server-side breakdown after traffic")
+	}
+	var total uint64
+	for _, sp := range bd {
+		total += sp.Count
+	}
+	if total == 0 {
+		t.Fatal("breakdown spans carry no messages")
+	}
+	events := tr.Events()
+	if len(events) == 0 || !strings.Contains(neat.Timeline(events, "t").String(), "spawn") {
+		t.Fatalf("lifecycle timeline lacks the boot spawns: %v", events)
 	}
 }
 
