@@ -13,15 +13,18 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# verify is the pre-merge gate: static checks, a full build, the whole
-# test suite, the parallel-sweep + fault-matrix + traced-breakdown
-# determinism tests under the race detector (the concurrent experiment
-# runner must stay race-free AND byte-identical to a sequential run, with
-# or without tracing), and the allocation guard (tracing disabled must
-# keep the simulator's scheduling/dispatch allocation budget).
+# verify is the pre-merge gate: static checks (vet + gofmt cleanliness), a
+# full build, the whole test suite, the parallel-sweep + fault-matrix +
+# traced-breakdown + steering determinism tests under the race detector
+# (the concurrent experiment runner must stay race-free AND byte-identical
+# to a sequential run, with or without tracing), and the allocation guard
+# (tracing disabled must keep the simulator's scheduling/dispatch
+# allocation budget).
 verify:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown'
+	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering'
 	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs' -count=1

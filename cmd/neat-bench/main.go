@@ -7,27 +7,25 @@
 //
 //	neat-bench [-quick] [-seed N] [-only table1|fig4|fig5|fig7|fig9|fig11|fig12|table2|table3|fig13]
 //	neat-bench -breakdown          # traced run: per-hop latency breakdown tables
+//	neat-bench -steering           # placement policy × workload skew comparison
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
 	"strings"
 
+	"neat/internal/cliutil"
 	"neat/internal/experiments"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "shorter warmup/measurement windows and fewer fault-injection runs")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	ef := cliutil.Experiment(1)
 	only := flag.String("only", "", "run a single experiment (table1, fig4, fig5, fig7, fig9, fig11, fig12, table2, table3, fig13)")
-	parallel := flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)")
-	workers := flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)")
 	breakdown := flag.Bool("breakdown", false, "run the traced per-hop latency breakdown instead of the paper tables")
+	steering := flag.Bool("steering", false, "run the placement-policy steering campaign instead of the paper tables")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Workers: *workers}
+	o := ef.Options()
 	drivers := map[string]func(experiments.Options) *experiments.Result{
 		"table1": experiments.Table1,
 		"fig4":   experiments.Figure4,
@@ -42,23 +40,23 @@ func main() {
 		// Not part of the default run: tracing is opt-in, and the paper
 		// tables above are measured untraced.
 		"breakdown": experiments.LatencyBreakdown,
+		// Not part of the default run: the steering campaign measures the
+		// placement-plane extension, not a figure of the paper.
+		"steering": experiments.SteeringSkew,
 	}
 
-	if *breakdown {
-		fmt.Print(experiments.LatencyBreakdown(o).String())
-		return
-	}
-	if *only != "" {
+	switch {
+	case *breakdown:
+		cliutil.Emit(experiments.LatencyBreakdown(o))
+	case *steering:
+		cliutil.Emit(experiments.SteeringSkew(o))
+	case *only != "":
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-			os.Exit(2)
+			cliutil.Fail("unknown experiment %q", *only)
 		}
-		fmt.Print(fn(o).String())
-		return
-	}
-	for _, res := range experiments.All(o) {
-		fmt.Print(res.String())
-		fmt.Println()
+		cliutil.Emit(fn(o))
+	default:
+		cliutil.EmitAll(experiments.All(o))
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"neat"
 	"neat/internal/app"
+	"neat/internal/cliutil"
 	"neat/internal/ipc"
 	"neat/internal/report"
 	"neat/internal/sim"
@@ -26,24 +27,17 @@ func main() {
 	topo := flag.Bool("topo", false, "print the machine topology (the textual Figure 6/8/10)")
 	flag.Parse()
 
-	net := neat.NewNetwork(*seed)
-	server := neat.NewServerMachine(net, neat.AMD12)
-	client := neat.NewClientMachine(net, *webs)
-
 	// Observe attaches the tracing layer: the demo ends by replaying the
-	// lifecycle event timeline the management plane recorded.
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: *replicas + 1, Observe: true})
+	// lifecycle event timeline the management plane recorded. The farm
+	// starts with one slot spare for the scale-up demo.
+	farm, err := cliutil.BootFarm(*seed, *webs,
+		neat.SystemConfig{Replicas: *replicas + 1, Observe: true},
+		func(sys *neat.System) error { return sys.ScaleDown() })
 	if err != nil {
-		panic(err)
+		cliutil.Fail("%v", err)
 	}
-	// Start with one slot spare for the scale-up demo.
-	if err := sys.ScaleDown(); err != nil {
-		panic(err)
-	}
-	clisys, err := neat.StartClientSystem(client, server, *webs)
-	if err != nil {
-		panic(err)
-	}
+	net, server, client := farm.Net, farm.Server, farm.Client
+	sys := farm.Sys
 
 	fmt.Printf("== NEaT demo: %d replicas (1 spare slot), %d lighttpd instances ==\n", *replicas, *webs)
 	defer func() {
@@ -63,7 +57,7 @@ func main() {
 		h.Start()
 		servers = append(servers, h)
 		lg := app.NewLoadgen(client.AppThread(2+*webs+i), fmt.Sprintf("httperf%d", i),
-			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
+			farm.CliSys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
 				Target: server.IP, Port: uint16(8000 + i), URI: "/index",
 				Conns: 16, ReqPerConn: 100, Timeout: 200 * sim.Millisecond,
 			})
@@ -99,14 +93,14 @@ func main() {
 
 	fmt.Println("-- scaling up: activating the spare replica slot")
 	if _, err := sys.ScaleUp(); err != nil {
-		panic(err)
+		cliutil.Fail("%v", err)
 	}
 	fmt.Printf("after scale-up:          %6.1f krps, %d active replicas\n",
 		rate(100*sim.Millisecond), sys.NumActive())
 
 	fmt.Println("-- scaling down: lazy termination (existing connections drain first)")
 	if err := sys.ScaleDown(); err != nil {
-		panic(err)
+		cliutil.Fail("%v", err)
 	}
 	fmt.Printf("during lazy termination: %6.1f krps, slot states %v\n",
 		rate(100*sim.Millisecond), sys.SlotStates())

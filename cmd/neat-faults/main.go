@@ -29,16 +29,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"neat/internal/cliutil"
 	"neat/internal/experiments"
 	"neat/internal/faultinject"
 )
 
 func main() {
+	ef := cliutil.Experiment(1)
 	runs := flag.Int("runs", 100, "number of failing runs to collect (Table 3 mode)")
-	seed := flag.Int64("seed", 1, "base simulation seed")
-	quick := flag.Bool("quick", false, "shorter observation windows")
 	matrix := flag.Bool("matrix", false, "run the extended kind × component fault matrix")
 	replay := flag.Int64("replay", 0, "re-run one matrix run with this seed, verbosely")
 	timeline := flag.Int64("timeline", 0, "re-run one matrix run with this seed and print the lifecycle-event timeline")
@@ -46,26 +45,24 @@ func main() {
 	comp := flag.String("comp", "tcp", "component for -replay/-timeline: pf, ip, udp, tcp, driver or syscall")
 	flag.Parse()
 
+	o := ef.Options()
 	switch {
 	case *replay != 0 || *timeline != 0:
 		kind, err := faultinject.KindFromString(*kindName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cliutil.Fail("%v", err)
 		}
-		o := experiments.Options{Quick: *quick, Seed: *seed}
 		if *timeline != 0 {
-			fmt.Print(experiments.FaultTimeline(o, *timeline, kind, *comp).String())
+			cliutil.Emit(experiments.FaultTimeline(o, *timeline, kind, *comp))
 			return
 		}
-		fmt.Print(experiments.FaultReplay(o, *replay, kind, *comp).String())
+		cliutil.Emit(experiments.FaultReplay(o, *replay, kind, *comp))
 	case *matrix:
-		o := experiments.Options{Quick: *quick, Seed: *seed}
-		fmt.Print(experiments.FaultMatrix(o).String())
+		cliutil.Emit(experiments.FaultMatrix(o))
 		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
 	default:
-		o := experiments.Options{Quick: *quick || *runs < 100, Seed: *seed}
-		fmt.Print(experiments.Table3(o).String())
+		o.Quick = o.Quick || *runs < 100
+		cliutil.Emit(experiments.Table3(o))
 		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
 	}
 }

@@ -1,0 +1,97 @@
+// Package cliutil carries the flag, boot and report plumbing shared by
+// the repository's command-line tools (neat-bench, neat-faults,
+// neat-demo), so each main() holds only its own campaign logic. The
+// helpers preserve the tools' historical output byte for byte — the
+// determinism oracles hash it.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neat"
+	"neat/internal/experiments"
+)
+
+// ExperimentFlags is the standard flag bundle of an experiment-running
+// command: seed, quick mode and sweep concurrency.
+type ExperimentFlags struct {
+	Quick    *bool
+	Seed     *int64
+	Parallel *bool
+	Workers  *int
+}
+
+// Experiment registers the shared experiment flags on the default
+// FlagSet with the command's default seed. Call flag.Parse() afterwards,
+// then Options().
+func Experiment(defaultSeed int64) *ExperimentFlags {
+	return &ExperimentFlags{
+		Quick:    flag.Bool("quick", false, "shorter warmup/measurement windows and fewer runs"),
+		Seed:     flag.Int64("seed", defaultSeed, "simulation seed"),
+		Parallel: flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)"),
+		Workers:  flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)"),
+	}
+}
+
+// Options converts the parsed flags into experiment options.
+func (f *ExperimentFlags) Options() experiments.Options {
+	return experiments.Options{
+		Quick: *f.Quick, Seed: *f.Seed,
+		Parallel: *f.Parallel, Workers: *f.Workers,
+	}
+}
+
+// Emit prints one experiment report to stdout.
+func Emit(res *experiments.Result) { fmt.Print(res.String()) }
+
+// EmitAll prints a sequence of reports, each followed by a blank line
+// (the neat-bench full-run format).
+func EmitAll(results []*experiments.Result) {
+	for _, res := range results {
+		fmt.Print(res.String())
+		fmt.Println()
+	}
+}
+
+// Fail reports a usage or runtime error and exits with status 2.
+func Fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// Farm is a booted facade-level demo topology: a NEaT server machine and
+// an oversized load-generator client machine with its client-side stack.
+type Farm struct {
+	Net    *neat.Network
+	Server *neat.Machine
+	Client *neat.Machine
+	Sys    *neat.System
+	CliSys *neat.System
+}
+
+// BootFarm builds the demo topology through the public facade: an AMD
+// server running a NEaT system per cfg, a client machine with `stacks`
+// client replicas. tune, when non-nil, runs against the server system
+// before the client side boots (scale adjustments, fault arming) so its
+// events land at the same simulated time as a hand-rolled boot sequence.
+func BootFarm(seed int64, stacks int, cfg neat.SystemConfig, tune func(*neat.System) error) (*Farm, error) {
+	net := neat.NewNetwork(seed)
+	server := neat.NewServerMachine(net, neat.AMD12)
+	client := neat.NewClientMachine(net, stacks)
+	sys, err := neat.StartNEaT(server, client, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tune != nil {
+		if err := tune(sys); err != nil {
+			return nil, err
+		}
+	}
+	clisys, err := neat.StartClientSystem(client, server, stacks)
+	if err != nil {
+		return nil, err
+	}
+	return &Farm{Net: net, Server: server, Client: client, Sys: sys, CliSys: clisys}, nil
+}

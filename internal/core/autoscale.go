@@ -8,7 +8,10 @@ import (
 // with the minimum number of replicas and, when the stack becomes
 // overloaded, automatically spawns a new replica; when the load drops it
 // lazily terminates replicas again. Decisions are made from periodic
-// utilization samples of the replica hardware threads.
+// utilization samples of the replica hardware threads. The scaler only
+// decides when to scale; which replica retires on scale-down is the
+// placement policy's call (System.ScaleDown asks the steer.Placer — the
+// least-loaded policy retires the emptiest replica, the cheapest drain).
 type AutoScaler struct {
 	sys  *System
 	proc *sim.Proc

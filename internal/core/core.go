@@ -8,28 +8,36 @@
 //     incarnations;
 //   - connection steering — installing exact flow-director filters in the
 //     NIC as connections establish, removing them as connections die, and
-//     maintaining the RSS set for new connections (§4);
+//     feeding the active replica set to the flow placement plane
+//     (internal/steer), which drives the NIC's RSS indirection and the
+//     connect-side replica choice through a pluggable policy (§4; hash,
+//     consistent-hash ring, or power-of-two-choices least-loaded);
 //   - failure recovery — a crashed component is replaced by a fresh
 //     process; stateless components (PF/IP/UDP) recover transparently,
 //     while a TCP (or single-component) crash loses exactly that replica's
 //     connections and nothing else (§3.6, Table 3);
 //   - scaling — spawning replicas under load and lazily terminating them
-//     when load drops: terminating replicas leave the RSS set but serve
-//     their existing connections until the count drops to zero (§3.4);
-//   - the SYSCALL server, which fans out listens and routes connects to a
-//     random replica — the address-space re-randomization of §3.8 falls
-//     out of that choice because every replica incarnation has a fresh
-//     ASLR seed.
+//     when load drops: terminating replicas leave the placement plane but
+//     serve their existing connections until the count drops to zero or,
+//     when a drain deadline is configured, until the deadline force-closes
+//     the stragglers (§3.4);
+//   - the SYSCALL server, which fans out listens and routes connects to
+//     the replica the placement policy picks (random under the default
+//     hash policy) — the address-space re-randomization of §3.8 falls out
+//     of that choice because every replica incarnation has a fresh ASLR
+//     seed.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"neat/internal/metrics"
 	"neat/internal/nicdev"
 	"neat/internal/sim"
 	"neat/internal/stack"
+	"neat/internal/steer"
 	"neat/internal/sysserver"
 	"neat/internal/tcpeng"
 	"neat/internal/trace"
@@ -106,6 +114,11 @@ type Config struct {
 	// capacity the paper quotes for Intel 10G filters).
 	UseNICFlowTracking   bool
 	NICTrackingTableSize int
+	// Steering selects the flow-placement policy and the scale-down drain
+	// behaviour (internal/steer). The zero value is the paper's placement:
+	// hash steering with a uniformly random connect-side choice, and lazy
+	// termination that drains without a deadline.
+	Steering steer.Config
 	// Watchdog configures heartbeat-based failure detection (watchdog.go).
 	// Disabled by default: paper-fidelity mode keeps the instantaneous
 	// crash oracle of §3.6. Enabling it supervises every stack component,
@@ -144,6 +157,8 @@ type Stats struct {
 	SlotsQuarantined    uint64 // slots fenced by escalation (step 3)
 	DriverRecoveries    uint64 // NIC driver respawns
 	SyscallRecoveries   uint64 // SYSCALL server respawns
+	DrainDeadlineFires  uint64 // scale-down drains cut short by the deadline
+	DrainForcedCloses   uint64 // straggler connections dropped by drain deadlines
 }
 
 // ErrNoFreeSlot is returned by ScaleUp when every slot is in use.
@@ -156,6 +171,11 @@ type System struct {
 
 	slots []*slot
 	sys   *sysserver.Server
+
+	// placer is the flow-placement plane: the single authority consulted
+	// by the NIC's RSS indirection, ConnectTarget and scale-down victim
+	// selection (internal/steer).
+	placer steer.Placer
 
 	listens []stack.OpListen
 
@@ -189,6 +209,11 @@ type slot struct {
 
 	// failTimes is the slot's sliding failure window (escalation + backoff).
 	failTimes []sim.Time
+
+	// drainSeq guards drain-deadline callbacks: it advances every time the
+	// slot starts terminating, so a deadline armed for an earlier drain
+	// cannot fire into a slot that has since been collected and reused.
+	drainSeq uint64
 
 	// Recovery-cycle bookkeeping: set when the slot enters SlotRecovering,
 	// updated if further components die before the respawn fires, consumed
@@ -230,6 +255,12 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 	for i := range cfg.Threads {
 		sys.slots = append(sys.slots, &slot{index: i, threads: cfg.Threads[i]})
 	}
+	placer, err := steer.New(cfg.Steering, s.Rand(), sys.slotConns)
+	if err != nil {
+		return nil, err
+	}
+	sys.placer = placer
+	cfg.NIC.SetRSSPolicy(placer)
 	if cfg.UseNICFlowTracking {
 		size := cfg.NICTrackingTableSize
 		if size == 0 {
@@ -242,7 +273,9 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 	for i := 0; i < cfg.InitialReplicas && i < len(sys.slots); i++ {
 		sys.activate(sys.slots[i])
 	}
-	sys.updateRSS()
+	sys.updatePlacement()
+	sys.eventf("steer", "placement policy %s (drain deadline %v)",
+		placer.Name(), cfg.Steering.DrainDeadline)
 	if cfg.CheckpointInterval > 0 {
 		sys.scheduleCheckpoints()
 	}
@@ -277,6 +310,19 @@ func (sys *System) Driver() *nicdev.Driver { return sys.cfg.Driver }
 // Watchdog returns the heartbeat failure detector, or nil in
 // paper-fidelity (instant-oracle) mode.
 func (sys *System) Watchdog() *Watchdog { return sys.wd }
+
+// Placer returns the flow-placement plane steering this system.
+func (sys *System) Placer() steer.Placer { return sys.placer }
+
+// slotConns is the placement plane's load feed: live connections on slot
+// i's replica (the same figure Metrics exports as
+// core.replicaN.connections).
+func (sys *System) slotConns(i int) int {
+	if i < 0 || i >= len(sys.slots) || sys.slots[i].replica == nil {
+		return 0
+	}
+	return sys.slots[i].replica.TCP().NumConns()
+}
 
 // Stats returns a snapshot of the management counters.
 func (sys *System) Stats() Stats { return sys.stats }
@@ -318,6 +364,8 @@ func (sys *System) Metrics() *metrics.Registry {
 	r.SetCounter("core.slots_quarantined", st.SlotsQuarantined)
 	r.SetCounter("core.driver_recoveries", st.DriverRecoveries)
 	r.SetCounter("core.syscall_recoveries", st.SyscallRecoveries)
+	r.SetCounter("core.drain_deadline_fires", st.DrainDeadlineFires)
+	r.SetCounter("core.drain_forced_closes", st.DrainForcedCloses)
 
 	ns := sys.cfg.NIC.Stats()
 	r.SetCounter("nic.rx_frames", ns.RxFrames)
@@ -343,6 +391,16 @@ func (sys *System) Metrics() *metrics.Registry {
 	r.SetCounter("syscall.listens", ss.Listens)
 	r.SetCounter("syscall.connects", ss.Connects)
 	r.SetCounter("syscall.udp_binds", ss.UDPBinds)
+
+	// Per-replica live connection gauges: the load signal the least-loaded
+	// steering policy balances on, exported so experiments can report
+	// placement imbalance.
+	for i, sl := range sys.slots {
+		if sl.state == SlotActive || sl.state == SlotTerminating {
+			r.SetGauge(fmt.Sprintf("core.replica%d.connections", i),
+				float64(sys.slotConns(i)))
+		}
+	}
 
 	if sys.wd != nil {
 		ws := sys.wd.Stats()
@@ -511,20 +569,17 @@ func (sys *System) replayListens(r *stack.Replica) {
 
 // ---- sysserver.Manager ----
 
-// ConnectTarget implements sysserver.Manager: a random active replica
-// (§3.8: random placement gives load balancing and unpredictability).
+// ConnectTarget implements sysserver.Manager by consulting the placement
+// plane. The default HashPolicy picks a uniformly random active replica
+// (§3.8: random placement gives load balancing and unpredictability),
+// drawing from the simulator's seeded RNG so connect-side placement is
+// reproducible under the byte-identity determinism oracles.
 func (sys *System) ConnectTarget() *sim.Proc {
-	var candidates []*slot
-	for _, sl := range sys.slots {
-		if sl.state == SlotActive {
-			candidates = append(candidates, sl)
-		}
-	}
-	if len(candidates) == 0 {
+	idx := sys.placer.PickConnect()
+	if idx < 0 {
 		return nil
 	}
-	sl := candidates[sys.s.Rand().Intn(len(candidates))]
-	return sl.replica.SockProc()
+	return sys.slots[idx].replica.SockProc()
 }
 
 // ListenTargets implements sysserver.Manager.
@@ -538,14 +593,14 @@ func (sys *System) ListenTargets() []*sim.Proc {
 	return out
 }
 
-// UDPTarget implements sysserver.Manager.
+// UDPTarget implements sysserver.Manager: the lowest-indexed slot the
+// placement plane considers eligible for new flows.
 func (sys *System) UDPTarget() *sim.Proc {
-	for _, sl := range sys.slots {
-		if sl.state == SlotActive {
-			return sl.replica.EntryProc()
-		}
+	active := sys.placer.Active()
+	if len(active) == 0 {
+		return nil
 	}
-	return nil
+	return sys.slots[active[0]].replica.EntryProc()
 }
 
 // RegisterListen implements sysserver.Manager.
@@ -566,14 +621,15 @@ func (sys *System) UnregisterListen(reqID uint64) {
 // ---- scaling (§3.4) ----
 
 // ScaleUp activates one empty slot and returns its replica. New
-// connections immediately include it via RSS; existing connections are
-// untouched because their exact filters pin them to their replicas.
+// connections immediately include it via the placement plane; existing
+// connections are untouched because their exact filters pin them to
+// their replicas.
 func (sys *System) ScaleUp() (*stack.Replica, error) {
 	for _, sl := range sys.slots {
 		if sl.state == SlotEmpty {
 			sys.eventf("scale-up", "activating slot %d", sl.index)
 			sys.activate(sl)
-			sys.updateRSS()
+			sys.updatePlacement()
 			sys.stats.ScaleUps++
 			return sl.replica, nil
 		}
@@ -581,30 +637,90 @@ func (sys *System) ScaleUp() (*stack.Replica, error) {
 	return nil, ErrNoFreeSlot
 }
 
-// ScaleDown marks the highest-indexed active replica as terminating: it
-// stops receiving new connections (removed from RSS and from connect
-// selection) but keeps serving existing ones until they drain, then is
-// collected — the lazy termination strategy of §3.4.
+// ScaleDown retires the replica the placement plane picks (the
+// highest-indexed active one under the default policy; the least-loaded
+// one under LeastLoadedPolicy): it stops receiving new connections
+// (removed from the placer and from connect selection) but keeps its
+// flow-director pins and serves existing connections until they drain,
+// then is collected — the lazy termination strategy of §3.4. With
+// Steering.DrainDeadline set, a drain that outlives the deadline is cut
+// short: the stragglers are forcibly closed and the replica retires.
 func (sys *System) ScaleDown() error {
-	for i := len(sys.slots) - 1; i >= 0; i-- {
-		sl := sys.slots[i]
-		if sl.state != SlotActive {
-			continue
-		}
-		if sys.NumActive() == 1 {
-			return errors.New("core: cannot scale below one replica")
-		}
-		sl.state = SlotTerminating
-		sys.stats.ScaleDowns++
-		sys.eventf("scale-down", "slot %d terminating lazily (%d conns draining)",
-			sl.index, sl.replica.TCP().NumConns())
-		sys.updateRSS()
-		if sl.replica.TCP().NumConns() == 0 {
-			sys.collect(sl)
-		}
-		return nil
+	idx := sys.placer.PickRetire()
+	if idx < 0 {
+		return errors.New("core: no active replica to terminate")
 	}
-	return errors.New("core: no active replica to terminate")
+	if sys.NumActive() == 1 {
+		return errors.New("core: cannot scale below one replica")
+	}
+	sys.retire(sys.slots[idx])
+	return nil
+}
+
+// retire transitions an active slot into the terminating (draining)
+// state and arms the drain deadline when one is configured.
+func (sys *System) retire(sl *slot) {
+	sl.state = SlotTerminating
+	sl.drainSeq++
+	sys.stats.ScaleDowns++
+	sys.eventf("scale-down", "slot %d terminating lazily (%d conns draining)",
+		sl.index, sl.replica.TCP().NumConns())
+	sys.updatePlacement()
+	if sl.replica.TCP().NumConns() == 0 {
+		sys.collect(sl)
+		return
+	}
+	sys.armDrainDeadline(sl)
+}
+
+// armDrainDeadline schedules the forced end of a slot's drain when
+// Steering.DrainDeadline is configured (no-op otherwise). The callback is
+// sequence-guarded so it cannot fire into a slot that drained naturally
+// and was since reused.
+func (sys *System) armDrainDeadline(sl *slot) {
+	dl := sys.cfg.Steering.DrainDeadline
+	if dl <= 0 {
+		return
+	}
+	seq := sl.drainSeq
+	sys.eventf("drain", "slot %d drain deadline armed (%v)", sl.index, dl)
+	sys.s.After(dl, func() { sys.drainDeadline(sl, seq) })
+}
+
+// drainDeadline fires when a terminating replica has not drained within
+// the configured deadline: every straggler connection is forcibly closed
+// (its filter removed, its owning application notified with
+// stack.ErrReplicaRetired) and the replica retires immediately.
+// Connections are dropped in ascending ID order so the teardown is
+// deterministic.
+func (sys *System) drainDeadline(sl *slot, seq uint64) {
+	if sl.state != SlotTerminating || sl.drainSeq != seq || sl.replica == nil {
+		return // drained naturally, recovering, or slot reused since arming
+	}
+	r := sl.replica
+	conns := r.Conns()
+	ids := make([]uint64, 0, len(conns))
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sys.stats.DrainDeadlineFires++
+	sys.eventf("drain-deadline", "slot %d deadline fired: dropping %d straggler connection(s)",
+		sl.index, len(ids))
+	for _, id := range ids {
+		c := conns[id]
+		if sys.cfg.UseFlowFilters {
+			sys.cfg.NIC.RemoveFilter(c.InboundFlow())
+			sys.stats.FiltersRemoved++
+		}
+		sys.stats.ConnectionsLost++
+		sys.stats.DrainForcedCloses++
+		if app := sys.conns[r][id]; app != nil {
+			app.Deliver(stack.EvClosed{Stack: r.SockProc(), ConnID: id,
+				Reset: true, Err: stack.ErrReplicaRetired})
+		}
+	}
+	sys.collect(sl)
 }
 
 // collect garbage-collects a drained terminating replica.
@@ -625,19 +741,21 @@ func (sys *System) collect(sl *slot) {
 	sys.eventf("collect", "slot %d drained and collected", sl.index)
 }
 
-// updateRSS points the NIC's RSS indirection at the active replicas only.
-// With zero active replicas (all terminating, recovering or quarantined)
-// the NIC is put into the explicit drop-all state: unmatched flows are
-// dropped in hardware instead of hashing onto a queue whose replica cannot
+// updatePlacement points the placement plane (and the NIC's RSS
+// indirection view) at the active replicas only. With zero active
+// replicas (all terminating, recovering or quarantined) the placer's
+// empty set is the NIC's explicit drop-all state: unmatched flows are
+// dropped in hardware instead of landing on a queue whose replica cannot
 // accept them, while exact-match filters keep serving the established
 // connections of terminating replicas.
-func (sys *System) updateRSS() {
+func (sys *System) updatePlacement() {
 	var queues []int
 	for _, sl := range sys.slots {
 		if sl.state == SlotActive {
 			queues = append(queues, sl.index)
 		}
 	}
+	sys.placer.SetActive(queues)
 	sys.cfg.NIC.SetRSSQueues(queues)
 	sys.eventf("rss", "RSS rebind -> queues %v", queues)
 }
@@ -869,9 +987,21 @@ func (sys *System) completeRecovery(sl *slot) {
 		sl.state = SlotActive
 	}
 	sl.recSnap = nil
-	sys.updateRSS()
+	sys.updatePlacement()
 	sys.superviseReplica(sl)
 	sys.eventf("respawn", "slot %d back to %s", sl.index, sl.state)
+	if sl.state == SlotTerminating && sys.cfg.Steering.DrainDeadline > 0 {
+		// The crash voided the previously armed deadline's view of the
+		// world (stateless recovery may have dropped every draining
+		// connection). Collect immediately if nothing is left, otherwise
+		// restart the drain clock for the new incarnation.
+		if r.TCP().NumConns() == 0 {
+			sys.collect(sl)
+		} else {
+			sl.drainSeq++
+			sys.armDrainDeadline(sl)
+		}
+	}
 }
 
 // quarantine permanently fences a slot that keeps failing: processes
@@ -908,7 +1038,7 @@ func (sys *System) quarantine(sl *slot) {
 	}
 	sys.cfg.Driver.BindQueue(sl.index, nil)
 	sl.replica = nil
-	sys.updateRSS()
+	sys.updatePlacement()
 }
 
 // Quarantine administratively fences slot i (an ops action; the escalation

@@ -11,6 +11,7 @@ import (
 	"neat/internal/metrics"
 	"neat/internal/sim"
 	"neat/internal/stack"
+	"neat/internal/steer"
 	"neat/internal/tcpeng"
 	"neat/internal/testbed"
 	"neat/internal/trace"
@@ -95,9 +96,14 @@ type BedConfig struct {
 	LinuxTuning      baseline.Tuning
 	LinuxKernelScale float64
 
+	// Steering configures the server's flow placement plane (zero value:
+	// legacy RSS hash, no drain deadline).
+	Steering steer.Config
+
 	// Workload.
 	WebLocs     []testbed.ThreadLoc // lighttpd i at WebLocs[i], port 8000+i
 	FileSize    int                 // default 20 bytes
+	FileSizes   []int               // per-web override of FileSize (skewed workloads)
 	ConnsPerGen int                 // default 16
 	ReqPerConn  int                 // default 100
 	ThinkTime   sim.Time
@@ -186,6 +192,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 			Stack:    &scfg,
 			Watchdog: cfg.Watchdog,
 			Observe:  core.ObserveConfig{Trace: tr},
+			Steering: cfg.Steering,
 		})
 		if err != nil {
 			return nil, err
@@ -207,10 +214,14 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 		} else {
 			syscallProc = b.Linux.KernelProc(i % b.Linux.NumContexts())
 		}
+		size := cfg.FileSize
+		if i < len(cfg.FileSizes) && cfg.FileSizes[i] > 0 {
+			size = cfg.FileSizes[i]
+		}
 		h := app.NewHTTPD(server.Thread(loc), fmt.Sprintf("lighttpd%d", i), syscallProc,
 			ipc.DefaultCosts(), app.HTTPDConfig{
 				Port:             uint16(8000 + i),
-				Files:            map[string]int{"/file": cfg.FileSize},
+				Files:            map[string]int{"/file": size},
 				CyclesPerRequest: AppCyclesPerRequest,
 			})
 		h.Start()

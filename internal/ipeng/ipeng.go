@@ -376,7 +376,7 @@ func (e *Engine) inputICMP(f *proto.Frame) {
 	}
 	e.stats.ICMPEchoReplies++
 	reply := proto.ICMPEcho{Type: proto.ICMPEchoReply, Ident: f.ICMP.Ident, Seq: f.ICMP.Seq}
-	body := reply.Marshal(bufpool.Get(proto.ICMPHeaderLen+len(f.Payload))[:0], f.Payload)
+	body := reply.Marshal(bufpool.Get(proto.ICMPHeaderLen + len(f.Payload))[:0], f.Payload)
 	e.Output(f.IP.Src, proto.ProtoICMP, body)
 	bufpool.Put(body)
 	f.Release()

@@ -71,6 +71,16 @@ type NICStats struct {
 	TrackEvictions uint64
 }
 
+// RSSPolicy steers unpinned flows to a queue: the software-programmable
+// half of the RSS indirection. QueueFor maps a flow hash to the RX queue
+// that should own it, or -1 to drop (no queue can accept new flows). The
+// flow-placement plane (internal/steer) provides implementations; when no
+// policy is installed the NIC falls back to its built-in
+// rssQueues[hash%len] indirection table.
+type RSSPolicy interface {
+	QueueFor(hash uint32) int
+}
+
 // NIC is the device model. It is not a process: it is hardware that reacts
 // to wire deliveries and driver register writes instantly (plus a small
 // fixed pipeline latency).
@@ -92,6 +102,7 @@ type NIC struct {
 	filters    map[proto.Flow]int
 	rssQueues  []int // queues participating in RSS for unmatched flows
 	rssView    []int // cached copy handed out by RSSQueues
+	rssPolicy  RSSPolicy
 	driver     *Driver
 	intrArmed  bool
 	queueDepth int
@@ -196,6 +207,13 @@ func (n *NIC) RSSQueues() []int {
 	return n.rssView
 }
 
+// SetRSSPolicy delegates unpinned-flow steering to a placement policy
+// (the flow-placement plane). With a policy installed the built-in
+// rssQueues indirection is bypassed; exact-match filters and the hardware
+// tracking table still take precedence over the policy, exactly as they
+// do over RSS. nil restores the built-in indirection.
+func (n *NIC) SetRSSPolicy(p RSSPolicy) { n.rssPolicy = p }
+
 // Receive implements wire.Port: hardware classification and enqueue. The
 // NIC takes ownership of raw; it travels inside the decoded frame until
 // the terminal consumer releases it.
@@ -245,6 +263,15 @@ func (n *NIC) classify(f *proto.Frame) int {
 	}
 	if q, hit := n.tracked[flow]; hit {
 		n.stats.TrackHits++
+		return q
+	}
+	if n.rssPolicy != nil {
+		q := n.rssPolicy.QueueFor(flow.Hash())
+		if q < 0 {
+			return -1
+		}
+		n.stats.RxHashed++
+		n.trackFlow(flow, q)
 		return q
 	}
 	if len(n.rssQueues) == 0 {

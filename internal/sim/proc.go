@@ -141,8 +141,8 @@ type Proc struct {
 	// re-randomization security property of §3.8.
 	ASLRSeed uint64
 
-	inbox        []Message
-	spare        []Message // recycled inbox storage for the next dispatch
+	inbox []Message
+	spare []Message // recycled inbox storage for the next dispatch
 	// inboxAt/spareAt are arrival stamps parallel to inbox/spare. They are
 	// populated only while a Tracer is installed (both stay nil otherwise),
 	// and their storage is recycled exactly like the inbox double-buffer, so

@@ -149,7 +149,10 @@ type Socket struct {
 	// OnSendSpace fires when requested send space became available.
 	OnSendSpace func(ctx *sim.Context, avail int)
 	// OnClosed fires when the connection dies (orderly close completion is
-	// silent; this is for resets and replica failures).
+	// silent; this is for resets and replica failures). err distinguishes
+	// the causes: stack.ErrReplicaFailure for a crash that lost the
+	// connection's state, stack.ErrReplicaRetired when a scale-down drain
+	// deadline force-closed it, nil for a peer reset.
 	OnClosed func(ctx *sim.Context, reset bool, err error)
 }
 

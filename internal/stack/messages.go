@@ -222,3 +222,14 @@ var ErrReplicaFailure = errReplicaFailure{}
 type errReplicaFailure struct{}
 
 func (errReplicaFailure) Error() string { return "stack: replica failed; connection state lost" }
+
+// ErrReplicaRetired is the error attached to EvClosed when a connection
+// was forcibly closed because its replica's scale-down drain outlived the
+// configured drain deadline (graceful drain, §3.4 extension).
+var ErrReplicaRetired = errReplicaRetired{}
+
+type errReplicaRetired struct{}
+
+func (errReplicaRetired) Error() string {
+	return "stack: replica retired; drain deadline cut the connection short"
+}

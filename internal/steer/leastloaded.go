@@ -1,0 +1,140 @@
+package steer
+
+import "math/rand"
+
+// LeastLoadedPolicy places new flows by power-of-two-choices over live
+// per-replica connection counts (the figure the metrics registry exports
+// as core.replicaN.connections): sample two candidates, keep the less
+// loaded. Two choices are enough to collapse the max-load gap from
+// Θ(log n / log log n) to Θ(log log n) versus one random choice, which
+// makes the policy skew-resistant — a slot pinned under elephant flows
+// stops attracting new ones.
+//
+//   - PickConnect samples its two candidates uniformly from the
+//     simulator's seeded RNG (two draws per connect).
+//   - QueueFor derives both candidates deterministically from the flow
+//     hash (no RNG on the packet path) and then sticks: the winning slot
+//     is remembered per flow hash, so a flow's handshake packets keep
+//     landing on one replica even when the load ranking flips between
+//     them. Without the flow table, a SYN and its ACK could be steered
+//     to different replicas — the exact-match filter that pins the flow
+//     (§3.4) is only installed once the connection establishes. Entries
+//     whose slot leaves the active set are purged on SetActive (those
+//     flows re-steer, like unpinned flows under RSS reprogramming).
+type LeastLoadedPolicy struct {
+	activeSet
+	rng   *rand.Rand
+	load  LoadFunc
+	flows map[uint32]int // sticky placement per flow hash
+}
+
+// flowTableCap bounds the sticky table; past it the table is reset
+// wholesale (deterministically) rather than grown without bound.
+const flowTableCap = 1 << 20
+
+// NewLeastLoadedPolicy builds the power-of-two-choices policy. load
+// reports live connections per slot; rng is the simulator's seeded RNG.
+func NewLeastLoadedPolicy(rng *rand.Rand, load LoadFunc) *LeastLoadedPolicy {
+	return &LeastLoadedPolicy{rng: rng, load: load, flows: make(map[uint32]int)}
+}
+
+// SetActive implements Placer, additionally purging sticky entries whose
+// slot left the set.
+func (p *LeastLoadedPolicy) SetActive(slots []int) {
+	p.activeSet.SetActive(slots)
+	in := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		in[s] = true
+	}
+	for h, q := range p.flows {
+		if !in[q] {
+			delete(p.flows, h)
+		}
+	}
+}
+
+// Name implements Placer.
+func (p *LeastLoadedPolicy) Name() string { return "least-loaded" }
+
+// QueueFor implements Placer: two hash-derived candidates, less loaded
+// wins, primary candidate on ties; the winner is sticky per flow hash.
+func (p *LeastLoadedPolicy) QueueFor(hash uint32) int {
+	n := len(p.active)
+	if n == 0 {
+		return -1
+	}
+	if q, ok := p.flows[hash]; ok {
+		return q
+	}
+	if n == 1 {
+		q := p.active[0]
+		p.remember(hash, q)
+		return q
+	}
+	c1 := p.active[int(hash)%n]
+	c2 := p.active[int(remix(hash))%n]
+	if c2 == c1 {
+		c2 = p.active[(int(hash)%n+1)%n]
+	}
+	q := c1
+	if p.load(c2) < p.load(c1) {
+		q = c2
+	}
+	p.remember(hash, q)
+	return q
+}
+
+// remember records a flow's sticky placement, resetting the table first
+// when it hits the cap.
+func (p *LeastLoadedPolicy) remember(hash uint32, q int) {
+	if len(p.flows) >= flowTableCap {
+		p.flows = make(map[uint32]int)
+	}
+	p.flows[hash] = q
+}
+
+// PickConnect implements Placer: two random candidates, less loaded wins,
+// lower slot index on ties.
+func (p *LeastLoadedPolicy) PickConnect() int {
+	n := len(p.active)
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		return p.active[0]
+	}
+	i := p.rng.Intn(n)
+	j := p.rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	c1, c2 := p.active[i], p.active[j]
+	l1, l2 := p.load(c1), p.load(c2)
+	if l2 < l1 || (l2 == l1 && c2 < c1) {
+		return c2
+	}
+	return c1
+}
+
+// PickRetire implements Placer: the active slot with the fewest live
+// connections — the cheapest drain (lowest index on ties).
+func (p *LeastLoadedPolicy) PickRetire() int {
+	best := -1
+	bestLoad := 0
+	for _, s := range p.active {
+		if l := p.load(s); best < 0 || l < bestLoad {
+			best, bestLoad = s, l
+		}
+	}
+	return best
+}
+
+// remix decorrelates the second hash candidate from the first
+// (Knuth-multiplicative step plus an xorshift).
+func remix(h uint32) uint32 {
+	h *= 2654435761
+	h ^= h >> 15
+	h *= 2246822519
+	h ^= h >> 13
+	return h
+}

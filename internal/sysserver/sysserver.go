@@ -9,9 +9,10 @@
 //
 //   - listen(): fan the subsocket creation out to every replica (§3.3) and
 //     acknowledge the application once all replicas answered;
-//   - connect(): pick a random replica for the new connection (load
-//     balancing and the address-space re-randomization of §3.8) and
-//     forward;
+//   - connect(): forward the new connection to the replica the manager's
+//     flow placement policy picks — uniformly random under the default
+//     hash policy (load balancing and the address-space re-randomization
+//     of §3.8), load-aware under the least-loaded policy;
 //   - UDP bind: forward to a selected replica.
 package sysserver
 

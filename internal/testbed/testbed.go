@@ -17,6 +17,7 @@ import (
 	"neat/internal/proto"
 	"neat/internal/sim"
 	"neat/internal/stack"
+	"neat/internal/steer"
 	"neat/internal/tcpeng"
 	"neat/internal/wire"
 )
@@ -133,6 +134,9 @@ type NEaTConfig struct {
 	// Watchdog enables heartbeat-based failure detection with the
 	// escalation ladder (default: the paper's instantaneous crash oracle).
 	Watchdog core.WatchdogConfig
+	// Steering configures the flow placement plane (zero value: the
+	// legacy RSS hash policy, no drain deadline).
+	Steering steer.Config
 	// Stack optionally overrides the full replica template (built from
 	// StackConfig when nil).
 	Stack *stack.Config
@@ -167,6 +171,7 @@ func (h *Host) BuildNEaT(peer *Host, cfg NEaTConfig) (*core.System, error) {
 		UseNICFlowTracking: cfg.UseNICFlowTracking,
 		Watchdog:           cfg.Watchdog,
 		Observe:            cfg.Observe,
+		Steering:           cfg.Steering,
 	})
 }
 

@@ -111,7 +111,7 @@ func (s *Socket) SendTo(dst proto.Addr, port uint16, data []byte) error {
 	h := proto.UDPHeader{SrcPort: s.port, DstPort: port}
 	// Output is synchronous (IP copies the datagram into the frame), so
 	// the scratch buffer goes straight back to the pool.
-	raw := h.Marshal(bufpool.Get(proto.UDPHeaderLen+len(data))[:0], e.addr, dst, data)
+	raw := h.Marshal(bufpool.Get(proto.UDPHeaderLen + len(data))[:0], e.addr, dst, data)
 	e.stats.Out++
 	e.stats.BytesOut += uint64(len(data))
 	e.env.Output(dst, raw)

@@ -36,6 +36,7 @@ import (
 	"neat/internal/report"
 	"neat/internal/sim"
 	"neat/internal/stack"
+	"neat/internal/steer"
 	"neat/internal/tcpeng"
 	"neat/internal/testbed"
 	"neat/internal/trace"
@@ -186,6 +187,40 @@ type SystemConfig struct {
 	// timeline, reachable via System.Trace(). Default off; an untraced
 	// system pays zero observation cost.
 	Observe bool
+	// Steering configures the flow placement plane: which replica a new
+	// flow's packets are hashed to, which replica serves an outbound
+	// connect, and how a retiring replica drains. The zero value is the
+	// paper's behaviour (RSS hash indirection, no drain deadline).
+	Steering SteeringConfig
+}
+
+// SteeringConfig selects and tunes a flow placement policy.
+type SteeringConfig struct {
+	// Policy names the placement policy:
+	//
+	//   - "" or "hash": the paper's RSS indirection-table modulo hash
+	//     (default). Scale events remap roughly half of the unpinned
+	//     flow space.
+	//   - "ring": consistent-hash ring with virtual nodes; adding or
+	//     removing one replica out of N remaps only O(1/N) of the
+	//     unpinned flows.
+	//   - "least-loaded" (aliases "leastloaded", "p2c"):
+	//     power-of-two-choices over live per-replica connection counts;
+	//     skew-resistant under elephant-flow workloads.
+	//
+	// Established connections are never remapped by any policy: their
+	// flow-director filters pin them to the owning replica (§3.4).
+	Policy string
+	// RingVNodes is the virtual nodes per replica for the "ring" policy
+	// (default 64; more vnodes = smoother balance, larger table).
+	RingVNodes int
+	// DrainDeadline bounds a retiring replica's graceful drain. Zero
+	// (default) keeps the paper's unbounded lazy termination: the
+	// replica serves existing connections until the last one closes.
+	// Positive: if connections remain when the deadline fires, they are
+	// force-closed (reset with ErrReplicaRetired) and the replica is
+	// collected.
+	DrainDeadline Time
 }
 
 // Validate reports the first configuration error, with enough context to
@@ -203,6 +238,15 @@ func (cfg SystemConfig) Validate() error {
 	}
 	if cfg.FirstCore == 1 || cfg.FirstCore < 0 {
 		return fmt.Errorf("neat: SystemConfig.FirstCore is %d; cores 0 and 1 host the NIC driver and the SYSCALL server, so replicas start at core 2 (the default)", cfg.FirstCore)
+	}
+	if _, err := steer.ParsePolicy(cfg.Steering.Policy); err != nil {
+		return fmt.Errorf("neat: SystemConfig.Steering.Policy %q: %v; want \"\", \"hash\", \"ring\" or \"least-loaded\"", cfg.Steering.Policy, err)
+	}
+	if cfg.Steering.RingVNodes < 0 {
+		return fmt.Errorf("neat: SystemConfig.Steering.RingVNodes is %d; want 0 (default %d) or a positive count", cfg.Steering.RingVNodes, steer.DefaultRingVNodes)
+	}
+	if cfg.Steering.DrainDeadline < 0 {
+		return fmt.Errorf("neat: SystemConfig.Steering.DrainDeadline is %v; want 0 (drain without deadline) or a positive duration", cfg.Steering.DrainDeadline)
 	}
 	return nil
 }
@@ -236,12 +280,18 @@ func StartNEaT(m, peer *Machine, cfg SystemConfig) (*System, error) {
 	}
 	var wd core.WatchdogConfig
 	wd.Enabled = cfg.Watchdog
+	policy, _ := steer.ParsePolicy(cfg.Steering.Policy) // Validate checked it
 	return m.BuildNEaT(peer, testbed.NEaTConfig{
 		Kind: cfg.Kind, TCP: tcp,
 		Slots:    slots,
 		Syscall:  testbed.ThreadLoc{Core: 1},
 		Watchdog: wd,
 		Observe:  obs,
+		Steering: steer.Config{
+			Policy:        policy,
+			RingVNodes:    cfg.Steering.RingVNodes,
+			DrainDeadline: cfg.Steering.DrainDeadline,
+		},
 	})
 }
 
