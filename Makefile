@@ -10,8 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
+# bench writes the committed benchmark snapshot: micro-benchmark ns/op,
+# B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run.
+BENCH_OUT ?= BENCH_pr5.json
+
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/neat-benchreport -out $(BENCH_OUT)
 
 # verify is the pre-merge gate: static checks (vet + gofmt cleanliness), a
 # full build, the whole test suite, the parallel-sweep + fault-matrix +
@@ -27,4 +31,5 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering'
-	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs' -count=1
+	$(GO) test -race ./internal/bufpool ./internal/nicdev -run 'TestSlabOwnershipProperty|TestBatchedHandoffOwnership' -count=1
+	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc' -count=1

@@ -1,0 +1,141 @@
+// Command neat-benchreport produces the committed benchmark snapshot: it
+// runs the micro-benchmarks (ns/op, B/op, allocs/op), times a full
+// `neat-bench -quick` wall-clock run, and writes the result as JSON. The
+// `make bench` target drives it; the output file is committed so PRs carry
+// a before/after record.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra carries benchmark-specific ReportMetric values (e.g.
+	// sim-events for the simulator throughput benchmark).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	Generated     string        `json:"generated"`
+	GoVersion     string        `json:"go_version"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+	QuickWallSecs float64       `json:"neat_bench_quick_wall_seconds"`
+}
+
+// benchSets lists (package, -bench pattern) pairs to run. The root package
+// only contributes the engine-throughput benchmark; its figure-reproduction
+// benchmarks are full experiments and far too slow for a snapshot.
+var benchSets = [][2]string{
+	{".", "^BenchmarkSimulatorThroughput$"},
+	{"./internal/sim", "."},
+	{"./internal/proto", "."},
+	{"./internal/bufpool", "."},
+	{"./internal/wire", "."},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: strings.TrimSpace(runOrDie("go", "version")),
+	}
+	for _, set := range benchSets {
+		txt := runOrDie("go", "test", "-run", "^$", "-bench", set[1], "-benchmem", set[0])
+		rep.Benchmarks = append(rep.Benchmarks, parseBench(txt)...)
+	}
+
+	tmp, err := os.MkdirTemp("", "neatbench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "neat-bench")
+	runOrDie("go", "build", "-o", bin, "./cmd/neat-bench")
+	start := time.Now()
+	runOrDie(bin, "-quick")
+	rep.QuickWallSecs = time.Since(start).Seconds()
+
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	j = append(j, '\n')
+	if err := os.WriteFile(*out, j, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, quick wall %.2fs)\n",
+		*out, len(rep.Benchmarks), rep.QuickWallSecs)
+}
+
+// parseBench extracts result lines of the form
+//
+//	BenchmarkName-8  	  10	105571356 ns/op	14790996 B/op	167213 allocs/op
+//
+// including any extra ReportMetric columns ("250184 sim-events").
+func parseBench(out string) []benchResult {
+	var res []benchResult
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := benchResult{Name: strings.TrimSuffix(fields[0], " ")}
+		if i := strings.IndexByte(r.Name, '-'); i > 0 {
+			r.Name = r.Name[:i] // strip the -GOMAXPROCS suffix
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		res = append(res, r)
+	}
+	return res
+}
+
+func runOrDie(name string, args ...string) string {
+	cmd := exec.Command(name, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("%s %s: %w", name, strings.Join(args, " "), err))
+	}
+	return buf.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neat-benchreport:", err)
+	os.Exit(1)
+}

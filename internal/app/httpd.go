@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/sim"
 	"neat/internal/socketlib"
@@ -57,6 +58,10 @@ type HTTPD struct {
 
 	ready bool
 	stats HTTPDStats
+
+	// arena carves response payloads out of pooled slab blocks; each send
+	// hands a bufpool.Ref to the stack instead of allocating a []byte.
+	arena bufpool.Arena
 }
 
 type httpConn struct {
@@ -194,7 +199,10 @@ func (c *httpConn) respond(ctx *sim.Context, code int, body []byte, closeAfter b
 		code, len(body), connHeader(closeAfter))
 	h.stats.Responses++
 	h.stats.BytesOut += uint64(len(head) + len(body))
-	c.sock.Send(ctx, append([]byte(head), body...))
+	ref := h.arena.Alloc(len(head) + len(body))
+	copy(ref.B, head)
+	copy(ref.B[len(head):], body)
+	c.sock.SendRef(ctx, ref)
 	if closeAfter {
 		c.closing = true
 		c.sock.Close(ctx)
@@ -215,13 +223,16 @@ func (c *httpConn) respondFile(ctx *sim.Context, size int, closeAfter bool) {
 		c.closing = true
 	}
 	if len(head)+size <= h.cfg.ChunkSize {
-		c.sock.Send(ctx, append([]byte(head), SyntheticBody(size)...))
+		ref := h.arena.Alloc(len(head) + size)
+		copy(ref.B, head)
+		FillSynthetic(ref.B[len(head):])
+		c.sock.SendRef(ctx, ref)
 		if closeAfter {
 			c.sock.Close(ctx)
 		}
 		return
 	}
-	c.sock.Send(ctx, []byte(head))
+	c.sock.SendRef(ctx, h.arena.AllocString(head))
 	c.sendRemaining = size
 	c.pump(ctx)
 }
@@ -233,7 +244,9 @@ func (c *httpConn) pump(ctx *sim.Context) {
 		if n > c.sendRemaining {
 			n = c.sendRemaining
 		}
-		c.sock.Send(ctx, SyntheticBody(n))
+		ref := c.srv.arena.Alloc(n)
+		FillSynthetic(ref.B)
+		c.sock.SendRef(ctx, ref)
 		c.sendRemaining -= n
 		if c.sock.Credit() < socketlib.SendLowWater {
 			// The Send above requested a space notification; resume in
@@ -268,11 +281,17 @@ var syntheticChunk = func() []byte {
 	return b
 }()
 
+// FillSynthetic fills b with the deterministic body pattern in place —
+// the allocation-free form of SyntheticBody for slab-carved payloads.
+func FillSynthetic(b []byte) {
+	for off := 0; off < len(b); off += len(syntheticChunk) {
+		copy(b[off:], syntheticChunk)
+	}
+}
+
 // SyntheticBody returns a deterministic body of exactly size bytes.
 func SyntheticBody(size int) []byte {
 	out := make([]byte, size)
-	for off := 0; off < size; off += len(syntheticChunk) {
-		copy(out[off:], syntheticChunk)
-	}
+	FillSynthetic(out)
 	return out
 }

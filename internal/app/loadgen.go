@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strconv"
 
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/metrics"
 	"neat/internal/proto"
@@ -65,6 +66,9 @@ type Loadgen struct {
 	measuring bool
 	running   bool
 	gen       uint64
+
+	// arena carves request payloads out of pooled slab blocks (see HTTPD).
+	arena bufpool.Arena
 }
 
 type lgConn struct {
@@ -214,7 +218,7 @@ func (lg *Loadgen) sendRequest(ctx *sim.Context, c *lgConn) {
 	req := "GET " + lg.cfg.URI + " HTTP/1.1\r\nHost: sut\r\n" + closeHdr + "\r\n"
 	c.reqStart = ctx.Sim.Now()
 	c.expect = -1
-	c.sock.Send(ctx, []byte(req))
+	c.sock.SendRef(ctx, lg.arena.AllocString(req))
 	c.timer = ctx.TimerAfter(lg.cfg.Timeout, lgTimeout{c: c, gen: c.gen})
 }
 

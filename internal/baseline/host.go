@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/ipeng"
 	"neat/internal/nicdev"
@@ -34,11 +35,6 @@ type kernelHost struct {
 	udpSocks  map[uint64]*udpSockCtx
 	nextUDP   uint64
 	appConns  map[*sim.Proc]*ipc.Conn
-
-	// txScratch is the segment marshal buffer; IP output copies the
-	// segment into the frame synchronously, so one buffer serves all
-	// contexts (the simulation is serialized).
-	txScratch []byte
 
 	stats Stats
 }
@@ -180,6 +176,7 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	case stack.OpSend:
 		c, ok := h.conns[m.ConnID]
 		if !ok {
+			m.Ref.Release()
 			return
 		}
 		h.charge(h.costs.SyscallOp)
@@ -187,6 +184,7 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		h.stats.SyscallsIn++
 		sc := c.Ctx.(*sockCtx)
 		sc.pending = append(sc.pending, m.Data...)
+		m.Ref.Release() // data now lives in sc.pending
 		if m.WantSpace {
 			sc.wantSpace = true
 		}
@@ -331,9 +329,9 @@ func (h *kernelHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 		h.ip.OutputTSO(ipeng.TSO{TCP: seg.Hdr, Dst: seg.Dst, Payload: seg.Payload, MSS: seg.MSS})
 		return
 	}
-	transport := seg.Hdr.Marshal(h.txScratch[:0], seg.Src, seg.Dst, seg.Payload)
-	h.ip.Output(seg.Dst, proto.ProtoTCP, transport)
-	h.txScratch = transport[:0]
+	n := seg.Hdr.EncodedLen(len(seg.Payload))
+	frame := seg.Hdr.Marshal(bufpool.Get(proto.TxHeadroom + n)[:proto.TxHeadroom], seg.Src, seg.Dst, seg.Payload)
+	h.ip.OutputFrame(seg.Dst, proto.ProtoTCP, frame)
 }
 
 // timerSlot is the per-(connection, timer-kind) state kept in TimerCtx: one

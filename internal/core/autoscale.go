@@ -92,7 +92,7 @@ func (sys *System) StartAutoScaler(th *sim.HWThread, cfg AutoScalerConfig) *Auto
 			}
 		}
 	}), sim.ProcConfig{Component: "mgmt"})
-	a.proc.Deliver(scalerTick{})
+	sys.sendProc(a.proc, scalerTick{})
 	return a
 }
 

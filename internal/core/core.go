@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 
+	"neat/internal/ipc"
 	"neat/internal/metrics"
 	"neat/internal/nicdev"
 	"neat/internal/sim"
@@ -190,6 +191,11 @@ type System struct {
 	// terminated replicas) so the crash watcher ignores them.
 	expectedKills map[*sim.Proc]bool
 
+	// mgmtConns are the management plane's injection channels, one per
+	// target process, created lazily: every manager→component message goes
+	// through internal/ipc rather than writing into the process directly.
+	mgmtConns map[*sim.Proc]*ipc.Conn
+
 	// wd is the heartbeat failure detector (nil in paper-fidelity mode).
 	wd *Watchdog
 
@@ -251,6 +257,7 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 		conns:         map[*stack.Replica]map[uint64]*sim.Proc{},
 		expectedKills: map[*sim.Proc]bool{},
 		checkpoints:   map[int]*tcpeng.Snapshot{},
+		mgmtConns:     map[*sim.Proc]*ipc.Conn{},
 	}
 	for i := range cfg.Threads {
 		sys.slots = append(sys.slots, &slot{index: i, threads: cfg.Threads[i]})
@@ -555,6 +562,20 @@ func (sys *System) installHooks(sl *slot) {
 	}
 }
 
+// sendProc injects msg into p through the management plane's ipc channel
+// to that process, creating the channel on first use. Injection is
+// immediate and cost-free (ipc.Conn.Inject), preserving the semantics of
+// the direct Proc.Deliver writes it replaces while keeping every
+// manager→component message on an accounted channel.
+func (sys *System) sendProc(p *sim.Proc, msg sim.Message) {
+	c, ok := sys.mgmtConns[p]
+	if !ok {
+		c = ipc.New(p, ipc.Costs{})
+		sys.mgmtConns[p] = c
+	}
+	c.Inject(msg)
+}
+
 // replayListens re-announces every registered listening socket to a new
 // replica incarnation.
 func (sys *System) replayListens(r *stack.Replica) {
@@ -563,7 +584,7 @@ func (sys *System) replayListens(r *stack.Replica) {
 		// Acks land in the SYSCALL server, which ignores requests it
 		// already acknowledged.
 		fanned.ReplyTo = sys.sys.Proc()
-		r.SockProc().Deliver(fanned)
+		sys.sendProc(r.SockProc(), fanned)
 	}
 }
 
@@ -716,7 +737,7 @@ func (sys *System) drainDeadline(sl *slot, seq uint64) {
 		sys.stats.ConnectionsLost++
 		sys.stats.DrainForcedCloses++
 		if app := sys.conns[r][id]; app != nil {
-			app.Deliver(stack.EvClosed{Stack: r.SockProc(), ConnID: id,
+			sys.sendProc(app, stack.EvClosed{Stack: r.SockProc(), ConnID: id,
 				Reset: true, Err: stack.ErrReplicaRetired})
 		}
 	}
@@ -765,7 +786,7 @@ func (sys *System) scheduleCheckpoints() {
 	sys.s.After(sys.cfg.CheckpointInterval, func() {
 		for _, sl := range sys.slots {
 			if sl.state == SlotActive || sl.state == SlotTerminating {
-				sl.replica.SockProc().Deliver(stack.OpCheckpoint{})
+				sys.sendProc(sl.replica.SockProc(), stack.OpCheckpoint{})
 			}
 		}
 		sys.scheduleCheckpoints()
@@ -932,7 +953,7 @@ func (sys *System) recover(sl *slot, dead *sim.Proc, delay sim.Time) {
 			for connID, app := range sys.conns[r] {
 				sys.stats.ConnectionsLost++
 				if app != nil {
-					app.Deliver(stack.EvClosed{Stack: dead, ConnID: connID,
+					sys.sendProc(app, stack.EvClosed{Stack: dead, ConnID: connID,
 						Reset: true, Err: stack.ErrReplicaFailure})
 				}
 			}
@@ -976,7 +997,7 @@ func (sys *System) completeRecovery(sl *slot) {
 		// The snapshot carries the listener table; only genuinely new
 		// listens (registered after the snapshot) need replaying, and
 		// replaying all is harmless (duplicates are rejected).
-		r.SockProc().Deliver(stack.OpRestore{Snap: sl.recSnap})
+		sys.sendProc(r.SockProc(), stack.OpRestore{Snap: sl.recSnap})
 		sys.replayListens(r)
 	} else if sl.recTCPLost {
 		sys.replayListens(r)
@@ -1020,7 +1041,7 @@ func (sys *System) quarantine(sl *slot) {
 	for connID, app := range sys.conns[r] {
 		sys.stats.ConnectionsLost++
 		if app != nil {
-			app.Deliver(stack.EvClosed{Stack: r.SockProc(), ConnID: connID,
+			sys.sendProc(app, stack.EvClosed{Stack: r.SockProc(), ConnID: connID,
 				Reset: true, Err: stack.ErrReplicaFailure})
 		}
 	}

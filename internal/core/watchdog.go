@@ -27,6 +27,7 @@ package core
 import (
 	"errors"
 
+	"neat/internal/ipc"
 	"neat/internal/metrics"
 	"neat/internal/sim"
 )
@@ -113,6 +114,10 @@ type watchEntry struct {
 	awaiting bool   // a probe is outstanding
 	missed   int    // consecutive unanswered probes
 	lastSeq  uint64 // seq of the outstanding probe; stale acks are ignored
+	// conn is the probe channel to the target. Probe cost is charged
+	// explicitly (wdProbeCycles), so the channel itself carries zero
+	// Costs: the watchdog's wake path is the kernel's, not a data channel.
+	conn *ipc.Conn
 }
 
 // wdTick drives one probe round.
@@ -157,7 +162,7 @@ func (w *Watchdog) Watch(p *sim.Proc) {
 	if _, ok := w.entries[p]; ok {
 		return
 	}
-	w.entries[p] = &watchEntry{}
+	w.entries[p] = &watchEntry{conn: ipc.New(p, ipc.Costs{})}
 	w.targets = append(w.targets, p)
 }
 
@@ -214,7 +219,7 @@ func (w *Watchdog) tick(ctx *sim.Context) {
 		e.awaiting = true
 		w.stats.ProbesSent++
 		ctx.Charge(wdProbeCycles)
-		ctx.Send(p, sim.HeartbeatPing{ReplyTo: w.proc, Seq: w.seq})
+		e.conn.Send(ctx, sim.HeartbeatPing{ReplyTo: w.proc, Seq: w.seq})
 	}
 	for _, p := range failed {
 		w.declare(p)

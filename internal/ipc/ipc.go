@@ -68,6 +68,20 @@ func (c *Conn) Rebind(peer *sim.Proc) { c.peer = peer }
 // Stats returns a snapshot of the counters.
 func (c *Conn) Stats() Stats { return c.stats }
 
+// Inject delivers msg to the peer immediately, outside any simulated
+// process context. The management plane uses it where it previously wrote
+// into processes directly (Proc.Deliver): the message still flows through
+// — and is accounted on — a channel, but no cycles are charged and no
+// notification latency applies, matching the zero-cost semantics of the
+// direct write it replaces.
+func (c *Conn) Inject(msg sim.Message) {
+	if c.peer == nil {
+		return
+	}
+	c.stats.Sent++
+	c.peer.Deliver(msg)
+}
+
 // Send transmits msg from the running process (ctx) to the peer. The
 // sender is charged the enqueue cost; delivery is delayed by the fast or
 // slow notification latency depending on whether the peer shares the

@@ -197,6 +197,66 @@ func (e *Engine) Output(dst proto.Addr, p proto.IPProto, transport []byte) {
 	}
 }
 
+// OutputFrame transmits a transport segment that the caller marshalled at
+// proto.TxHeadroom into frame (a pooled buffer): the Ethernet and IPv4
+// headers are written into the reserved headroom in place and the buffer
+// goes to the driver without copying the segment. Ownership of frame passes
+// to the engine with the call. Paths that cannot fill in place — loopback
+// and fragmentation — delegate to Output on the transport view (which
+// copies) and release the buffer; the delegation happens before this
+// packet's IP ID is drawn, so ID sequencing matches Output exactly.
+func (e *Engine) OutputFrame(dst proto.Addr, p proto.IPProto, frame []byte) {
+	transport := frame[proto.TxHeadroom:]
+	if dst == e.cfg.Addr || len(transport)+proto.IPv4HeaderLen > e.cfg.MTU {
+		e.Output(dst, p, transport)
+		bufpool.Put(frame)
+		return
+	}
+	e.ipID++
+	ip := proto.IPv4Header{
+		TotalLen: uint16(proto.IPv4HeaderLen + len(transport)),
+		ID:       e.ipID, Flags: proto.IPFlagDF, TTL: 64,
+		Protocol: p, Src: e.cfg.Addr, Dst: dst,
+	}
+	e.sendIPFrame(dst, ip, frame)
+}
+
+// sendIPFrame is sendIP for a prebuilt headroom frame: the headers fill
+// the reserved bytes via capacity-bounded appends instead of the segment
+// being copied behind freshly marshalled headers.
+func (e *Engine) sendIPFrame(dst proto.Addr, ip proto.IPv4Header, frame []byte) {
+	hop, ok := e.nextHop(dst)
+	if !ok {
+		e.stats.NoRoute++
+		bufpool.Put(frame)
+		return
+	}
+	mac, resolved := e.arp[hop]
+	// With an unresolved hop, mac stays the zero placeholder — the same
+	// bytes sendIP queues — and inputARP rewrites frame[0:6] on resolution.
+	eth := proto.EthernetHeader{Dst: mac, Src: e.cfg.MAC, Type: proto.EtherTypeIPv4}
+	eth.Marshal(frame[:0:proto.EthernetHeaderLen])
+	ip.Marshal(frame[proto.EthernetHeaderLen:proto.EthernetHeaderLen:proto.TxHeadroom])
+	if resolved {
+		e.stats.Out++
+		e.env.TransmitFrame(frame)
+		return
+	}
+	pend, waiting := e.arpWait[hop]
+	if !waiting {
+		pend = &arpPending{}
+		e.arpWait[hop] = pend
+		e.sendARPRequest(hop)
+		e.armARPRetry(hop)
+	}
+	e.stats.QueuedAwaitingARP++
+	if len(pend.frames) < 64 {
+		pend.frames = append(pend.frames, frame)
+	} else {
+		bufpool.Put(frame)
+	}
+}
+
 // OutputTSO transmits a TCP super-segment via NIC segmentation offload.
 func (e *Engine) OutputTSO(t TSO) {
 	if t.Dst == e.cfg.Addr {

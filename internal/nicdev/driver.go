@@ -99,13 +99,25 @@ func (d *Driver) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	switch m := msg.(type) {
 	case rxReady:
 		d.drainRx(ctx)
+	case *TxFrame:
+		ctx.Charge(d.costs.PerPacketTx)
+		d.stats.TxSent++
+		d.nic.Transmit(m.Raw)
+		m.Raw = nil
+		txFramePool.Put(m)
 	case TxFrame:
 		ctx.Charge(d.costs.PerPacketTx)
 		d.stats.TxSent++
 		d.nic.Transmit(m.Raw)
-	case TxTSO:
+	case *TxTSO:
 		// One descriptor regardless of payload size: that is the point of
 		// TSO — the CPU cost does not scale with the number of segments.
+		ctx.Charge(d.costs.PerPacketTx + 150)
+		d.stats.TxSent++
+		d.nic.SendTSO(*m)
+		*m = TxTSO{}
+		txTSOPool.Put(m)
+	case TxTSO:
 		ctx.Charge(d.costs.PerPacketTx + 150)
 		d.stats.TxSent++
 		d.nic.SendTSO(m)
@@ -140,7 +152,8 @@ func (d *Driver) drainRx(ctx *sim.Context) {
 			}
 			ctx.Charge(d.costs.PerPacketRx)
 			d.stats.RxDispatched++
-			ctx.Send(target, RxFrame{Queue: q, Frame: f})
+			f.RxQueue = q
+			ctx.Send(target, f)
 		}
 		qu.spare = frames[:0]
 	}

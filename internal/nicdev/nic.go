@@ -18,6 +18,7 @@ package nicdev
 
 import (
 	"fmt"
+	"sync"
 
 	"neat/internal/bufpool"
 	"neat/internal/proto"
@@ -25,17 +26,42 @@ import (
 	"neat/internal/wire"
 )
 
-// RxFrame is delivered by the driver to the replica owning the frame's
-// queue. The NIC pre-decodes the frame (hardware parses headers anyway for
+// RX frames are delivered by the driver to the replica owning the frame's
+// queue as bare *proto.Frame messages, with Frame.RxQueue stamped by the
+// driver. The NIC pre-decodes the frame (hardware parses headers anyway for
 // classification); replicas charge their own protocol-processing cycles.
-type RxFrame struct {
-	Queue int
-	Frame *proto.Frame
-}
 
-// TxFrame asks the driver to transmit a fully serialized frame.
+// TxFrame asks the driver to transmit a fully serialized frame. Hot paths
+// send the pooled pointer form (NewTxFrame); the driver recycles the box
+// after transmitting. The value form also works, for hand-built test
+// traffic.
 type TxFrame struct {
 	Raw []byte
+}
+
+// txFramePool and txTSOPool recycle TX request boxes. They are sync.Pools
+// (not per-NIC freelists) because parallel experiment sweeps run many
+// simulators at once; within one simulator a box has exactly one owner at a
+// time, handed from the sending replica to the driver.
+var (
+	txFramePool = sync.Pool{New: func() any { return new(TxFrame) }}
+	txTSOPool   = sync.Pool{New: func() any { return new(TxTSO) }}
+)
+
+// NewTxFrame returns a pooled TX request carrying raw. Ownership of the box
+// passes to the driver with the send; the driver returns it to the pool
+// after posting the frame.
+func NewTxFrame(raw []byte) *TxFrame {
+	m := txFramePool.Get().(*TxFrame)
+	m.Raw = raw
+	return m
+}
+
+// NewTxTSO returns a pooled TSO request. Ownership follows NewTxFrame.
+func NewTxTSO(t TxTSO) *TxTSO {
+	m := txTSOPool.Get().(*TxTSO)
+	*m = t
+	return m
 }
 
 // TxTSO asks the driver to transmit a large TCP send using TCP segmentation
@@ -69,6 +95,7 @@ type NICStats struct {
 	TrackHits      uint64
 	TrackInserts   uint64
 	TrackEvictions uint64
+	IRQDeferred    uint64 // interrupts held back by the moderation window
 }
 
 // RSSPolicy steers unpinned flows to a queue: the software-programmable
@@ -110,6 +137,14 @@ type NIC struct {
 	// Per-queue IRQ mode (Linux-baseline softirq model; see irq.go).
 	irqTargets []*sim.Proc
 	irqArmed   []bool
+	// irqMsgs holds one pre-boxed QueueIRQ per queue so a delivery never
+	// allocates; irqNext is the per-vector moderation horizon.
+	irqMsgs []sim.Message
+	irqNext []sim.Time
+	// irqWindow is the interrupt-moderation window (0 = off); drvNext is
+	// the driver vector's moderation horizon.
+	irqWindow sim.Time
+	drvNext   sim.Time
 
 	// Hardware flow tracking (§4 extension; see EnableFlowTracking).
 	// trackOrder is a FIFO of live flows; trackHead indexes its logical
@@ -245,7 +280,7 @@ func (n *NIC) Receive(raw []byte) {
 	}
 	if n.driver != nil && n.intrArmed {
 		n.intrArmed = false
-		n.sim.DeliverAt(n.sim.Now()+n.PipelineLatency, n.driver.proc, rxReady{})
+		n.raiseDriverIRQ(n.sim.Now()+n.PipelineLatency, false)
 	}
 }
 
@@ -362,7 +397,7 @@ func (n *NIC) rearm() {
 	n.intrArmed = true
 	if n.driver != nil && n.pendingQueues() {
 		n.intrArmed = false
-		n.driver.proc.Deliver(rxReady{})
+		n.raiseDriverIRQ(n.sim.Now(), true)
 	}
 }
 

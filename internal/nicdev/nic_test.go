@@ -31,7 +31,7 @@ type testRig struct {
 	nic    *NIC
 	driver *Driver
 	// received per replica proc
-	got map[string][]RxFrame
+	got map[string][]*proto.Frame
 }
 
 func newRig(t *testing.T, nQueues int) *testRig {
@@ -41,11 +41,11 @@ func newRig(t *testing.T, nQueues int) *testRig {
 	l := wire.NewLink(s)
 	nic := NewNIC(s, "nic0", macB, l, 1, nQueues)
 	drv := NewDriver(m.Thread(0, 0), "nicdrv", nic, DefaultDriverCosts())
-	rig := &testRig{s: s, link: l, nic: nic, driver: drv, got: map[string][]RxFrame{}}
+	rig := &testRig{s: s, link: l, nic: nic, driver: drv, got: map[string][]*proto.Frame{}}
 	for q := 0; q < nQueues; q++ {
 		name := string(rune('A' + q))
 		p := sim.NewProc(m.Thread(1+q%3, 0), name, sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
-			if rx, ok := msg.(RxFrame); ok {
+			if rx, ok := msg.(*proto.Frame); ok {
 				rig.got[name] = append(rig.got[name], rx)
 			}
 		}), sim.ProcConfig{})
@@ -144,9 +144,9 @@ func TestUnboundQueueDropsUntilRebind(t *testing.T) {
 	}
 	// Recovered replica announces itself.
 	m := rig.s.Machines()[0]
-	var recovered []RxFrame
+	var recovered []*proto.Frame
 	p := sim.NewProc(m.Thread(2, 0), "recovered", sim.HandlerFunc(func(ctx *sim.Context, msg sim.Message) {
-		if rx, ok := msg.(RxFrame); ok {
+		if rx, ok := msg.(*proto.Frame); ok {
 			recovered = append(recovered, rx)
 		}
 	}), sim.ProcConfig{})

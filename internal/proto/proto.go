@@ -157,6 +157,12 @@ func (a *ARPPacket) Unmarshal(b []byte) error {
 // IPv4HeaderLen is the length of an IPv4 header without options.
 const IPv4HeaderLen = 20
 
+// TxHeadroom is the room a transport layer reserves at the front of a TX
+// frame buffer for the Ethernet and IPv4 headers (the skb-headroom idiom):
+// the transport marshals its segment at offset TxHeadroom, and the IP layer
+// fills the headers in place instead of copying the segment behind them.
+const TxHeadroom = EthernetHeaderLen + IPv4HeaderLen
+
 // IPv4 fragmentation flag bits (in the Flags/FragOff word).
 const (
 	IPFlagDF = 0x4000 // don't fragment

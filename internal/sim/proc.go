@@ -154,11 +154,15 @@ type Proc struct {
 	charged      int64
 	chargedByCat [numCostCategories]int64
 	pending      []outMsg // sends buffered during the current dispatch
-	stats        ProcStats
-	crashed      error
-	hung         bool    // livelocked: alive but never drains the inbox
-	dropRate     float64 // injected IPC loss probability per delivery
-	failedAt     Time    // when the current fault (crash or hang) began
+	// ctx is the reusable handler context. Handlers receive *Context, which
+	// would force a heap allocation per dispatch if the Context lived on the
+	// runDispatch stack; hoisting it into the Proc makes the escape free.
+	ctx      Context
+	stats    ProcStats
+	crashed  error
+	hung     bool    // livelocked: alive but never drains the inbox
+	dropRate float64 // injected IPC loss probability per delivery
+	failedAt Time    // when the current fault (crash or hang) began
 }
 
 type outMsg struct {
@@ -198,6 +202,7 @@ func NewProc(t *HWThread, name string, h Handler, cfg ProcConfig) *Proc {
 	if p.Component == "" {
 		p.Component = name
 	}
+	p.ctx = Context{Sim: m.sim, Proc: p}
 	t.procs = append(t.procs, p)
 	m.sim.procs = append(m.sim.procs, p)
 	return p
@@ -348,17 +353,25 @@ func (p *Proc) runDispatch() {
 	// A tracer installed mid-run sees batches whose older messages carry no
 	// arrival stamp; such mixed batches are skipped rather than mismatched.
 	traced := tr != nil && len(batchAt) == len(batch)
-	ctx := Context{Sim: p.sim, Proc: p}
+	ctx := &p.ctx
 	for i, msg := range batch {
 		if p.state == procDead {
 			break
 		}
-		if tf, ok := msg.(timerFire); ok {
-			if tf.gen != tf.t.gen {
+		if tf, ok := msg.(*timerFire); ok {
+			stale := tf.gen != tf.t.gen
+			if !stale {
+				tf.t.fired = true
+			}
+			msg = tf.msg
+			// The box has served its one delivery; recycle it. Boxes that
+			// never reach this point (crashed process, injected drop) simply
+			// fall to the garbage collector.
+			*tf = timerFire{}
+			p.sim.tfFree = append(p.sim.tfFree, tf)
+			if stale {
 				continue // stopped or re-armed since this firing was scheduled
 			}
-			tf.t.fired = true
-			msg = tf.msg
 		}
 		if hb, ok := msg.(HeartbeatPing); ok {
 			// Liveness probes are answered by the dispatch loop itself:
@@ -376,7 +389,7 @@ func (p *Proc) runDispatch() {
 		p.charged += p.DispatchCycles
 		p.chargedByCat[CostProcessing] += p.DispatchCycles
 		pendingStart := len(p.pending)
-		p.handler.HandleMessage(&ctx, msg)
+		p.handler.HandleMessage(ctx, msg)
 		// Sends emitted while handling this message leave when the
 		// message's processing completes, not when the batch ends.
 		for j := pendingStart; j < len(p.pending); j++ {
@@ -410,13 +423,40 @@ func (p *Proc) runDispatch() {
 		p.stats.CostNs[cat] += Time(float64(p.machine.Cycles(cyc)) * factor)
 	}
 
-	// Release buffered sends at each message's completion point within
-	// the dispatch.
-	for i := range p.pending {
-		out := &p.pending[i]
+	// Release buffered sends at each message's completion point within the
+	// dispatch. Consecutive sends to the same destination at the same
+	// release time — a burst of RX frames forwarded to one replica, a TCP
+	// window's worth of segments to the IP component — coalesce into one
+	// batched delivery event. The sends hold consecutive sequence numbers,
+	// so nothing could have interleaved between them: batching them behind
+	// the first send's sequence position is observationally identical to N
+	// separate deliveries.
+	pend := p.pending
+	for i := 0; i < len(pend); {
+		out := &pend[i]
 		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + out.delay
-		p.sim.DeliverAt(at, out.dst, out.msg)
-		*out = outMsg{} // drop references; the slice is recycled
+		j := i + 1
+		for j < len(pend) && pend[j].dst == out.dst {
+			next := &pend[j]
+			at2 := t0 + Time(float64(p.machine.Cycles(next.cyclesAt))*factor) + next.delay
+			if at2 != at {
+				break
+			}
+			j++
+		}
+		if j == i+1 {
+			p.sim.DeliverAt(at, out.dst, out.msg)
+		} else {
+			b := p.sim.getBatch()
+			for k := i; k < j; k++ {
+				b.msgs = append(b.msgs, pend[k].msg)
+			}
+			p.sim.schedule(at, event{kind: evDeliverBatch, proc: out.dst, msg: b})
+		}
+		for k := i; k < j; k++ {
+			pend[k] = outMsg{} // drop references; the slice is recycled
+		}
+		i = j
 	}
 	p.pending = p.pending[:0]
 
@@ -527,13 +567,25 @@ func (c *Context) Retimer(t *Timer, d Time, msg Message) {
 	t.gen++
 	t.fired = false
 	p := c.Proc
-	p.pending = append(p.pending, outMsg{dst: p, msg: timerFire{t, t.gen, msg}, delay: d})
+	p.pending = append(p.pending, outMsg{dst: p, msg: p.sim.newTimerFire(t, t.gen, msg), delay: d})
 }
 
 // timerFire wraps a timer delivery; runDispatch unwraps it transparently
 // (and drops stale generations) so handlers always see the original message.
+// Boxes are recycled through the simulator's freelist: arming a timer in
+// steady state reuses the box released by an earlier firing.
 type timerFire struct {
 	t   *Timer
 	gen uint64
 	msg Message
+}
+
+func (s *Simulator) newTimerFire(t *Timer, gen uint64, msg Message) *timerFire {
+	if n := len(s.tfFree); n > 0 {
+		tf := s.tfFree[n-1]
+		s.tfFree = s.tfFree[:n-1]
+		*tf = timerFire{t, gen, msg}
+		return tf
+	}
+	return &timerFire{t, gen, msg}
 }

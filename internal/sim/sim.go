@@ -66,10 +66,11 @@ type EventHandler interface {
 type evKind uint8
 
 const (
-	evFunc     evKind = iota // run fn()
-	evDispatch               // run proc.runDispatch()
-	evDeliver                // proc.Deliver(msg)
-	evHandler                // h.OnEvent(tag)
+	evFunc         evKind = iota // run fn()
+	evDispatch                   // run proc.runDispatch()
+	evDeliver                    // proc.Deliver(msg)
+	evHandler                    // h.OnEvent(tag)
+	evDeliverBatch               // deliver every message of a msgBatch to proc
 )
 
 // event is one queue entry. The kind discriminates which payload fields are
@@ -299,8 +300,29 @@ type Simulator struct {
 	// every trace point reduces to one nil check).
 	tracer Tracer
 
+	// batchFree recycles msgBatch carriers (and their message slices) so
+	// steady-state batched delivery allocates nothing.
+	batchFree []*msgBatch
+	// tfFree recycles timerFire boxes between arm and firing for the same
+	// reason. Boxes that die in flight (crash, drop injection) are simply
+	// collected; the freelist only ever shrinks by reuse.
+	tfFree []*timerFire
+
 	// Stats
 	eventsRun uint64
+}
+
+// msgBatch carries the messages of one batched delivery. The simulation is
+// single-threaded, so a plain freelist suffices.
+type msgBatch struct{ msgs []Message }
+
+func (s *Simulator) getBatch() *msgBatch {
+	if n := len(s.batchFree); n > 0 {
+		b := s.batchFree[n-1]
+		s.batchFree = s.batchFree[:n-1]
+		return b
+	}
+	return &msgBatch{}
 }
 
 // New returns a Simulator whose randomness is derived from seed.
@@ -363,6 +385,27 @@ func (s *Simulator) DeliverAt(t Time, p *Proc, msg Message) {
 	s.schedule(t, event{kind: evDeliver, proc: p, msg: msg})
 }
 
+// DeliverBatchAt delivers every message of msgs to p at absolute time t as
+// one queue entry: one sequence number, one calendar-queue insertion, one
+// pop. The messages land in p's inbox in slice order, exactly as if each had
+// been scheduled by consecutive DeliverAt calls (consecutive sequence
+// numbers admit no interleaving event between them), and the batch counts as
+// len(msgs) events in EventsRun so observable statistics do not depend on
+// how deliveries were grouped. msgs is copied; the caller keeps ownership of
+// the slice.
+func (s *Simulator) DeliverBatchAt(t Time, p *Proc, msgs []Message) {
+	switch len(msgs) {
+	case 0:
+		return
+	case 1:
+		s.DeliverAt(t, p, msgs[0])
+		return
+	}
+	b := s.getBatch()
+	b.msgs = append(b.msgs[:0], msgs...)
+	s.schedule(t, event{kind: evDeliverBatch, proc: p, msg: b})
+}
+
 // run executes one popped event.
 func (s *Simulator) run(e event) {
 	s.now = e.at
@@ -376,6 +419,18 @@ func (s *Simulator) run(e event) {
 		e.proc.Deliver(e.msg)
 	case evHandler:
 		e.h.OnEvent(e.tag)
+	case evDeliverBatch:
+		b := e.msg.(*msgBatch)
+		// A batch of N messages is N logical deliveries: count it as N
+		// events so EventsRun (and everything reported from it) is
+		// independent of how deliveries were grouped.
+		s.eventsRun += uint64(len(b.msgs)) - 1
+		for i, m := range b.msgs {
+			e.proc.Deliver(m)
+			b.msgs[i] = nil
+		}
+		b.msgs = b.msgs[:0]
+		s.batchFree = append(s.batchFree, b)
 	}
 }
 

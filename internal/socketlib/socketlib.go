@@ -17,6 +17,7 @@ package socketlib
 import (
 	"sync/atomic"
 
+	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/proto"
 	"neat/internal/sim"
@@ -183,6 +184,22 @@ func (s *Socket) Send(ctx *sim.Context, data []byte) bool {
 	s.credit -= len(data)
 	want := s.credit < SendLowWater
 	s.lib.stackConn(s.stack).Send(ctx, stack.OpSend{ConnID: s.connID, Data: data, WantSpace: want})
+	return true
+}
+
+// SendRef streams slab-carved data on the socket. Ownership of the Ref
+// transfers to the stack, which releases it after absorbing the bytes into
+// the connection's send stream; if the socket is not open the Ref is
+// released here and false is returned. Applications that batch payloads in
+// a bufpool.Arena use this to avoid a fresh []byte allocation per send.
+func (s *Socket) SendRef(ctx *sim.Context, ref bufpool.Ref) bool {
+	if s.state != SockOpen {
+		ref.Release()
+		return false
+	}
+	s.credit -= len(ref.B)
+	want := s.credit < SendLowWater
+	s.lib.stackConn(s.stack).Send(ctx, stack.OpSend{ConnID: s.connID, Data: ref.B, Ref: ref, WantSpace: want})
 	return true
 }
 

@@ -118,13 +118,13 @@ func (h *ipHost) Now() sim.Time { return h.proc.Sim().Now() }
 // TransmitFrame implements ipeng.Env.
 func (h *ipHost) TransmitFrame(raw []byte) {
 	h.ctx.Charge(h.costs.IPOut)
-	h.toDriver.Send(h.ctx, nicdev.TxFrame{Raw: raw})
+	h.toDriver.Send(h.ctx, nicdev.NewTxFrame(raw))
 }
 
 // TransmitTSO implements ipeng.Env.
 func (h *ipHost) TransmitTSO(eth proto.EthernetHeader, ip proto.IPv4Header, tcp proto.TCPHeader, payload []byte, mss int) {
 	h.ctx.Charge(h.costs.IPOut)
-	h.toDriver.Send(h.ctx, nicdev.TxTSO{Eth: eth, IP: ip, TCP: tcp, Payload: payload, MSS: mss})
+	h.toDriver.Send(h.ctx, nicdev.NewTxTSO(nicdev.TxTSO{Eth: eth, IP: ip, TCP: tcp, Payload: payload, MSS: mss}))
 }
 
 // DeliverTransport implements ipeng.Env. Frame ownership arrives with the

@@ -17,6 +17,9 @@
 package stack
 
 import (
+	"sync"
+
+	"neat/internal/bufpool"
 	"neat/internal/proto"
 	"neat/internal/sim"
 	"neat/internal/tcpeng"
@@ -28,20 +31,41 @@ import (
 // process of a multi-component replica.
 type tcpInput struct{ f *proto.Frame }
 
-// ipOutput carries a serialized transport payload from the TCP process to
-// the IP process for transmission.
+// ipOutput carries a headroom TX frame — the transport segment marshalled
+// at proto.TxHeadroom — from the TCP process to the IP process, which fills
+// the L2/L3 headers in place and transmits without copying the segment.
+// Boxes are pooled (sync.Pool: parallel sweeps run many simulators); the IP
+// handler returns each box after consuming it.
 type ipOutput struct {
-	dst       proto.Addr
-	proto     proto.IPProto
-	transport []byte
+	dst   proto.Addr
+	proto proto.IPProto
+	frame []byte
 }
 
-// ipOutputTSO carries a TSO super-segment towards the IP process.
+// ipOutputTSO carries a TSO super-segment towards the IP process. Pooled
+// like ipOutput.
 type ipOutputTSO struct {
 	dst     proto.Addr
 	hdr     proto.TCPHeader
 	payload []byte
 	mss     int
+}
+
+var (
+	ipOutputPool    = sync.Pool{New: func() any { return new(ipOutput) }}
+	ipOutputTSOPool = sync.Pool{New: func() any { return new(ipOutputTSO) }}
+)
+
+func newIPOutput(dst proto.Addr, p proto.IPProto, frame []byte) *ipOutput {
+	m := ipOutputPool.Get().(*ipOutput)
+	m.dst, m.proto, m.frame = dst, p, frame
+	return m
+}
+
+func newIPOutputTSO(dst proto.Addr, hdr proto.TCPHeader, payload []byte, mss int) *ipOutputTSO {
+	m := ipOutputTSOPool.Get().(*ipOutputTSO)
+	m.dst, m.hdr, m.payload, m.mss = dst, hdr, payload, mss
+	return m
 }
 
 // tickMsg runs a deferred closure on the owning process (ARP retries,
@@ -91,9 +115,14 @@ type OpConnect struct {
 // OpSend appends data to a connection's send stream. WantSpace asks the
 // stack to reply with EvSendSpace once send-buffer space is available (the
 // library sets it when its send credit runs low).
+//
+// When Data is carved from a payload slab, Ref carries the reference; the
+// stack Releases it after copying Data into the engine's send buffer. The
+// zero Ref (plain Data ownership) stays valid: Release is then a no-op.
 type OpSend struct {
 	ConnID    uint64
 	Data      []byte
+	Ref       bufpool.Ref
 	WantSpace bool
 }
 

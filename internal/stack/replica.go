@@ -3,10 +3,8 @@ package stack
 import (
 	"fmt"
 
-	"neat/internal/bufpool"
 	"neat/internal/ipc"
 	"neat/internal/ipeng"
-	"neat/internal/nicdev"
 	"neat/internal/pfilter"
 	"neat/internal/proto"
 	"neat/internal/sim"
@@ -155,13 +153,10 @@ func (r *Replica) buildSingle(th *sim.HWThread) {
 		r.tcph.ctx = prev
 		f.Release() // TCP input copies payload into engine buffers
 	}
-	// out is synchronous here: the segment buffer is reclaimed by tcpHost
-	// as soon as the call returns.
-	r.tcph.syncOut = true
-	r.tcph.out = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte) {
+	r.tcph.outFrame = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, frame []byte) {
 		prev := r.iph.ctx
 		r.iph.ctx = ctx
-		r.iph.ip.Output(dst, p, transport)
+		r.iph.ip.OutputFrame(dst, p, frame)
 		r.iph.ctx = prev
 	}
 	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
@@ -201,11 +196,11 @@ func (r *Replica) buildTCPHost(th *sim.HWThread) {
 	}
 	r.connToTCP.Rebind(r.tcph.proc)
 	toIP := r.connToIP
-	r.tcph.out = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte) {
-		toIP.Send(ctx, ipOutput{dst: dst, proto: p, transport: transport})
+	r.tcph.outFrame = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, frame []byte) {
+		toIP.Send(ctx, newIPOutput(dst, p, frame))
 	}
 	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
-		toIP.Send(ctx, ipOutputTSO{dst: t.Dst, hdr: t.TCP, payload: t.Payload, mss: t.MSS})
+		toIP.Send(ctx, newIPOutputTSO(t.Dst, t.TCP, t.Payload, t.MSS))
 	}
 }
 
@@ -318,8 +313,8 @@ type singleHandler struct{ r *Replica }
 func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	r := h.r
 	switch m := msg.(type) {
-	case nicdev.RxFrame:
-		r.iph.inputFrame(ctx, m.Frame)
+	case *proto.Frame:
+		r.iph.inputFrame(ctx, m)
 	case tickMsg:
 		r.iph.withCtx(ctx, m.fn)
 	case tcpTimerMsg:
@@ -337,18 +332,21 @@ type ipHandler struct{ h *ipHost }
 func (ih *ipHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	h := ih.h
 	switch m := msg.(type) {
-	case nicdev.RxFrame:
-		h.inputFrame(ctx, m.Frame)
-	case ipOutput:
+	case *proto.Frame:
+		h.inputFrame(ctx, m)
+	case *ipOutput:
 		prev := h.ctx
 		h.ctx = ctx
-		h.ip.Output(m.dst, m.proto, m.transport)
+		h.ip.OutputFrame(m.dst, m.proto, m.frame) // takes ownership of the frame
 		h.ctx = prev
-		bufpool.Put(m.transport) // IP output copied it into the frame
-	case ipOutputTSO:
+		*m = ipOutput{}
+		ipOutputPool.Put(m)
+	case *ipOutputTSO:
 		h.withCtx(ctx, func() {
 			h.ip.OutputTSO(ipeng.TSO{TCP: m.hdr, Dst: m.dst, Payload: m.payload, MSS: m.mss})
 		})
+		*m = ipOutputTSO{}
+		ipOutputTSOPool.Put(m)
 	case tickMsg:
 		h.withCtx(ctx, m.fn)
 	default:

@@ -21,14 +21,12 @@ type tcpHost struct {
 
 	tcp *tcpeng.Engine
 
-	out    func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, transport []byte)
-	outTSO func(ctx *sim.Context, t ipeng.TSO)
-	// syncOut marks out as synchronous (single-component replica): segments
-	// marshal into txScratch, which is reclaimed when out returns. Async
-	// outs (multi-component) marshal into a pooled buffer instead, returned
-	// to the pool by the IP process after transmission.
-	syncOut   bool
-	txScratch []byte
+	// outFrame hands a headroom TX frame (transport marshalled at
+	// proto.TxHeadroom in a pooled buffer) to the IP layer, which fills the
+	// L2/L3 headers in place — no per-hop copy. Ownership of the buffer
+	// transfers with the call; the IP side eventually Puts or transmits it.
+	outFrame func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, frame []byte)
+	outTSO   func(ctx *sim.Context, t ipeng.TSO)
 
 	conns     map[uint64]*tcpeng.Conn     // by ConnID (= engine conn ID)
 	listeners map[uint64]*tcpeng.Listener // by the app's listen ReqID
@@ -111,10 +109,12 @@ func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 	case OpSend:
 		c, ok := h.conns[m.ConnID]
 		if !ok {
+			m.Ref.Release()
 			return true // connection already gone; app learns via EvClosed
 		}
 		sc := c.Ctx.(*sockCtx)
 		sc.pending = append(sc.pending, m.Data...)
+		m.Ref.Release() // data now lives in sc.pending
 		if m.WantSpace {
 			sc.wantSpace = true
 		}
@@ -247,14 +247,9 @@ func (h *tcpHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 		h.outTSO(h.ctx, ipeng.TSO{TCP: seg.Hdr, Dst: seg.Dst, Payload: seg.Payload, MSS: seg.MSS})
 		return
 	}
-	if h.syncOut {
-		transport := seg.Hdr.Marshal(h.txScratch[:0], seg.Src, seg.Dst, seg.Payload)
-		h.out(h.ctx, seg.Dst, proto.ProtoTCP, transport)
-		h.txScratch = transport[:0]
-		return
-	}
-	transport := seg.Hdr.Marshal(bufpool.Get(seg.Hdr.EncodedLen(len(seg.Payload)))[:0], seg.Src, seg.Dst, seg.Payload)
-	h.out(h.ctx, seg.Dst, proto.ProtoTCP, transport)
+	n := seg.Hdr.EncodedLen(len(seg.Payload))
+	frame := seg.Hdr.Marshal(bufpool.Get(proto.TxHeadroom + n)[:proto.TxHeadroom], seg.Src, seg.Dst, seg.Payload)
+	h.outFrame(h.ctx, seg.Dst, proto.ProtoTCP, frame)
 }
 
 // ArmTimer implements tcpeng.Env.
