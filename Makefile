@@ -11,25 +11,26 @@ test:
 	$(GO) test ./...
 
 # bench writes the committed benchmark snapshot: micro-benchmark ns/op,
-# B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run.
-BENCH_OUT ?= BENCH_pr5.json
+# B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run
+# and the PDES worker-scaling ladder.
+BENCH_OUT ?= BENCH_pr6.json
 
 bench:
 	$(GO) run ./cmd/neat-benchreport -out $(BENCH_OUT)
 
 # verify is the pre-merge gate: static checks (vet + gofmt cleanliness), a
 # full build, the whole test suite, the parallel-sweep + fault-matrix +
-# traced-breakdown + steering determinism tests under the race detector
-# (the concurrent experiment runner must stay race-free AND byte-identical
-# to a sequential run, with or without tracing), and the allocation guard
-# (tracing disabled must keep the simulator's scheduling/dispatch
-# allocation budget).
+# traced-breakdown + steering + PDES determinism tests under the race
+# detector (the concurrent experiment runner and the PDES coordinator must
+# stay race-free AND byte-identical to a sequential run, with or without
+# tracing), and the allocation guard (tracing disabled must keep the
+# simulator's scheduling/dispatch allocation budget).
 verify:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering'
+	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism'
 	$(GO) test -race ./internal/bufpool ./internal/nicdev -run 'TestSlabOwnershipProperty|TestBatchedHandoffOwnership' -count=1
 	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc' -count=1

@@ -24,6 +24,7 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "run the traced per-hop latency breakdown instead of the paper tables")
 	steering := flag.Bool("steering", false, "run the placement-policy steering campaign instead of the paper tables")
 	flag.Parse()
+	defer ef.StartProfiles()()
 
 	o := ef.Options()
 	drivers := map[string]func(experiments.Options) *experiments.Result{
@@ -43,6 +44,10 @@ func main() {
 		// Not part of the default run: the steering campaign measures the
 		// placement-plane extension, not a figure of the paper.
 		"steering": experiments.SteeringSkew,
+		// Not part of the default run: the PDES benches measure the
+		// simulator itself, not the paper. Combine with -pdes N.
+		"pdesfarm":  experiments.PDESFarm,
+		"pdesscale": experiments.PDESScaling,
 	}
 
 	switch {

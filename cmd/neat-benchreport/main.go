@@ -1,8 +1,8 @@
 // Command neat-benchreport produces the committed benchmark snapshot: it
 // runs the micro-benchmarks (ns/op, B/op, allocs/op), times a full
-// `neat-bench -quick` wall-clock run, and writes the result as JSON. The
-// `make bench` target drives it; the output file is committed so PRs carry
-// a before/after record.
+// `neat-bench -quick` wall-clock run, measures the PDES worker-scaling
+// ladder, and writes the result as JSON. The `make bench` target drives
+// it; the output file is committed so PRs carry a before/after record.
 package main
 
 import (
@@ -14,9 +14,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"neat/internal/experiments"
 )
 
 type benchResult struct {
@@ -29,11 +32,24 @@ type benchResult struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// scalingRow is one point of the PDES worker-scaling ladder: the same
+// quick farm simulation (same seed) timed end to end. workers == 0 is the
+// sequential global event loop; speedup is relative to workers == 1 and
+// only exceeds 1.0 when the host has CPUs to spread the workers over.
+type scalingRow struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup_vs_1_worker,omitempty"`
+	TotalKRPS   float64 `json:"total_krps"`
+}
+
 type report struct {
 	Generated     string        `json:"generated"`
 	GoVersion     string        `json:"go_version"`
+	HostCPUs      int           `json:"host_cpus"`
 	Benchmarks    []benchResult `json:"benchmarks"`
 	QuickWallSecs float64       `json:"neat_bench_quick_wall_seconds"`
+	PDESScaling   []scalingRow  `json:"pdes_scaling,omitempty"`
 }
 
 // benchSets lists (package, -bench pattern) pairs to run. The root package
@@ -48,12 +64,13 @@ var benchSets = [][2]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: strings.TrimSpace(runOrDie("go", "version")),
+		HostCPUs:  runtime.NumCPU(),
 	}
 	for _, set := range benchSets {
 		txt := runOrDie("go", "test", "-run", "^$", "-bench", set[1], "-benchmem", set[0])
@@ -70,6 +87,25 @@ func main() {
 	start := time.Now()
 	runOrDie(bin, "-quick")
 	rep.QuickWallSecs = time.Since(start).Seconds()
+
+	points, err := experiments.PDESScalingLadder(
+		experiments.Options{Quick: true, Seed: 1}, []int{0, 1, 2, 4})
+	if err != nil {
+		fatal(fmt.Errorf("pdes scaling ladder: %w", err))
+	}
+	var base float64
+	for _, p := range points {
+		if p.Workers == 1 {
+			base = p.WallSeconds
+		}
+	}
+	for _, p := range points {
+		row := scalingRow{Workers: p.Workers, WallSeconds: p.WallSeconds, TotalKRPS: p.KRPS}
+		if p.Workers >= 1 && base > 0 {
+			row.Speedup = base / p.WallSeconds
+		}
+		rep.PDESScaling = append(rep.PDESScaling, row)
+	}
 
 	j, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -9,29 +9,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"neat"
 	"neat/internal/experiments"
 )
 
 // ExperimentFlags is the standard flag bundle of an experiment-running
-// command: seed, quick mode and sweep concurrency.
+// command: seed, quick mode, sweep concurrency, in-simulation parallelism
+// and profiling outputs.
 type ExperimentFlags struct {
 	Quick    *bool
 	Seed     *int64
 	Parallel *bool
 	Workers  *int
+	PDES     *int
+
+	CPUProfile *string
+	MemProfile *string
 }
 
 // Experiment registers the shared experiment flags on the default
 // FlagSet with the command's default seed. Call flag.Parse() afterwards,
-// then Options().
+// then Options() and StartProfiles().
 func Experiment(defaultSeed int64) *ExperimentFlags {
 	return &ExperimentFlags{
-		Quick:    flag.Bool("quick", false, "shorter warmup/measurement windows and fewer runs"),
-		Seed:     flag.Int64("seed", defaultSeed, "simulation seed"),
-		Parallel: flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)"),
-		Workers:  flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)"),
+		Quick:      flag.Bool("quick", false, "shorter warmup/measurement windows and fewer runs"),
+		Seed:       flag.Int64("seed", defaultSeed, "simulation seed"),
+		Parallel:   flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)"),
+		Workers:    flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)"),
+		PDES:       flag.Int("pdes", 0, "run each simulation in parallel: conservative PDES with N domain workers (0 = sequential event loop)"),
+		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write a heap profile to this file on exit"),
 	}
 }
 
@@ -40,6 +50,38 @@ func (f *ExperimentFlags) Options() experiments.Options {
 	return experiments.Options{
 		Quick: *f.Quick, Seed: *f.Seed,
 		Parallel: *f.Parallel, Workers: *f.Workers,
+		PDESWorkers: *f.PDES,
+	}
+}
+
+// StartProfiles starts the profiles requested by -cpuprofile/-memprofile
+// and returns the function to defer in main(): it stops the CPU profile
+// and writes the heap profile. With neither flag set it does nothing.
+func (f *ExperimentFlags) StartProfiles() func() {
+	if *f.CPUProfile != "" {
+		cf, err := os.Create(*f.CPUProfile)
+		if err != nil {
+			Fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			Fail("cpuprofile: %v", err)
+		}
+	}
+	return func() {
+		if *f.CPUProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *f.MemProfile != "" {
+			mf, err := os.Create(*f.MemProfile)
+			if err != nil {
+				Fail("memprofile: %v", err)
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				Fail("memprofile: %v", err)
+			}
+			mf.Close()
+		}
 	}
 }
 

@@ -248,6 +248,9 @@ func New(s *sim.Simulator, cfg Config) (*System, error) {
 	if cfg.InitialReplicas == 0 {
 		cfg.InitialReplicas = len(cfg.Threads)
 	}
+	// Every component of the system lives on the SYSCALL server's machine;
+	// schedule on that machine's domain (identical to s outside PDES mode).
+	s = cfg.SyscallThread.Machine().Sim()
 	if cfg.RecoveryDelay == 0 {
 		cfg.RecoveryDelay = 500 * sim.Microsecond
 	}

@@ -67,7 +67,8 @@ func Table1(o Options) *Result {
 	}
 	outs := RunParallel(len(rows), o.workers(), func(i int) outcome {
 		b, err := NewBed(BedConfig{
-			Seed: o.seed(), Machine: AMD,
+			PDESWorkers: o.PDESWorkers,
+			Seed:        o.seed(), Machine: AMD,
 			LinuxCores: 12, LinuxTuning: rows[i].tuning,
 			WebLocs:     coreRange(0, 12),
 			ConnsPerGen: conns, ReqPerConn: 1000,
@@ -108,7 +109,8 @@ func amdFig7Config(o Options, kind stack.Kind, replicas, webs, connsPerGen, reqP
 		return Measurement{}, fmt.Errorf("config needs %d cores, AMD has 11 usable", 2+stackCores+webs)
 	}
 	b, err := NewBed(BedConfig{
-		Seed: o.seed(), Machine: AMD, Kind: kind,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        o.seed(), Machine: AMD, Kind: kind,
 		ReplicaSlots: slots,
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(2+stackCores, webs),

@@ -40,6 +40,12 @@ type Options struct {
 	Parallel bool
 	// Workers caps sweep concurrency (default GOMAXPROCS).
 	Workers int
+	// PDESWorkers > 0 runs each simulation itself in parallel: conservative
+	// PDES with that many domain workers (sim.EnablePDES). 0 keeps the
+	// default single global event loop. Note this changes RNG stream
+	// assignment (per-domain streams), so results are comparable across
+	// PDES worker counts but not with the sequential mode.
+	PDESWorkers int
 }
 
 func (o Options) workers() int {
@@ -79,6 +85,10 @@ func (o Options) window() sim.Time {
 type BedConfig struct {
 	Seed    int64
 	Machine MachineKind
+
+	// PDESWorkers > 0 enables conservative parallel simulation with that
+	// many workers (see Options.PDESWorkers). Must be set at bed creation.
+	PDESWorkers int
 
 	// NEaT configuration (used when LinuxCores == 0).
 	Kind         stack.Kind
@@ -147,6 +157,11 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 		cfg.ReqPerConn = 100
 	}
 	n := testbed.New(cfg.Seed)
+	if cfg.PDESWorkers > 0 {
+		// Must precede host creation: machines built afterwards get their
+		// own event-queue domains.
+		n.Sim.EnablePDES(cfg.PDESWorkers)
+	}
 	var tr *trace.Tracer
 	if cfg.Observe {
 		// Attach before anything is built so every delivery carries an
@@ -333,6 +348,13 @@ func (b *Bed) Registry() *metrics.Registry {
 	r.SetCounter("link.frames_from_client", ls.Frames[1])
 	r.SetCounter("link.dropped_from_server", ls.Dropped[0])
 	r.SetCounter("link.dropped_from_client", ls.Dropped[1])
+	if barriers, horizon, doms := b.Net.Sim.PDESStats(); doms != nil {
+		r.SetCounter("sim.pdes.barriers", barriers)
+		r.SetCounter("sim.pdes.horizon_ns", uint64(horizon))
+		for _, d := range doms {
+			r.SetCounter("sim.pdes.domain."+d.Name+".events", d.Events)
+		}
+	}
 	return r
 }
 

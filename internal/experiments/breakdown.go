@@ -43,7 +43,8 @@ func LatencyBreakdown(o Options) *Result {
 	outs := RunParallel(len(configs), o.workers(), func(i int) out {
 		c := configs[i]
 		b, err := NewBed(BedConfig{
-			Seed: o.seed(), Machine: AMD, Kind: c.kind,
+			PDESWorkers: o.PDESWorkers,
+			Seed:        o.seed(), Machine: AMD, Kind: c.kind,
 			ReplicaSlots: c.slots,
 			SyscallLoc:   testbed.ThreadLoc{Core: 1},
 			WebLocs:      coreRange(6, 2),

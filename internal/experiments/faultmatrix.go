@@ -134,7 +134,8 @@ func FaultMatrix(o Options) *Result {
 // observe, and classify the recovery.
 func matrixRun(o Options, seed int64, kind faultinject.Kind, comp string, observe sim.Time) matrixOut {
 	b, err := NewBed(BedConfig{
-		Seed: seed, Machine: AMD, Kind: stack.Multi,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        seed, Machine: AMD, Kind: stack.Multi,
 		ReplicaSlots: testbed.MultiSlots(2, 2),
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(6, 2),
@@ -244,7 +245,8 @@ func FaultTimeline(o Options, seed int64, kind faultinject.Kind, comp string) *R
 		observe = 70 * sim.Millisecond
 	}
 	b, err := NewBed(BedConfig{
-		Seed: seed, Machine: AMD, Kind: stack.Multi,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        seed, Machine: AMD, Kind: stack.Multi,
 		ReplicaSlots: testbed.MultiSlots(2, 2),
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(6, 2),
@@ -303,7 +305,8 @@ func FaultTimeline(o Options, seed int64, kind faultinject.Kind, comp string) *R
 // management-plane statistics.
 func replayCounters(o Options, seed int64, kind faultinject.Kind, comp string, observe sim.Time) *report.Table {
 	b, err := NewBed(BedConfig{
-		Seed: seed, Machine: AMD, Kind: stack.Multi,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        seed, Machine: AMD, Kind: stack.Multi,
 		ReplicaSlots: testbed.MultiSlots(2, 2),
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(6, 2),

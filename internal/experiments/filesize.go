@@ -28,7 +28,8 @@ func fileSizePoint(o Options, size int) (Measurement, error) {
 		}
 	}
 	b, err := NewBed(BedConfig{
-		Seed: o.seed(), Machine: AMD,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        o.seed(), Machine: AMD,
 		LinuxCores: 12, LinuxTuning: fullLinuxTuning,
 		WebLocs:     coreRange(0, 12),
 		ConnsPerGen: conns, ReqPerConn: 1000,

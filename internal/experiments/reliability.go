@@ -65,7 +65,8 @@ func Table3(o Options) *Result {
 // the service did not come back.
 func faultRun(o Options, seed int64, observe sim.Time) (faultinject.Outcome, bool) {
 	b, err := NewBed(BedConfig{
-		Seed: seed, Machine: AMD, Kind: stack.Multi,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        seed, Machine: AMD, Kind: stack.Multi,
 		ReplicaSlots: testbed.MultiSlots(2, 2),
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(6, 2),

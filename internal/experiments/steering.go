@@ -92,7 +92,8 @@ func SteeringSkew(o Options) *Result {
 func steeringRun(o Options, policy steer.PolicyKind, skewed bool) steeringOut {
 	const replicas = 4
 	cfg := BedConfig{
-		Seed: o.seed(), Machine: AMD, Kind: stack.Single,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        o.seed(), Machine: AMD, Kind: stack.Single,
 		ReplicaSlots: testbed.SingleSlots(2, replicas),
 		SyscallLoc:   testbed.ThreadLoc{Core: 1},
 		WebLocs:      coreRange(2+replicas, 4),

@@ -31,7 +31,8 @@ func xeonPoint(o Options, s xeonSeries, webs, conns int) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("xeon series %s: %d webs exceed fill order", s.label, webs)
 	}
 	b, err := NewBed(BedConfig{
-		Seed: o.seed(), Machine: Xeon, Kind: s.kind,
+		PDESWorkers: o.PDESWorkers,
+		Seed:        o.seed(), Machine: Xeon, Kind: s.kind,
 		ReplicaSlots: s.slots,
 		SyscallLoc:   s.syscall,
 		DriverLoc:    s.driver,
@@ -215,7 +216,8 @@ func Table2(o Options) *Result {
 	outs := RunParallel(len(rows), o.workers(), func(i int) t2out {
 		row := rows[i]
 		b, err := NewBed(BedConfig{
-			Seed: o.seed(), Machine: Xeon, Kind: stack.Single,
+			PDESWorkers: o.PDESWorkers,
+			Seed:        o.seed(), Machine: Xeon, Kind: stack.Single,
 			ReplicaSlots: [][]testbed.ThreadLoc{{loc(2, 0)}, {loc(2, 1)}, {loc(3, 0)}},
 			DriverLoc:    loc(0, 0), SyscallLoc: loc(1, 0),
 			WebLocs:     threadFill(4, 5, 6, 7)[:row.webs],

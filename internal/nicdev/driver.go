@@ -49,6 +49,7 @@ type Driver struct {
 
 // NewDriver creates the driver process on the given hardware thread.
 func NewDriver(t *sim.HWThread, name string, nic *NIC, costs DriverCosts) *Driver {
+	nic.bindDomain(t.Machine().Sim())
 	d := &Driver{nic: nic, costs: costs, targets: make([]*sim.Proc, nic.NumQueues())}
 	d.proc = sim.NewProc(t, name, d, sim.ProcConfig{
 		Component:      "driver",

@@ -191,6 +191,15 @@ func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int
 	return n
 }
 
+// bindDomain moves the NIC into the scheduling domain of the machine that
+// hosts it: all its timers and deliveries land on ds, and the link endpoint
+// is bound so cross-domain links switch to mailbox delivery. In the default
+// sequential mode ds is the constructing simulator and nothing changes.
+func (n *NIC) bindDomain(ds *sim.Simulator) {
+	n.sim = ds
+	n.link.BindEndpoint(n.side, ds)
+}
+
 // NumQueues returns the number of RX/TX queue pairs.
 func (n *NIC) NumQueues() int { return len(n.queues) }
 

@@ -23,11 +23,22 @@ type Machine struct {
 }
 
 // NewMachine creates a machine with cores×threadsPerCore hardware threads.
+// On a PDES control plane (EnablePDES) the machine is placed in a fresh
+// event-queue domain: everything derived from the machine — its processes,
+// their contexts, the NIC bound to it — schedules on the domain shard that
+// Machine.Sim() returns, not on s.
 func NewMachine(s *Simulator, name string, cores, threadsPerCore int, freqHz int64) *Machine {
 	if cores <= 0 || threadsPerCore <= 0 {
 		panic("sim: machine needs at least one core and one thread per core")
 	}
-	m := &Machine{sim: s, Name: name, FreqHz: freqHz, HTPenalty: 1.45}
+	if s.parent != nil {
+		panic("sim: machines must be created on the control-plane simulator")
+	}
+	ms := s
+	if s.pdes != nil {
+		ms = s.newDomain()
+	}
+	m := &Machine{sim: ms, Name: name, FreqHz: freqHz, HTPenalty: 1.45}
 	for c := 0; c < cores; c++ {
 		core := &Core{machine: m, Index: c}
 		for t := 0; t < threadsPerCore; t++ {
@@ -36,10 +47,16 @@ func NewMachine(s *Simulator, name string, cores, threadsPerCore int, freqHz int
 		m.cores = append(m.cores, core)
 	}
 	s.machines = append(s.machines, m)
+	if ms != s {
+		ms.machines = append(ms.machines, m)
+	}
 	return m
 }
 
-// Sim returns the owning simulator.
+// Sim returns the simulator the machine schedules on: the owning simulator
+// in the default mode, the machine's domain shard in PDES mode. Components
+// that need machine-local time, randomness or scheduling must go through
+// this (or a Proc/Context), never through a captured control-plane handle.
 func (m *Machine) Sim() *Simulator { return m.sim }
 
 // NumCores returns the number of physical cores.

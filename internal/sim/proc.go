@@ -204,7 +204,7 @@ func NewProc(t *HWThread, name string, h Handler, cfg ProcConfig) *Proc {
 	}
 	p.ctx = Context{Sim: m.sim, Proc: p}
 	t.procs = append(t.procs, p)
-	m.sim.procs = append(m.sim.procs, p)
+	m.sim.addProc(p)
 	return p
 }
 

@@ -8,6 +8,12 @@
 // The simulation is single-threaded and fully deterministic: events are
 // ordered by (time, sequence) and all randomness flows from one seeded
 // source. Running the same experiment twice yields identical results.
+// An opt-in conservative parallel mode (EnablePDES; see pdes.go) splits the
+// run into per-machine event-queue domains advanced in lookahead-bounded
+// windows; it trades the sequential mode's global event order for
+// machine-local determinism (per-domain RNG streams and sequence counters),
+// so its results are reproducible across any worker count but not
+// byte-identical to the sequential mode.
 //
 // The event queue is a calendar queue (timing wheel): near-future events
 // live in fixed time buckets whose slot storage is recycled run after run,
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -263,6 +270,29 @@ func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
 	return e, true
 }
 
+// peekTime returns the timestamp of the earliest pending event without
+// mutating the queue. The wheel invariant (the earliest event overall is in
+// the wheel whenever the wheel is non-empty, and earlier buckets hold
+// strictly earlier times than later ones) makes the first occupied bucket's
+// minimum the global minimum. The PDES coordinator uses this at every
+// barrier to pick the next window start.
+func (q *eventQueue) peekTime() (Time, bool) {
+	if q.count == 0 {
+		if len(q.far) == 0 {
+			return 0, false
+		}
+		return q.far[0].at, true
+	}
+	b := q.wheel[q.firstSlot()]
+	min := b[0].at
+	for i := 1; i < len(b); i++ {
+		if b[i].at < min {
+			min = b[i].at
+		}
+	}
+	return min, true
+}
+
 // Tracer observes the message path of a simulation. It is the hook behind
 // the opt-in observability layer: when a tracer is installed, every process
 // dispatch reports per-message queueing and processing times, and
@@ -293,6 +323,18 @@ type Simulator struct {
 	rng      *rand.Rand
 	machines []*Machine
 	procs    []*Proc
+
+	// procsMu guards the procs registry: in PDES mode replica rebuilds
+	// create processes from inside concurrent domain windows.
+	procsMu sync.Mutex
+
+	// PDES mode (see pdes.go). pdes is the shared coordinator state when
+	// conservative parallel simulation is enabled; parent points from a
+	// domain shard back to the control-plane simulator (nil on the root and
+	// in the default sequential mode); domID indexes the shard.
+	pdes   *pdesCoord
+	parent *Simulator
+	domID  int
 
 	crashWatchers []func(*Proc, error)
 
@@ -336,20 +378,55 @@ func (s *Simulator) Now() Time { return s.now }
 // Rand returns the simulation's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// EventsRun reports how many events have executed so far.
-func (s *Simulator) EventsRun() uint64 { return s.eventsRun }
+// EventsRun reports how many events have executed so far. On a PDES
+// control-plane simulator it totals across all domains; call it only at a
+// barrier (i.e. from driver code between Run calls).
+func (s *Simulator) EventsRun() uint64 {
+	n := s.eventsRun
+	if s.pdes != nil && s.parent == nil {
+		for _, d := range s.pdes.domains {
+			n += d.eventsRun
+		}
+	}
+	return n
+}
+
+// rootSim returns the control-plane simulator: s itself unless s is a PDES
+// domain shard.
+func (s *Simulator) rootSim() *Simulator {
+	if s.parent != nil {
+		return s.parent
+	}
+	return s
+}
 
 // SetTracer installs (or, with nil, removes) the observability hook.
 // Install it before the simulation runs: messages already sitting in
 // process inboxes at install time carry no arrival stamp, and their
 // dispatch batches are skipped by the per-message trace.
-func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+func (s *Simulator) SetTracer(t Tracer) {
+	s.tracer = t
+	if s.pdes != nil && s.parent == nil {
+		// Domains share the control plane's tracer. A tracer is shared
+		// mutable state, so the coordinator serializes domain execution
+		// (workers=1) whenever one is installed.
+		for _, d := range s.pdes.domains {
+			d.tracer = t
+		}
+	}
+}
 
 // Tracer returns the installed observability hook, or nil.
 func (s *Simulator) Tracer() Tracer { return s.tracer }
 
 // schedule clamps t to now, stamps the sequence number and enqueues.
 func (s *Simulator) schedule(t Time, e event) {
+	if s.pdes != nil && s.parent == nil && s.pdes.inWindow.Load() {
+		// Domain code must never schedule on the control plane while
+		// windows execute concurrently: the control queue is only touched
+		// at barriers. Cross-domain influence goes through the wire.
+		panic("sim: control-plane schedule during a parallel window")
+	}
 	if t < s.now {
 		t = s.now
 	}
@@ -434,11 +511,32 @@ func (s *Simulator) run(e event) {
 	}
 }
 
-// Idle reports whether no events remain.
-func (s *Simulator) Idle() bool { return s.q.empty() }
+// Idle reports whether no events remain. On a PDES control plane this
+// inspects every domain queue (flushing cross-domain mailboxes first) and
+// must only be called at a barrier.
+func (s *Simulator) Idle() bool {
+	if s.pdes != nil && s.parent == nil {
+		if !s.q.empty() {
+			return false
+		}
+		s.pdes.flush()
+		for _, d := range s.pdes.domains {
+			if !d.q.empty() {
+				return false
+			}
+		}
+		return true
+	}
+	return s.q.empty()
+}
 
 // Step executes the next event, if any, and reports whether one ran.
+// Not supported on a PDES control plane (there is no single next event);
+// use RunUntil/RunFor/Drain there.
 func (s *Simulator) Step() bool {
+	if s.pdes != nil && s.parent == nil {
+		panic("sim: Step is not supported in PDES mode; use RunUntil")
+	}
 	e, ok := s.q.pop(0, false)
 	if !ok {
 		return false
@@ -448,8 +546,13 @@ func (s *Simulator) Step() bool {
 }
 
 // RunUntil executes events until the clock reaches t or the queue drains.
-// The clock is left at t even if the queue drained earlier.
+// The clock is left at t even if the queue drained earlier. On a PDES
+// control plane this advances all domains in lookahead-bounded windows.
 func (s *Simulator) RunUntil(t Time) {
+	if s.pdes != nil && s.parent == nil {
+		s.runPDES(t, false)
+		return
+	}
 	for {
 		e, ok := s.q.pop(t, true)
 		if !ok {
@@ -468,6 +571,10 @@ func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
 // Drain runs until no events remain. Experiments with self-sustaining load
 // (timers that always re-arm) must use RunUntil instead.
 func (s *Simulator) Drain() {
+	if s.pdes != nil && s.parent == nil {
+		s.runPDES(0, true)
+		return
+	}
 	for s.Step() {
 	}
 }
@@ -485,8 +592,20 @@ func (s *Simulator) notifyCrash(p *Proc, cause error) {
 	}
 }
 
-// Machines returns all machines registered with the simulator.
+// Machines returns all machines registered with the simulator. A PDES
+// domain shard reports only its own machine; the control plane reports all.
 func (s *Simulator) Machines() []*Machine { return s.machines }
 
-// Procs returns all processes ever created, including dead ones.
-func (s *Simulator) Procs() []*Proc { return s.procs }
+// Procs returns all processes ever created, including dead ones. The
+// registry lives on the control-plane simulator; in PDES mode call this only
+// at a barrier.
+func (s *Simulator) Procs() []*Proc { return s.rootSim().procs }
+
+// addProc registers p with the control-plane simulator. Replica rebuilds can
+// create processes from inside concurrent domain windows, hence the lock.
+func (s *Simulator) addProc(p *Proc) {
+	r := s.rootSim()
+	r.procsMu.Lock()
+	r.procs = append(r.procs, p)
+	r.procsMu.Unlock()
+}

@@ -480,3 +480,134 @@ func TestRespawnRevivesEndpointInPlace(t *testing.T) {
 		t.Fatal("Respawn touched a live process")
 	}
 }
+
+// ---- eventQueue edge cases: far-heap migration, bucket boundaries ----
+
+// TestQueueFarWheelMigrationBoundary exercises push/pop exactly around the
+// wheel horizon: events one tick inside, exactly at, and one tick beyond
+// the horizon, plus occupancy-word boundaries, must still pop in (at, seq)
+// order.
+func TestQueueFarWheelMigrationBoundary(t *testing.T) {
+	var q eventQueue
+	horizon := Time(wheelBuckets << bucketShift)
+	times := []Time{
+		horizon - 1,                       // last wheel bucket
+		horizon,                           // first far bucket
+		horizon + 1,                       // far
+		(3 * wheelBuckets) << bucketShift, // far beyond several horizons
+		0,                                 // bucket 0
+		63<<bucketShift + 1,               // last slot of the first occupancy word
+		64 << bucketShift,                 // first slot of the second occupancy word
+		(wheelBuckets - 1) << bucketShift, // last wheel slot
+	}
+	for i, at := range times {
+		q.push(event{at: at, seq: uint64(i + 1)})
+	}
+	var got []Time
+	prevSeq := uint64(0)
+	prev := Time(-1)
+	for !q.empty() {
+		e, ok := q.pop(0, false)
+		if !ok {
+			t.Fatal("pop failed with events pending")
+		}
+		if e.at < prev {
+			t.Fatalf("popped %v after %v", e.at, prev)
+		}
+		if e.at == prev && e.seq < prevSeq {
+			t.Fatalf("same-time events out of seq order: %d after %d", e.seq, prevSeq)
+		}
+		prev, prevSeq = e.at, e.seq
+		got = append(got, e.at)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("popped %d events, want %d", len(got), len(times))
+	}
+}
+
+// TestQueueSameTickSeqAcrossMigration pins FIFO order within one timestamp
+// when some of the tied events migrate from the far heap and others are
+// inserted directly into the wheel after the horizon jumped.
+func TestQueueSameTickSeqAcrossMigration(t *testing.T) {
+	var q eventQueue
+	tick := Time((wheelBuckets + 3) << bucketShift) // beyond the initial horizon
+	q.push(event{at: tick, seq: 1})                 // far
+	q.push(event{at: 100, seq: 2})                  // wheel
+	q.push(event{at: tick, seq: 3})                 // far
+	if e, _ := q.pop(0, false); e.seq != 2 {
+		t.Fatalf("first pop seq = %d, want 2", e.seq)
+	}
+	// The wheel is now empty; the next operations jump the horizon to tick's
+	// bucket and migrate both far events. A direct insertion at the same
+	// tick afterwards must still pop in seq order behind them.
+	if at, ok := q.peekTime(); !ok || at != tick {
+		t.Fatalf("peekTime = %v/%v, want %v", at, ok, tick)
+	}
+	if e, _ := q.pop(0, false); e.seq != 1 {
+		t.Fatalf("second pop seq = %d, want 1", e.seq)
+	}
+	q.push(event{at: tick, seq: 4}) // now within the horizon: wheel-direct
+	if e, _ := q.pop(0, false); e.seq != 3 {
+		t.Fatalf("third pop seq = %d, want 3", e.seq)
+	}
+	if e, _ := q.pop(0, false); e.seq != 4 {
+		t.Fatalf("fourth pop seq = %d, want 4", e.seq)
+	}
+}
+
+// TestQueueInsertBeforeCurParks covers the wheelInsert clamp: a bounded pop
+// can advance cur past bucket(now) without running anything; an insertion
+// for an earlier time must park in the current bucket and still pop first.
+func TestQueueInsertBeforeCurParks(t *testing.T) {
+	var q eventQueue
+	q.push(event{at: 5 << bucketShift, seq: 1})
+	if _, ok := q.pop(10, true); ok {
+		t.Fatal("bounded pop returned an event past its limit")
+	}
+	q.push(event{at: 3, seq: 2}) // bucket(3) = 0 < cur = 5: parks in bucket 5
+	if at, ok := q.peekTime(); !ok || at != 3 {
+		t.Fatalf("peekTime = %v/%v, want 3", at, ok)
+	}
+	if e, _ := q.pop(0, false); e.seq != 2 {
+		t.Fatalf("first pop seq = %d, want the parked earlier event", e.seq)
+	}
+	if e, _ := q.pop(0, false); e.seq != 1 {
+		t.Fatalf("second pop seq = %d, want 1", e.seq)
+	}
+}
+
+// TestQueuePeekTimeMatchesPop drives a randomized workload and checks that
+// peekTime always announces exactly the timestamp the next pop returns.
+func TestQueuePeekTimeMatchesPop(t *testing.T) {
+	var q eventQueue
+	rng := rand.New(rand.NewSource(3))
+	if _, ok := q.peekTime(); ok {
+		t.Fatal("peekTime on an empty queue reported an event")
+	}
+	span := int64(wheelBuckets) << (bucketShift + 2) // 4 horizons worth
+	for i := 0; i < 500; i++ {
+		q.push(event{at: Time(rng.Int63n(span)), seq: uint64(i + 1)})
+	}
+	prev := Time(-1)
+	for n := 0; !q.empty(); n++ {
+		at, ok := q.peekTime()
+		if !ok {
+			t.Fatal("peekTime reported empty with events pending")
+		}
+		e, _ := q.pop(0, false)
+		if e.at != at {
+			t.Fatalf("peekTime = %v but pop returned %v", at, e.at)
+		}
+		if e.at < prev {
+			t.Fatalf("popped %v after %v", e.at, prev)
+		}
+		prev = e.at
+		// Interleave pushes to re-create wheel/far mixtures mid-drain.
+		if n%7 == 0 {
+			q.push(event{at: prev + Time(rng.Int63n(span)), seq: uint64(1000 + n)})
+		}
+	}
+	if _, ok := q.peekTime(); ok {
+		t.Fatal("peekTime on a drained queue reported an event")
+	}
+}

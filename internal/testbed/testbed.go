@@ -33,7 +33,13 @@ type Net struct {
 
 // New creates a network with a 10 Gb/s, 1 µs DAC-like link.
 func New(seed int64) *Net {
-	s := sim.New(seed)
+	return NewOn(sim.New(seed))
+}
+
+// NewOn creates a network on an existing simulator. Farm topologies (many
+// host pairs in one simulation, e.g. the PDES scaling benches) call this
+// once per link, sharing the simulator across all of them.
+func NewOn(s *sim.Simulator) *Net {
 	return &Net{Sim: s, Link: wire.NewLink(s)}
 }
 

@@ -7,6 +7,14 @@
 // The link also exposes fault hooks (loss, duplication, programmable drop
 // filters) used by the TCP retransmission tests and the reliability
 // experiments.
+//
+// In PDES mode the wire is the only channel between machine domains, and
+// its physics provide the lookahead that makes conservative parallel
+// execution correct: no frame can arrive earlier than the minimum
+// serialization time plus the propagation delay after its send
+// (Lookahead()). Cross-domain deliveries go through per-direction
+// mailboxes flushed into the receiving domain's queue at each coordinator
+// barrier.
 package wire
 
 import (
@@ -34,6 +42,14 @@ const MinFrameBytes = 64
 type Link struct {
 	sim *sim.Simulator
 
+	// dom holds each endpoint's scheduling domain. Both default to the
+	// constructing simulator; BindEndpoint rebinds a side to its machine's
+	// domain, and when the two sides land in different domains the link
+	// switches to mailbox delivery (cross == true).
+	dom   [2]*sim.Simulator
+	bound [2]bool
+	cross bool
+
 	// BitsPerSec is the line rate of each direction (default 10 Gb/s).
 	BitsPerSec int64
 	// PropDelay is the one-way propagation delay.
@@ -54,9 +70,18 @@ type Link struct {
 
 	// pend holds frames in flight; slots are recycled through free so a
 	// delivery schedules without allocating (Link implements
-	// sim.EventHandler with the slot index as tag).
-	pend []pendDelivery
-	free []uint32
+	// sim.EventHandler with receiver<<32|slot as tag). Pools are indexed by
+	// the receiving side: in PDES mode each pool is owned by its receiver's
+	// domain (and touched by barrier flushes), never by the sender.
+	pend [2][]pendDelivery
+	free [2][]uint32
+
+	// mbox, indexed by receiving side, parks cross-domain frames between
+	// their send and the next barrier. Each direction has exactly one
+	// writing domain (the sender) and is drained only at barriers, so no
+	// lock is needed: the coordinator's worker hand-off provides the
+	// happens-before edges.
+	mbox [2][]mboxEntry
 
 	stats LinkStats
 }
@@ -64,6 +89,14 @@ type Link struct {
 type pendDelivery struct {
 	frame []byte
 	side  int8
+}
+
+// mboxEntry is one cross-domain frame in flight: its arrival time and
+// payload. Entries are flushed in arrival-time order (stable within equal
+// times, preserving the sender's FIFO order).
+type mboxEntry struct {
+	at    sim.Time
+	frame []byte
 }
 
 // wireHopName gives each direction a fixed trace-hop name, so the traced
@@ -80,11 +113,45 @@ type LinkStats struct {
 
 // NewLink creates a 10 Gb/s link with a 1 µs propagation delay.
 func NewLink(s *sim.Simulator) *Link {
-	return &Link{sim: s, BitsPerSec: 10_000_000_000, PropDelay: sim.Microsecond}
+	return &Link{sim: s, dom: [2]*sim.Simulator{s, s},
+		BitsPerSec: 10_000_000_000, PropDelay: sim.Microsecond}
 }
 
 // Attach connects p as endpoint side (0 or 1).
 func (l *Link) Attach(side int, p Port) { l.ports[side] = p }
+
+// BindEndpoint rebinds endpoint side to the scheduling domain ds (its
+// machine's simulator). The NIC driver calls this when it learns which
+// machine hosts the device. In the default sequential mode every domain is
+// the constructing simulator and this is a no-op; in PDES mode, once both
+// endpoints are bound to different domains, the link registers its
+// lookahead with the coordinator and switches to barrier-flushed mailbox
+// delivery.
+func (l *Link) BindEndpoint(side int, ds *sim.Simulator) {
+	l.dom[side] = ds
+	l.bound[side] = true
+	if l.bound[0] && l.bound[1] && l.dom[0] != l.dom[1] && !l.cross {
+		l.cross = true
+		l.sim.RegisterLookahead(l.Lookahead())
+		l.sim.RegisterBarrierFlush(l.flushMailboxes)
+	}
+}
+
+// Lookahead returns the hard lower bound on the delay between a Transmit on
+// either side and the resulting delivery: the serialization time of a
+// minimum-size frame plus the propagation delay. Every arrival the link
+// ever schedules — including duplicates injected by the fault hook, which
+// land one extra serialization later — is at least this far in the
+// transmitter's future, which is what makes it a safe PDES horizon.
+func (l *Link) Lookahead() sim.Time {
+	minWire := int64(MinFrameBytes + DefaultOverheadBytes)
+	serial := sim.Time(minWire * 8 * int64(sim.Second) / l.BitsPerSec)
+	la := serial + l.PropDelay
+	if la < sim.Nanosecond {
+		la = sim.Nanosecond
+	}
+	return la
+}
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -114,14 +181,15 @@ func (l *Link) Transmit(side int, frame []byte) {
 	}
 	onWire += DefaultOverheadBytes
 
-	now := l.sim.Now()
+	ds := l.dom[side]
+	now := ds.Now()
 	start := now
 	if l.lineFree[side] > start {
 		start = l.lineFree[side]
 	}
 	serial := sim.Time(int64(onWire) * 8 * int64(sim.Second) / l.BitsPerSec)
 	l.lineFree[side] = start + serial
-	if tr := l.sim.Tracer(); tr != nil {
+	if tr := ds.Tracer(); tr != nil {
 		// Wire hop: queueing is the wait for the transmitter to free up,
 		// processing is the serialization time at line rate.
 		tr.OnSpan(wireHopName[side], start-now, serial)
@@ -132,44 +200,83 @@ func (l *Link) Transmit(side int, frame []byte) {
 		bufpool.Put(frame)
 		return // still consumed line time (collision-free model keeps it simple: drop after serialization accounting)
 	}
-	if l.LossProb > 0 && l.sim.Rand().Float64() < l.LossProb {
+	if l.LossProb > 0 && ds.Rand().Float64() < l.LossProb {
 		l.stats.Dropped[side]++
 		bufpool.Put(frame)
 		return
 	}
 
 	arrive := l.lineFree[side] + l.PropDelay
-	l.scheduleDeliver(arrive, side, frame)
-	if l.DupProb > 0 && l.sim.Rand().Float64() < l.DupProb {
+	l.sendOrPark(arrive, side, frame)
+	if l.DupProb > 0 && ds.Rand().Float64() < l.DupProb {
 		dup := bufpool.Get(len(frame))
 		copy(dup, frame)
-		l.scheduleDeliver(arrive+serial, side, dup)
+		l.sendOrPark(arrive+serial, side, dup)
 	}
 }
 
-// scheduleDeliver parks the frame in a recycled pending slot and schedules
-// the closure-free delivery event.
-func (l *Link) scheduleDeliver(at sim.Time, side int, frame []byte) {
-	var slot uint32
-	if n := len(l.free); n > 0 {
-		slot = l.free[n-1]
-		l.free = l.free[:n-1]
-	} else {
-		slot = uint32(len(l.pend))
-		l.pend = append(l.pend, pendDelivery{})
+// sendOrPark routes one delivery: directly onto the receiver's queue in the
+// sequential (same-domain) case, or into the cross-domain mailbox to be
+// flushed at the next barrier.
+func (l *Link) sendOrPark(at sim.Time, side int, frame []byte) {
+	if l.cross {
+		r := 1 - side
+		l.mbox[r] = append(l.mbox[r], mboxEntry{at: at, frame: frame})
+		return
 	}
-	l.pend[slot] = pendDelivery{frame: frame, side: int8(side)}
-	l.sim.AtEvent(at, l, uint64(slot))
+	l.scheduleDeliver(at, side, frame)
+}
+
+// flushMailboxes moves parked cross-domain frames into the receiving
+// domains' queues. It runs at coordinator barriers with all domains
+// quiescent. Entries are insertion-sorted by arrival time (they arrive
+// nearly sorted: only duplicate injections land out of order), which keeps
+// the merge stable and allocation-free.
+func (l *Link) flushMailboxes() {
+	for r := 0; r < 2; r++ {
+		es := l.mbox[r]
+		if len(es) == 0 {
+			continue
+		}
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].at < es[j-1].at; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+		for i := range es {
+			l.scheduleDeliver(es[i].at, 1-r, es[i].frame)
+			es[i].frame = nil
+		}
+		l.mbox[r] = es[:0]
+	}
+}
+
+// scheduleDeliver parks the frame in a recycled pending slot of the
+// receiving side's pool and schedules the closure-free delivery event on
+// the receiver's domain.
+func (l *Link) scheduleDeliver(at sim.Time, side int, frame []byte) {
+	r := 1 - side
+	var slot uint32
+	if n := len(l.free[r]); n > 0 {
+		slot = l.free[r][n-1]
+		l.free[r] = l.free[r][:n-1]
+	} else {
+		slot = uint32(len(l.pend[r]))
+		l.pend[r] = append(l.pend[r], pendDelivery{})
+	}
+	l.pend[r][slot] = pendDelivery{frame: frame, side: int8(side)}
+	l.dom[r].AtEvent(at, l, uint64(r)<<32|uint64(slot))
 }
 
 // OnEvent completes the pending delivery in slot tag (sim.EventHandler).
 func (l *Link) OnEvent(tag uint64) {
-	p := &l.pend[tag]
+	r := tag >> 32
+	p := &l.pend[r][uint32(tag)]
 	frame, side := p.frame, int(p.side)
 	p.frame = nil
-	l.free = append(l.free, uint32(tag))
+	l.free[r] = append(l.free[r], uint32(tag))
 	l.stats.Delivered[side]++
-	l.ports[1-side].Receive(frame)
+	l.ports[r].Receive(frame)
 }
 
 // Utilization returns the fraction of capacity used by direction side over

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"math/rand"
 	"testing"
 
 	"neat/internal/sim"
@@ -157,5 +158,70 @@ func TestUtilization(t *testing.T) {
 	u := l.Utilization(0, start, since)
 	if u < 0.45 || u > 0.55 {
 		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestLookaheadValue(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s)
+	// Minimum on-wire frame: 64 B padded + 24 B overhead = 88 B at 10 Gb/s
+	// is 70.4 ns, truncated to 70 ns, plus the 1 µs propagation delay.
+	if got, want := l.Lookahead(), sim.Time(1070); got != want {
+		t.Fatalf("Lookahead() = %v, want %v", got, want)
+	}
+	// The bound never collapses to zero, even on an absurdly fast link.
+	l.BitsPerSec = 1 << 62
+	l.PropDelay = 0
+	if got := l.Lookahead(); got < sim.Nanosecond {
+		t.Fatalf("Lookahead() = %v, want >= 1ns", got)
+	}
+}
+
+// TestLookaheadLowerBound pins the PDES safety property: every delivery the
+// link ever schedules — tiny padded frames, frames queued behind a busy
+// transmitter, even duplicates injected by the fault hook — arrives at
+// least Lookahead() after its Transmit call.
+func TestLookaheadLowerBound(t *testing.T) {
+	s := sim.New(7)
+	l := NewLink(s)
+	l.DupProb = 1 // every frame also delivers an (earlier-scheduled) duplicate
+	dst := [2]*capturePort{{s: s}, {s: s}}
+	l.Attach(0, dst[0])
+	l.Attach(1, dst[1])
+	la := l.Lookahead()
+
+	// Frames are tagged with their send index in byte 0 so arrivals can be
+	// matched to their Transmit time. Bursty schedule: many sends land while
+	// the transmitter is still serializing earlier frames.
+	rng := rand.New(rand.NewSource(42))
+	sendAt := make([]sim.Time, 120)
+	at := sim.Time(0)
+	for i := 0; i < len(sendAt); i++ {
+		i := i
+		side := rng.Intn(2)
+		size := 1 + rng.Intn(1800) // includes sub-minimum frames (padded on the wire)
+		at += sim.Time(rng.Intn(2000))
+		s.At(at, func() {
+			f := make([]byte, size)
+			f[0] = byte(i)
+			sendAt[i] = s.Now()
+			l.Transmit(side, f)
+		})
+	}
+	s.Drain()
+
+	delivered := 0
+	for r := 0; r < 2; r++ {
+		for j, f := range dst[r].frames {
+			delivered++
+			idx := int(f[0])
+			if arr := dst[r].times[j]; arr < sendAt[idx]+la {
+				t.Fatalf("frame %d arrived at %v, sent at %v: below lookahead %v",
+					idx, arr, sendAt[idx], la)
+			}
+		}
+	}
+	if want := 2 * len(sendAt); delivered != want {
+		t.Fatalf("delivered %d frames, want %d (original + duplicate each)", delivered, want)
 	}
 }
