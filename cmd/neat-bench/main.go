@@ -8,6 +8,7 @@
 //	neat-bench [-quick] [-seed N] [-only table1|fig4|fig5|fig7|fig9|fig11|fig12|table2|table3|fig13]
 //	neat-bench -breakdown          # traced run: per-hop latency breakdown tables
 //	neat-bench -steering           # placement policy × workload skew comparison
+//	neat-bench -attack             # hostile clients vs guarded replicas
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (table1, fig4, fig5, fig7, fig9, fig11, fig12, table2, table3, fig13)")
 	breakdown := flag.Bool("breakdown", false, "run the traced per-hop latency breakdown instead of the paper tables")
 	steering := flag.Bool("steering", false, "run the placement-policy steering campaign instead of the paper tables")
+	attack := flag.Bool("attack", false, "run the goodput-under-attack campaign instead of the paper tables")
 	flag.Parse()
 	defer ef.StartProfiles()()
 
@@ -44,6 +46,9 @@ func main() {
 		// Not part of the default run: the steering campaign measures the
 		// placement-plane extension, not a figure of the paper.
 		"steering": experiments.SteeringSkew,
+		// Not part of the default run: the adversarial campaign measures
+		// the resource-guard extension under hostile clients.
+		"attack": experiments.GoodputUnderAttack,
 		// Not part of the default run: the PDES benches measure the
 		// simulator itself, not the paper. Combine with -pdes N.
 		"pdesfarm":  experiments.PDESFarm,
@@ -55,6 +60,8 @@ func main() {
 		cliutil.Emit(experiments.LatencyBreakdown(o))
 	case *steering:
 		cliutil.Emit(experiments.SteeringSkew(o))
+	case *attack:
+		cliutil.Emit(experiments.GoodputUnderAttack(o))
 	case *only != "":
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {

@@ -9,6 +9,11 @@
 // driver, syscall) under watchdog failure detection, reported as an
 // extended Table 3.
 //
+// -attack runs the adversarial-workload campaign: every hostile-client
+// archetype (slowloris, SYN flood, connection churn) aimed at one of four
+// guarded replicas, under both placement policies, reporting clean-replica
+// goodput retention.
+//
 // -replay re-executes a single matrix run verbosely for debugging: the
 // same seed reproduces the run bit for bit, and the report dumps the
 // watchdog and management-plane counters the campaign aggregates away.
@@ -22,6 +27,7 @@
 //
 //	neat-faults [-runs N] [-seed N] [-quick]           Table 3 (§6.6)
 //	neat-faults -matrix [-seed N] [-quick]             fault matrix
+//	neat-faults -attack [-seed N] [-quick]             goodput under attack
 //	neat-faults -replay SEED [-kind K] [-comp C]       verbose single run
 //	neat-faults -timeline SEED [-kind K] [-comp C]     annotated event timeline
 package main
@@ -39,6 +45,7 @@ func main() {
 	ef := cliutil.Experiment(1)
 	runs := flag.Int("runs", 100, "number of failing runs to collect (Table 3 mode)")
 	matrix := flag.Bool("matrix", false, "run the extended kind × component fault matrix")
+	attack := flag.Bool("attack", false, "run the goodput-under-attack campaign (hostile clients vs guarded replicas)")
 	replay := flag.Int64("replay", 0, "re-run one matrix run with this seed, verbosely")
 	timeline := flag.Int64("timeline", 0, "re-run one matrix run with this seed and print the lifecycle-event timeline")
 	kindName := flag.String("kind", "crash", "fault kind for -replay/-timeline: crash, hang or storm")
@@ -57,6 +64,9 @@ func main() {
 			return
 		}
 		cliutil.Emit(experiments.FaultReplay(o, *replay, kind, *comp))
+	case *attack:
+		cliutil.Emit(experiments.GoodputUnderAttack(o))
+		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)
 	case *matrix:
 		cliutil.Emit(experiments.FaultMatrix(o))
 		fmt.Printf("(campaign executed with quick=%v)\n", o.Quick)

@@ -36,6 +36,12 @@ type LoadgenConfig struct {
 	// like httperf, the connection's replies are then discarded from the
 	// measured rate.
 	Timeout sim.Time
+	// Ports optionally fixes each new connection's local port (see
+	// PortPlan). Fixing the 4-tuple fixes the flow hash, so a plan aims
+	// the generator's flows at one chosen replica under hash placement —
+	// the adversarial campaign uses this to attribute goodput per
+	// replica. Nil keeps ephemeral ports.
+	Ports PortPlan
 	// CyclesPerRequest is the client-side application cost.
 	CyclesPerRequest int64
 }
@@ -188,7 +194,11 @@ func (lg *Loadgen) openConn(ctx *sim.Context) {
 	lg.gen++
 	lg.stats.ConnsOpened++
 	c := &lgConn{lg: lg, gen: lg.gen, expect: -1}
-	s := lg.lib.Connect(ctx, lg.cfg.Target, lg.cfg.Port)
+	var lp uint16
+	if lg.cfg.Ports != nil {
+		lp = lg.cfg.Ports()
+	}
+	s := lg.lib.ConnectFrom(ctx, lg.cfg.Target, lg.cfg.Port, lp)
 	c.sock = s
 	s.Ctx = c
 	s.OnConnect = func(ctx *sim.Context, err error) {
@@ -334,19 +344,28 @@ func (lg *Loadgen) connError(ctx *sim.Context, c *lgConn, timeout bool) {
 }
 
 // parseContentLength extracts the Content-Length header value (or 0).
+// Field names are case-insensitive and the value tolerates optional
+// whitespace after the colon (RFC 9110 §5.1, §5.6.3), so responses from
+// stacks that emit "content-length:5" parse the same as the canonical
+// form.
 func parseContentLength(head []byte) int {
-	const key = "Content-Length: "
-	i := bytes.Index(head, []byte(key))
-	if i < 0 {
-		return 0
+	for len(head) > 0 {
+		line := head
+		if i := bytes.Index(head, []byte("\r\n")); i >= 0 {
+			line, head = head[:i], head[i+2:]
+		} else {
+			head = nil
+		}
+		i := bytes.IndexByte(line, ':')
+		if i < 0 || !bytes.EqualFold(line[:i], []byte("Content-Length")) {
+			continue
+		}
+		v := bytes.TrimRight(bytes.TrimLeft(line[i+1:], " \t"), " \t")
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			return 0
+		}
+		return n
 	}
-	rest := head[i+len(key):]
-	if j := bytes.IndexByte(rest, '\r'); j >= 0 {
-		rest = rest[:j]
-	}
-	n, err := strconv.Atoi(string(rest))
-	if err != nil {
-		return 0
-	}
-	return n
+	return 0
 }

@@ -1,0 +1,34 @@
+package app
+
+import "testing"
+
+// TestParseContentLength covers the RFC 9110 tolerances: field names are
+// case-insensitive and optional whitespace around the value is ignored.
+// Regression: the parser used to require the literal "Content-Length: "
+// byte sequence and returned 0 for any other capitalization or spacing.
+func TestParseContentLength(t *testing.T) {
+	cases := []struct {
+		name string
+		head string
+		want int
+	}{
+		{"canonical", "HTTP/1.1 200 OK\r\nContent-Length: 512\r\nConnection: keep-alive", 512},
+		{"lowercase", "HTTP/1.1 200 OK\r\ncontent-length: 512", 512},
+		{"uppercase", "HTTP/1.1 200 OK\r\nCONTENT-LENGTH: 7", 7},
+		{"mixed", "HTTP/1.1 200 OK\r\ncOnTeNt-LeNgTh: 42", 42},
+		{"no space", "HTTP/1.1 200 OK\r\nContent-Length:99", 99},
+		{"extra spaces", "HTTP/1.1 200 OK\r\nContent-Length:   1234", 1234},
+		{"tab", "HTTP/1.1 200 OK\r\nContent-Length:\t88", 88},
+		{"trailing space", "HTTP/1.1 200 OK\r\nContent-Length: 64 ", 64},
+		{"zero", "HTTP/1.1 204 No Content\r\nContent-Length: 0", 0},
+		{"absent", "HTTP/1.1 200 OK\r\nConnection: close", 0},
+		{"garbage value", "HTTP/1.1 200 OK\r\nContent-Length: twelve", 0},
+		{"name is a prefix", "HTTP/1.1 200 OK\r\nContent-Length-Hint: 5", 0},
+		{"later header wins search", "HTTP/1.1 200 OK\r\nX-Note: Content-Length is fun\r\nContent-Length: 31", 31},
+	}
+	for _, tc := range cases {
+		if got := parseContentLength([]byte(tc.head)); got != tc.want {
+			t.Errorf("%s: parseContentLength(%q) = %d, want %d", tc.name, tc.head, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package app
+
+import (
+	"bytes"
+	"strconv"
+
+	"neat/internal/bufpool"
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/socketlib"
+)
+
+// StreamerConfig configures a streaming HTTP responder: a server whose
+// responses are produced over time (live feeds, long polls, media
+// segments) rather than from a cached file. Where HTTPD pushes a complete
+// body as fast as send-space allows, the Streamer paces fixed-size chunks
+// on a timer, so its connections are long-lived and mostly idle on the
+// receive side — exactly the traffic shape a slow-read guard must NOT
+// confuse with a Slowloris attack (the client's ACKs count as activity).
+type StreamerConfig struct {
+	Port    uint16
+	Backlog int
+	// ChunkSize is the bytes per paced chunk (default 8 KiB).
+	ChunkSize int
+	// ChunkEvery is the pacing interval (default 1 ms).
+	ChunkEvery sim.Time
+	// ChunksPerResponse is the stream length; the response advertises
+	// ChunkSize*ChunksPerResponse as its Content-Length (default 32).
+	ChunksPerResponse int
+	// CyclesPerChunk is the application cost of producing one chunk.
+	CyclesPerChunk int64
+}
+
+// StreamerStats counts streamer activity.
+type StreamerStats struct {
+	Accepted  uint64
+	Streams   uint64 // responses started
+	Completed uint64 // responses fully delivered
+	BytesOut  uint64
+	Resets    uint64
+	Closed    uint64
+}
+
+// Streamer is one streaming-responder process.
+type Streamer struct {
+	proc  *sim.Proc
+	lib   *socketlib.Lib
+	cfg   StreamerConfig
+	ready bool
+	stats StreamerStats
+	arena bufpool.Arena
+}
+
+type streamConn struct {
+	srv   *Streamer
+	sock  *socketlib.Socket
+	inbuf []byte
+	gen   uint64
+	// remaining counts chunks still to produce; stalled marks a stream
+	// waiting for send space instead of the pacing timer.
+	remaining int
+	stalled   bool
+	done      bool
+}
+
+type streamTick struct {
+	c   *streamConn
+	gen uint64
+}
+
+// NewStreamer creates a streaming responder on thread th. Call Start to
+// listen.
+func NewStreamer(th *sim.HWThread, name string, syscallProc *sim.Proc, ipcCosts ipc.Costs, cfg StreamerConfig) *Streamer {
+	if cfg.Backlog == 0 {
+		cfg.Backlog = 1024
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = 8 << 10
+	}
+	if cfg.ChunkEvery == 0 {
+		cfg.ChunkEvery = sim.Millisecond
+	}
+	if cfg.ChunksPerResponse == 0 {
+		cfg.ChunksPerResponse = 32
+	}
+	if cfg.CyclesPerChunk == 0 {
+		cfg.CyclesPerChunk = 4000
+	}
+	s := &Streamer{cfg: cfg}
+	s.proc = sim.NewProc(th, name, s, sim.ProcConfig{
+		Component: "app", WakeCycles: 1400, HaltCycles: 900, DispatchCycles: 60,
+	})
+	s.lib = socketlib.New(s.proc, syscallProc, ipcCosts)
+	return s
+}
+
+// Proc returns the server process.
+func (s *Streamer) Proc() *sim.Proc { return s.proc }
+
+// Ready reports whether the listen completed.
+func (s *Streamer) Ready() bool { return s.ready }
+
+// Stats returns a snapshot of the counters.
+func (s *Streamer) Stats() StreamerStats { return s.stats }
+
+// Start begins listening.
+func (s *Streamer) Start() { s.proc.Deliver(streamStartMsg{}) }
+
+type streamStartMsg struct{}
+
+// HandleMessage implements sim.Handler.
+func (s *Streamer) HandleMessage(ctx *sim.Context, msg sim.Message) {
+	if s.lib.HandleEvent(ctx, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case streamStartMsg:
+		ln := s.lib.Listen(ctx, s.cfg.Port, s.cfg.Backlog)
+		ln.OnReady = func(ctx *sim.Context, err error) { s.ready = err == nil }
+		ln.OnAccept = s.accept
+	case streamTick:
+		if m.c.gen == m.gen && !m.c.done && !m.c.stalled {
+			s.emit(ctx, m.c)
+		}
+	}
+}
+
+func (s *Streamer) accept(ctx *sim.Context, sock *socketlib.Socket) {
+	s.stats.Accepted++
+	c := &streamConn{srv: s, sock: sock}
+	sock.Ctx = c
+	sock.OnData = c.onData
+	sock.OnSendSpace = c.onSendSpace
+	sock.OnClosed = func(ctx *sim.Context, reset bool, err error) {
+		if reset {
+			s.stats.Resets++
+		}
+		s.stats.Closed++
+		c.done = true
+	}
+}
+
+// onData waits for one request head, then starts the paced stream.
+func (c *streamConn) onData(ctx *sim.Context, data []byte, eof bool) {
+	if c.done {
+		return
+	}
+	s := c.srv
+	if c.remaining == 0 && c.gen == 0 {
+		c.inbuf = append(c.inbuf, data...)
+		if bytes.Index(c.inbuf, []byte("\r\n\r\n")) < 0 {
+			if eof {
+				c.done = true
+				c.sock.Close(ctx)
+			}
+			return
+		}
+		c.inbuf = nil
+		s.stats.Streams++
+		c.gen++
+		c.remaining = s.cfg.ChunksPerResponse
+		total := s.cfg.ChunkSize * s.cfg.ChunksPerResponse
+		head := "HTTP/1.1 200 OK\r\nContent-Length: " + strconv.Itoa(total) +
+			"\r\nConnection: close\r\n\r\n"
+		s.stats.BytesOut += uint64(len(head))
+		c.sock.SendRef(ctx, s.arena.AllocString(head))
+		s.emit(ctx, c)
+		return
+	}
+	if eof {
+		c.done = true
+		c.sock.Close(ctx)
+	}
+}
+
+// emit produces one chunk and re-arms the pacing timer (or parks the
+// stream until send space returns).
+func (s *Streamer) emit(ctx *sim.Context, c *streamConn) {
+	if c.done || c.remaining == 0 {
+		return
+	}
+	if c.sock.Credit() < s.cfg.ChunkSize {
+		// Receiver is slower than the pace: resume from OnSendSpace.
+		c.stalled = true
+		return
+	}
+	ctx.Charge(s.cfg.CyclesPerChunk)
+	ref := s.arena.Alloc(s.cfg.ChunkSize)
+	FillSynthetic(ref.B)
+	c.sock.SendRef(ctx, ref)
+	s.stats.BytesOut += uint64(s.cfg.ChunkSize)
+	c.remaining--
+	if c.remaining == 0 {
+		s.stats.Completed++
+		c.done = true
+		c.sock.Close(ctx)
+		return
+	}
+	ctx.TimerAfter(s.cfg.ChunkEvery, streamTick{c: c, gen: c.gen})
+}
+
+func (c *streamConn) onSendSpace(ctx *sim.Context, avail int) {
+	if c.stalled && !c.done {
+		c.stalled = false
+		c.srv.emit(ctx, c)
+	}
+}

@@ -166,7 +166,7 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		h.charge(h.costs.TCPConnSetup + h.costs.SyscallOp)
 		h.lock()
 		h.stats.SyscallsIn++
-		c, err := h.tcp.Connect(m.Addr, m.Port)
+		c, err := h.tcp.ConnectFrom(m.Addr, m.Port, m.LocalPort)
 		if err != nil {
 			h.sendApp(m.App, stack.EvConnected{ReqID: m.ReqID, Stack: h.curProc, Err: err})
 			return

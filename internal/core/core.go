@@ -402,6 +402,25 @@ func (sys *System) Metrics() *metrics.Registry {
 	r.SetCounter("syscall.connects", ss.Connects)
 	r.SetCounter("syscall.udp_binds", ss.UDPBinds)
 
+	// Resource-guard activity, summed across live replicas (all zero
+	// unless SystemConfig.Guard enables a guard). The split between
+	// attacked and clean replicas shows up in the per-replica connection
+	// gauges; the totals here are what the goodput-under-attack campaign
+	// asserts on.
+	var synShed, slowReaped, srcCapped uint64
+	for _, sl := range sys.slots {
+		if sl.replica == nil {
+			continue
+		}
+		ts := sl.replica.TCP().Stats()
+		synShed += ts.SynShed
+		slowReaped += ts.SlowlorisReaped
+		srcCapped += ts.SrcCapped
+	}
+	r.SetCounter("stack.syn_shed", synShed)
+	r.SetCounter("stack.slowloris_reaped", slowReaped)
+	r.SetCounter("stack.src_capped", srcCapped)
+
 	// Per-replica live connection gauges: the load signal the least-loaded
 	// steering policy balances on, exported so experiments can report
 	// placement imbalance.

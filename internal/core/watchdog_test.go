@@ -340,3 +340,46 @@ func TestQuarantineAllReplicasEntersDropAll(t *testing.T) {
 		t.Fatalf("SYNs not dropped in hardware: RxDropNoRSS=%d want >=%d", got, drops+3)
 	}
 }
+
+// TestEscalationWindowResetsAfterCleanRecovery is the regression guard for
+// the sliding failure window in the escalation ladder: a slot that
+// recovers cleanly and then runs clean for longer than WatchdogConfig.Window
+// has its failure history pruned, so widely spaced failures are each
+// treated as a first strike — component restart only, never rebuild or
+// quarantine — no matter how many accumulate over a long run. Failures
+// packed inside one window must still climb the ladder to quarantine.
+func TestEscalationWindowResetsAfterCleanRecovery(t *testing.T) {
+	b := newWatchdogBed(t, stack.Multi, testbed.MultiSlots(2, 2), 2)
+	victim := b.sys.Replicas()[0]
+
+	// Eight failures, each spaced well beyond the default 50 ms window:
+	// every escalation sees a pruned history and stays on the first rung.
+	for i := 0; i < 8; i++ {
+		if p := victim.EntryProc(); !p.Dead() {
+			p.Crash(sim.ErrKilled)
+		}
+		b.net.Sim.RunFor(100 * sim.Millisecond)
+	}
+	st := b.sys.Stats()
+	if b.sys.SlotStates()[0] == core.SlotQuarantined || st.SlotsQuarantined != 0 {
+		t.Fatalf("spaced failures quarantined the slot: %+v", st)
+	}
+	if st.ReplicaRebuilds != 0 {
+		t.Fatalf("spaced failures reached the rebuild rung: %+v", st)
+	}
+	if st.Recoveries < 8 {
+		t.Fatalf("recoveries = %d, want >= 8 (one per spaced failure)", st.Recoveries)
+	}
+
+	// The history is forgotten, not the mechanism: failures packed inside
+	// one window still converge to quarantine.
+	for i := 0; i < 10 && b.sys.SlotStates()[0] != core.SlotQuarantined; i++ {
+		if p := victim.EntryProc(); !p.Dead() {
+			p.Crash(sim.ErrKilled)
+		}
+		b.net.Sim.RunFor(10 * sim.Millisecond)
+	}
+	if b.sys.SlotStates()[0] != core.SlotQuarantined {
+		t.Fatal("tight failures no longer quarantine after the spaced run")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"neat/internal/steer"
+)
+
+// TestAttackContainment is the campaign's acceptance criterion: with the
+// attack aimed at replica 0 under hash placement, the three clean replicas
+// retain at least 90 % of their attack-free goodput, and the guard that
+// defeats each attack actually engaged.
+func TestAttackContainment(t *testing.T) {
+	o := Options{Quick: true}
+	base := attackRun(o, attackNone, steer.PolicyHash)
+	if base.err != nil {
+		t.Fatal(base.err)
+	}
+	if base.cleanKRPS <= 0 || base.total.Errors != 0 {
+		t.Fatalf("attack-free cell unhealthy: %+v", base.total)
+	}
+	for _, kind := range []attackKind{attackSlowloris, attackSynFlood, attackChurn} {
+		out := attackRun(o, kind, steer.PolicyHash)
+		if out.err != nil {
+			t.Fatalf("%v: %v", kind, out.err)
+		}
+		if out.cleanKRPS < 0.9*base.cleanKRPS {
+			t.Fatalf("%v: clean replicas retained %.1f of %.1f krps (< 90%%)",
+				kind, out.cleanKRPS, base.cleanKRPS)
+		}
+		switch kind {
+		case attackSlowloris:
+			if out.guard.SlowlorisReaped == 0 {
+				t.Fatalf("%v: header-progress guard never reaped", kind)
+			}
+		case attackSynFlood:
+			if out.guard.SynShed == 0 {
+				t.Fatalf("%v: bounded SYN backlog never shed", kind)
+			}
+			if out.guard.DroppedSynBacklog != 0 {
+				t.Fatalf("%v: listener backlog overflowed %d times despite the guard",
+					kind, out.guard.DroppedSynBacklog)
+			}
+		}
+	}
+}
+
+// TestAttackDeterminism pins the campaign's PDES contract: the same cell
+// produces identical results for any worker count >= 1.
+func TestAttackDeterminism(t *testing.T) {
+	cell := func(workers int) string {
+		out := attackRun(Options{Quick: true, PDESWorkers: workers},
+			attackSynFlood, steer.PolicyHash)
+		if out.err != nil {
+			t.Fatalf("workers=%d: %v", workers, out.err)
+		}
+		return fmt.Sprintf("%+v", out)
+	}
+	if c1, c4 := cell(1), cell(4); c1 != c4 {
+		t.Fatalf("attack cell differs between 1 and 4 workers:\n%s\nvs\n%s", c1, c4)
+	}
+}

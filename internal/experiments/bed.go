@@ -110,6 +110,11 @@ type BedConfig struct {
 	// legacy RSS hash, no drain deadline).
 	Steering steer.Config
 
+	// Guard configures the server replicas' per-replica resource guards
+	// (zero value: no guards — the paper's configuration). Client stacks
+	// are never guarded.
+	Guard tcpeng.GuardConfig
+
 	// Workload.
 	WebLocs     []testbed.ThreadLoc // lighttpd i at WebLocs[i], port 8000+i
 	FileSize    int                 // default 20 bytes
@@ -119,6 +124,10 @@ type BedConfig struct {
 	ThinkTime   sim.Time
 	TSO         bool
 	Timeout     sim.Time
+	// GenPorts optionally gives load generator i a local-port plan (see
+	// app.PortPlan) — the adversarial campaign pins each generator's
+	// flows to one replica this way. Nil entries keep ephemeral ports.
+	GenPorts []app.PortPlan
 
 	// Observe attaches the observability layer: a message tracer on the
 	// whole simulated network plus the server system's lifecycle event
@@ -184,6 +193,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 
 	tcp := tcpeng.DefaultConfig()
 	tcp.TSO = cfg.TSO
+	tcp.Guard = cfg.Guard
 
 	b := &Bed{Net: n, Server: server, Client: client, Trace: tr}
 
@@ -251,12 +261,16 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 
 	// Load generators: one per web instance/port.
 	for i := range cfg.WebLocs {
+		lcfg := app.LoadgenConfig{
+			Target: server.IP, Port: uint16(8000 + i), URI: "/file",
+			Conns: cfg.ConnsPerGen, ReqPerConn: cfg.ReqPerConn,
+			ThinkTime: cfg.ThinkTime, Timeout: cfg.Timeout,
+		}
+		if i < len(cfg.GenPorts) {
+			lcfg.Ports = cfg.GenPorts[i]
+		}
 		lg := app.NewLoadgen(client.AppThread(2+len(cfg.WebLocs)+i), fmt.Sprintf("httperf%d", i),
-			clisys.SyscallProc(), ipc.DefaultCosts(), app.LoadgenConfig{
-				Target: server.IP, Port: uint16(8000 + i), URI: "/file",
-				Conns: cfg.ConnsPerGen, ReqPerConn: cfg.ReqPerConn,
-				ThinkTime: cfg.ThinkTime, Timeout: cfg.Timeout,
-			})
+			clisys.SyscallProc(), ipc.DefaultCosts(), lcfg)
 		b.Gens = append(b.Gens, lg)
 	}
 	return b, nil

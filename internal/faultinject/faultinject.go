@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"neat/internal/core"
+	"neat/internal/metrics"
 	"neat/internal/sim"
 	"neat/internal/stack"
 )
@@ -128,6 +129,10 @@ type Injector struct {
 	rng        *rand.Rand
 	components []Component
 	total      float64
+	// injected counts initial injections by kind (storm repeats applied
+	// via ReInject re-trigger an already-counted fault and are not
+	// re-counted — the mix records decisions, not crash events).
+	injected [3]uint64
 }
 
 // New creates an injector drawing from rng (pass the simulation's).
@@ -193,8 +198,27 @@ func (inj *Injector) Inject(sys *core.System) (Injection, bool) {
 		Proc:          target,
 		ExpectTCPLoss: r.Kind() == stack.Single || comp == "tcp",
 	}
+	inj.injected[KindCrash]++
 	target.Crash(ErrInjected)
 	return injection, true
+}
+
+// Injected returns how many faults of kind k this injector has injected
+// (Inject counts as KindCrash; ReInject repeats are not re-counted).
+func (inj *Injector) Injected(k Kind) uint64 {
+	if k < 0 || int(k) >= len(inj.injected) {
+		return 0
+	}
+	return inj.injected[k]
+}
+
+// PublishMetrics exports the per-kind injection counters into a metrics
+// registry as faultinject.injected.crash|hang|storm, so campaigns can
+// assert the injection mix they actually applied.
+func (inj *Injector) PublishMetrics(r *metrics.Registry) {
+	r.SetCounter("faultinject.injected.crash", inj.injected[KindCrash])
+	r.SetCounter("faultinject.injected.hang", inj.injected[KindHang])
+	r.SetCounter("faultinject.injected.storm", inj.injected[KindStorm])
 }
 
 // Target resolves the process currently implementing comp: the singleton
@@ -247,6 +271,7 @@ func (inj *Injector) InjectKind(sys *core.System, kind Kind, comp string) (Injec
 		Proc:          target,
 		ExpectTCPLoss: r != nil && (r.Kind() == stack.Single || comp == "tcp"),
 	}
+	inj.injected[kind]++
 	if kind == KindHang {
 		target.Hang()
 	} else {

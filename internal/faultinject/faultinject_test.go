@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"neat/internal/core"
+	"neat/internal/metrics"
 	"neat/internal/stack"
 	"neat/internal/testbed"
 )
@@ -159,5 +160,51 @@ func TestCustomComponents(t *testing.T) {
 	}
 	if inj.TCPShare() != 0 {
 		t.Fatal("no tcp component should mean zero share")
+	}
+}
+
+func TestInjectedCountersByKind(t *testing.T) {
+	net, sys := drainableBed(t)
+	inj := New(net.Sim.Rand(), MatrixComponents)
+
+	if _, ok := inj.Inject(sys); !ok {
+		t.Fatal("Inject failed")
+	}
+	if _, ok := inj.InjectKind(sys, KindCrash, "ip"); !ok {
+		t.Fatal("crash injection failed")
+	}
+	if _, ok := inj.InjectKind(sys, KindHang, "driver"); !ok {
+		t.Fatal("hang injection failed")
+	}
+	si, ok := inj.InjectKind(sys, KindStorm, "syscall")
+	if !ok {
+		t.Fatal("storm injection failed")
+	}
+	// Storm repeats re-trigger the counted fault; the mix must not move.
+	sys.Syscall().Restart()
+	if !ReInject(sys, si) {
+		t.Fatal("ReInject missed the respawned incarnation")
+	}
+
+	if got := inj.Injected(KindCrash); got != 2 {
+		t.Fatalf("crash count = %d, want 2 (Inject counts as crash)", got)
+	}
+	if got := inj.Injected(KindHang); got != 1 {
+		t.Fatalf("hang count = %d, want 1", got)
+	}
+	if got := inj.Injected(KindStorm); got != 1 {
+		t.Fatalf("storm count = %d, want 1 (ReInject not re-counted)", got)
+	}
+
+	r := metrics.NewRegistry()
+	inj.PublishMetrics(r)
+	for name, want := range map[string]uint64{
+		"faultinject.injected.crash": 2,
+		"faultinject.injected.hang":  1,
+		"faultinject.injected.storm": 1,
+	} {
+		if got := r.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
 	}
 }

@@ -160,10 +160,19 @@ type Socket struct {
 // Connect opens a TCP connection via the SYSCALL server, which assigns it
 // to a random replica (§3.8).
 func (l *Lib) Connect(ctx *sim.Context, addr proto.Addr, port uint16) *Socket {
+	return l.ConnectFrom(ctx, addr, port, 0)
+}
+
+// ConnectFrom is Connect with an explicit local port (0 = ephemeral). By
+// fixing the local port the caller fixes the connection's 4-tuple and so
+// the flow hash the server's RSS computes — the adversarial campaigns use
+// this to aim traffic at a chosen replica.
+func (l *Lib) ConnectFrom(ctx *sim.Context, addr proto.Addr, port, localPort uint16) *Socket {
 	s := &Socket{lib: l, state: SockConnecting}
 	reqID := newReqID()
 	l.connecting[reqID] = s
-	l.sysConn.Send(ctx, stack.OpConnect{App: l.proc, ReqID: reqID, Addr: addr, Port: port})
+	l.sysConn.Send(ctx, stack.OpConnect{App: l.proc, ReqID: reqID, Addr: addr, Port: port,
+		LocalPort: localPort})
 	return s
 }
 

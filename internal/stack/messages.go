@@ -104,12 +104,16 @@ type OpCloseListener struct {
 	ReqID uint64 // the original OpListen request
 }
 
-// OpConnect asks a replica to open an active connection.
+// OpConnect asks a replica to open an active connection. LocalPort, when
+// nonzero, fixes the local port instead of drawing from the replica's
+// ephemeral partition — the caller then controls the 4-tuple (and so the
+// flow hash the peer's RSS sees).
 type OpConnect struct {
-	App   *sim.Proc
-	ReqID uint64
-	Addr  proto.Addr
-	Port  uint16
+	App       *sim.Proc
+	ReqID     uint64
+	Addr      proto.Addr
+	Port      uint16
+	LocalPort uint16
 }
 
 // OpSend appends data to a connection's send stream. WantSpace asks the

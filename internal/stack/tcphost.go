@@ -94,7 +94,7 @@ func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 	case OpConnect:
 		ctx.Charge(h.costs.TCPConnSetup)
 		h.withCtx(ctx, func() {
-			c, err := h.tcp.Connect(m.Addr, m.Port)
+			c, err := h.tcp.ConnectFrom(m.Addr, m.Port, m.LocalPort)
 			if err != nil {
 				h.sendApp(ctx, m.App, EvConnected{ReqID: m.ReqID, Stack: h.proc, Err: err})
 				return

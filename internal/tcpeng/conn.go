@@ -68,6 +68,10 @@ type Conn struct {
 	// Timers owned by the Env, indexed by TimerKind.
 	TimerCtx [NumTimers]interface{}
 
+	// Resource-guard bookkeeping (server side only; see GuardConfig).
+	guardPhase   guardPhase
+	lastActivity sim.Time // arrival time of the last inbound segment
+
 	userClosed bool
 	removed    bool
 	// Err is set when the connection dies abnormally.
@@ -79,6 +83,15 @@ type ooSeg struct {
 	seq  uint32
 	data []byte
 }
+
+// guardPhase tracks which resource-guard deadline a connection is under.
+type guardPhase uint8
+
+const (
+	guardNone   guardPhase = iota
+	guardHeader            // must deliver HeaderMinBytes by HeaderDeadline
+	guardIdle              // must show inbound activity within IdleDeadline
+)
 
 // State returns the connection state.
 func (c *Conn) State() State { return c.state }
@@ -138,6 +151,21 @@ func (e *Engine) Input(f *proto.Frame) {
 
 // passiveOpen handles a SYN to a listening port.
 func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
+	g := e.cfg.Guard
+	if g.MaxConnsPerSource > 0 && e.perSource[k.remoteAddr] >= g.MaxConnsPerSource {
+		e.stats.SrcCapped++
+		return // drop the SYN; a legitimate client retransmits
+	}
+	if g.SynBacklog > 0 && l.embryonic >= g.SynBacklog {
+		// Deterministic oldest-first shedding: the oldest half-open
+		// connection is the likeliest to be abandoned (a flood SYN never
+		// completes), so recycle its slot for the newcomer. Shed silently —
+		// the victim's source is probably spoofed, and an RST would only
+		// burn an ARP lookup.
+		old := l.embryonicQ[0]
+		e.stats.SynShed++
+		old.destroy(ErrConnClosed, false)
+	}
 	if l.embryonic+len(l.acceptQ) >= l.backlog {
 		e.stats.DroppedSynBacklog++
 		return // silently drop; client retransmits (SYN flood behaviour)
@@ -145,6 +173,9 @@ func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
 	c := e.newConn(k)
 	c.Listener = l
 	l.embryonic++
+	l.embryonicQ = append(l.embryonicQ, c)
+	e.perSource[k.remoteAddr]++
+	c.lastActivity = e.env.Now()
 	c.state = StateSynRcvd
 	c.irs = h.Seq
 	c.rcv.nxt = h.Seq + 1
@@ -200,6 +231,7 @@ func segLen(h *proto.TCPHeader, payload uint32) uint32 {
 // input runs the state machine for one segment on an existing PCB.
 func (c *Conn) input(h *proto.TCPHeader, payload []byte) {
 	e := c.engine
+	c.lastActivity = e.env.Now()
 	switch c.state {
 	case StateSynSent:
 		c.inputSynSent(h)
@@ -341,6 +373,7 @@ func (c *Conn) processAck(h *proto.TCPHeader) bool {
 		e.stats.AcceptedConns++
 		if c.Listener != nil {
 			c.Listener.embryonic--
+			c.Listener.dropEmbryonic(c)
 			if len(c.Listener.acceptQ) >= c.Listener.backlog {
 				e.stats.AcceptQueueOverflow++
 				c.Abort()
@@ -348,6 +381,7 @@ func (c *Conn) processAck(h *proto.TCPHeader) bool {
 			}
 			c.Listener.acceptQ = append(c.Listener.acceptQ, c)
 			e.env.Accepted(c)
+			e.armGuard(c)
 		}
 	}
 
@@ -529,12 +563,20 @@ func (c *Conn) destroy(err error, reset bool) {
 	if c.state == StateClosed {
 		return
 	}
+	wasEmbryonic := c.state == StateSynRcvd
 	wasVisible := c.state == StateEstablished || c.state == StateSynRcvd ||
 		c.state == StateSynSent || c.state == StateCloseWait ||
 		c.state == StateFinWait1 || c.state == StateFinWait2 || c.state == StateClosing
 	c.state = StateClosed
 	c.Err = err
 	if c.Listener != nil {
+		if wasEmbryonic {
+			// A SYN_RCVD connection dying (SYN-ACK retry exhaustion, peer
+			// RST, guard shed) must release its backlog slot, or a flood of
+			// abandoned handshakes wedges the listener permanently.
+			c.Listener.embryonic--
+			c.Listener.dropEmbryonic(c)
+		}
 		// Remove from accept queue if never accepted.
 		q := c.Listener.acceptQ
 		for i, qc := range q {

@@ -64,6 +64,7 @@ const (
 	TimerPersist
 	TimerDelAck
 	TimerTimeWait
+	TimerGuard
 	NumTimers
 )
 
@@ -138,6 +139,48 @@ type Config struct {
 	// port-space analogue of the paper's state partitioning. Defaults:
 	// 32768..65535.
 	EphemeralLo, EphemeralHi uint16
+
+	// Guard configures the per-replica resource guards against hostile
+	// peers. The zero value disables every guard, preserving historical
+	// behaviour exactly.
+	Guard GuardConfig
+}
+
+// GuardConfig bounds the resources a remote peer can pin inside one
+// replica. Each guard is independent and disabled at its zero value, so a
+// replica without guards behaves exactly as before; a replica with guards
+// degrades a hostile source deterministically instead of letting it starve
+// the partition.
+type GuardConfig struct {
+	// SynBacklog caps embryonic (SYN_RCVD) connections per listener. When
+	// a SYN arrives at a full guard backlog the OLDEST embryonic
+	// connection is shed (silently — its source is likely spoofed) to
+	// admit the new one, so a SYN flood recycles its own slots instead of
+	// wedging the listener. 0 disables (the plain listener backlog then
+	// drops the newest SYN, the historical behaviour).
+	SynBacklog int
+	// HeaderDeadline reaps an accepted server-side connection that has
+	// delivered fewer than HeaderMinBytes payload bytes this long after
+	// establishment — the slowloris (byte-at-a-time header) defense. A
+	// cumulative byte floor, not a progress check: trickling one byte per
+	// tick does not help the attacker. 0 disables.
+	HeaderDeadline sim.Time
+	// HeaderMinBytes is the cumulative payload floor for HeaderDeadline
+	// (default 64 when a deadline is set).
+	HeaderMinBytes int
+	// IdleDeadline reaps a server-side connection with no inbound
+	// activity (no segment at all, ACKs included) for this long. 0
+	// disables.
+	IdleDeadline sim.Time
+	// MaxConnsPerSource caps server-side connections (embryonic and
+	// established) per remote address; SYNs beyond the cap are dropped.
+	// 0 disables.
+	MaxConnsPerSource int
+}
+
+// Enabled reports whether any guard is configured.
+func (g GuardConfig) Enabled() bool {
+	return g != GuardConfig{}
 }
 
 func (c *Config) fillDefaults() {
@@ -182,6 +225,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.EphemeralHi == 0 {
 		c.EphemeralHi = 65535
+	}
+	if c.Guard.HeaderDeadline != 0 && c.Guard.HeaderMinBytes == 0 {
+		c.Guard.HeaderMinBytes = 64
 	}
 }
 
@@ -243,6 +289,11 @@ type Stats struct {
 	SegmentsTrimmed       uint64
 	ConnsRemoved          uint64
 	EstablishedTransitons uint64
+
+	// Resource-guard activity (always zero with Config.Guard disabled).
+	SynShed         uint64 // oldest embryonic conns shed to admit new SYNs
+	SlowlorisReaped uint64 // conns reaped by header-progress or idle deadline
+	SrcCapped       uint64 // SYNs dropped by the per-source connection cap
 }
 
 // Engine is one TCP instance: the per-replica partition of TCP state.
@@ -256,6 +307,10 @@ type Engine struct {
 	nextEphem uint16
 	nextID    uint64
 
+	// perSource counts live server-side (passively opened) connections by
+	// remote address, for the MaxConnsPerSource guard.
+	perSource map[proto.Addr]int
+
 	stats Stats
 }
 
@@ -268,6 +323,7 @@ func NewEngine(env Env, addr proto.Addr, cfg Config) *Engine {
 		addr:      addr,
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[listenKey]*Listener),
+		perSource: make(map[proto.Addr]int),
 		nextEphem: cfg.EphemeralLo,
 	}
 }
@@ -305,9 +361,11 @@ type Listener struct {
 	backlog int
 	// acceptQ holds established, not-yet-accepted connections.
 	acceptQ []*Conn
-	// embryonic counts connections still in SYN_RCVD.
-	embryonic int
-	closed    bool
+	// embryonic counts connections still in SYN_RCVD; embryonicQ holds
+	// them in arrival order for the guard's oldest-first shedding.
+	embryonic  int
+	embryonicQ []*Conn
+	closed     bool
 	// Ctx is opaque owner context (the stack stores socket bookkeeping).
 	Ctx interface{}
 }
@@ -393,9 +451,24 @@ func (e *Engine) allocEphemeral(remoteAddr proto.Addr, remotePort uint16) (uint1
 // Connect starts an active open to remote:port and returns the new
 // connection in SynSent state; Env.Connected fires on completion.
 func (e *Engine) Connect(remote proto.Addr, port uint16) (*Conn, error) {
-	lp, err := e.allocEphemeral(remote, port)
-	if err != nil {
-		return nil, err
+	return e.ConnectFrom(remote, port, 0)
+}
+
+// ConnectFrom is Connect with an explicit local port (0 allocates from the
+// ephemeral range). A fixed local port pins the connection's 4-tuple — and
+// therefore its flow hash, and therefore the serving replica under hash
+// RSS — which the adversarial campaigns use to aim traffic.
+func (e *Engine) ConnectFrom(remote proto.Addr, port, localPort uint16) (*Conn, error) {
+	lp := localPort
+	if lp == 0 {
+		var err error
+		lp, err = e.allocEphemeral(remote, port)
+		if err != nil {
+			return nil, err
+		}
+	} else if _, used := e.conns[connKey{localAddr: e.addr, localPort: lp,
+		remoteAddr: remote, remotePort: port}]; used {
+		return nil, ErrPortInUse
 	}
 	c := e.newConn(connKey{localAddr: e.addr, localPort: lp, remoteAddr: remote, remotePort: port})
 	c.state = StateSynSent
@@ -446,8 +519,25 @@ func (e *Engine) remove(c *Conn) {
 		e.env.StopTimer(c, k)
 	}
 	delete(e.conns, c.key)
+	if c.Listener != nil {
+		if n := e.perSource[c.key.remoteAddr]; n <= 1 {
+			delete(e.perSource, c.key.remoteAddr)
+		} else {
+			e.perSource[c.key.remoteAddr] = n - 1
+		}
+	}
 	e.stats.ConnsRemoved++
 	e.env.ConnRemoved(c)
+}
+
+// dropEmbryonic removes c from the listener's embryonic arrival queue.
+func (l *Listener) dropEmbryonic(c *Conn) {
+	for i, qc := range l.embryonicQ {
+		if qc == c {
+			l.embryonicQ = append(l.embryonicQ[:i], l.embryonicQ[i+1:]...)
+			return
+		}
+	}
 }
 
 // Flow returns the flow (local as source) of a connection key.

@@ -427,6 +427,64 @@ func (e *Engine) OnTimer(c *Conn, k TimerKind) {
 	case TimerTimeWait:
 		e.stats.TimeWaitReaped++
 		c.destroy(nil, false)
+	case TimerGuard:
+		e.onGuardTimer(c)
+	}
+}
+
+// armGuard starts deadline policing on a freshly accepted server-side
+// connection. Called only from the passive-establishment path, so active
+// (client) connections are never reaped by their own engine's guards.
+func (e *Engine) armGuard(c *Conn) {
+	g := e.cfg.Guard
+	switch {
+	case g.HeaderDeadline > 0:
+		c.guardPhase = guardHeader
+		e.env.ArmTimer(c, TimerGuard, g.HeaderDeadline)
+	case g.IdleDeadline > 0:
+		c.guardPhase = guardIdle
+		e.env.ArmTimer(c, TimerGuard, g.IdleDeadline)
+	}
+}
+
+// onGuardTimer enforces the header-progress and idle deadlines.
+//
+// The header phase checks a cumulative payload floor, not mere progress:
+// a slowloris client trickling one header byte per tick advances rcv.nxt
+// every time, but still dies at the deadline with < HeaderMinBytes
+// delivered. The idle phase then polices total inbound silence — any
+// segment (bare ACKs during a long download included) counts as activity,
+// so a legitimately receiving client is never reaped.
+func (e *Engine) onGuardTimer(c *Conn) {
+	g := e.cfg.Guard
+	if c.state != StateEstablished {
+		// The connection is closing (or already past ESTABLISHED): the
+		// FIN/TIME_WAIT teardown legitimately receives nothing, and the
+		// regular rexmit/TIME_WAIT machinery bounds its lifetime. Disarm.
+		c.guardPhase = guardNone
+		return
+	}
+	switch c.guardPhase {
+	case guardHeader:
+		if c.rcv.nxt-c.irs-1 < uint32(g.HeaderMinBytes) {
+			e.stats.SlowlorisReaped++
+			c.Abort()
+			return
+		}
+		if g.IdleDeadline > 0 {
+			c.guardPhase = guardIdle
+			e.env.ArmTimer(c, TimerGuard, g.IdleDeadline)
+		} else {
+			c.guardPhase = guardNone
+		}
+	case guardIdle:
+		idle := e.env.Now() - c.lastActivity
+		if idle >= g.IdleDeadline {
+			e.stats.SlowlorisReaped++
+			c.Abort()
+			return
+		}
+		e.env.ArmTimer(c, TimerGuard, g.IdleDeadline-idle)
 	}
 }
 

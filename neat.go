@@ -192,6 +192,40 @@ type SystemConfig struct {
 	// connect, and how a retiring replica drains. The zero value is the
 	// paper's behaviour (RSS hash indirection, no drain deadline).
 	Steering SteeringConfig
+	// Guard configures the per-replica resource guards against hostile
+	// peers (SYN-backlog shedding, slowloris header/idle deadlines,
+	// per-source connection caps). The zero value disables every guard,
+	// preserving the paper's behaviour exactly; see GuardConfig.
+	Guard GuardConfig
+}
+
+// GuardConfig bounds the resources one remote peer can pin inside a
+// replica. Guards are the containment half of the adversarial-workload
+// plane: partitioning already limits an attack's blast radius to the
+// replicas its flows hash to, and the guards keep even those replicas
+// serving by shedding the attacker's state deterministically. Each field
+// is independent and disabled at zero. Activity is counted in
+// System.Metrics() as stack.syn_shed, stack.slowloris_reaped and
+// stack.src_capped.
+type GuardConfig struct {
+	// SynBacklog caps half-open (SYN_RCVD) connections per listener per
+	// replica; at the cap the oldest half-open connection is shed to
+	// admit a new SYN, so a SYN flood recycles its own slots instead of
+	// wedging the listener.
+	SynBacklog int
+	// HeaderDeadline reaps an accepted connection that has delivered
+	// fewer than HeaderMinBytes by this deadline — the slowloris defense.
+	HeaderDeadline Time
+	// HeaderMinBytes is the cumulative byte floor for HeaderDeadline
+	// (default 64 when a deadline is set).
+	HeaderMinBytes int
+	// IdleDeadline reaps a connection with no inbound segment at all for
+	// this long (ACKs count as activity, so slow readers of a long
+	// download are safe).
+	IdleDeadline Time
+	// MaxConnsPerSource caps server-side connections per remote address;
+	// SYNs beyond the cap are dropped.
+	MaxConnsPerSource int
 }
 
 // SteeringConfig selects and tunes a flow placement policy.
@@ -248,6 +282,24 @@ func (cfg SystemConfig) Validate() error {
 	if cfg.Steering.DrainDeadline < 0 {
 		return fmt.Errorf("neat: SystemConfig.Steering.DrainDeadline is %v; want 0 (drain without deadline) or a positive duration", cfg.Steering.DrainDeadline)
 	}
+	if cfg.Guard.SynBacklog < 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.SynBacklog is %d; want 0 (guard off) or a positive half-open cap", cfg.Guard.SynBacklog)
+	}
+	if cfg.Guard.HeaderDeadline < 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.HeaderDeadline is %v; want 0 (guard off) or a positive deadline", cfg.Guard.HeaderDeadline)
+	}
+	if cfg.Guard.HeaderMinBytes < 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.HeaderMinBytes is %d; want 0 (default 64) or a positive byte floor", cfg.Guard.HeaderMinBytes)
+	}
+	if cfg.Guard.HeaderMinBytes > 0 && cfg.Guard.HeaderDeadline == 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.HeaderMinBytes is %d but HeaderDeadline is 0; the byte floor only applies with a deadline set", cfg.Guard.HeaderMinBytes)
+	}
+	if cfg.Guard.IdleDeadline < 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.IdleDeadline is %v; want 0 (guard off) or a positive deadline", cfg.Guard.IdleDeadline)
+	}
+	if cfg.Guard.MaxConnsPerSource < 0 {
+		return fmt.Errorf("neat: SystemConfig.Guard.MaxConnsPerSource is %d; want 0 (guard off) or a positive per-source cap", cfg.Guard.MaxConnsPerSource)
+	}
 	return nil
 }
 
@@ -274,6 +326,13 @@ func StartNEaT(m, peer *Machine, cfg SystemConfig) (*System, error) {
 	}
 	tcp := tcpeng.DefaultConfig()
 	tcp.TSO = cfg.TSO
+	tcp.Guard = tcpeng.GuardConfig{
+		SynBacklog:        cfg.Guard.SynBacklog,
+		HeaderDeadline:    cfg.Guard.HeaderDeadline,
+		HeaderMinBytes:    cfg.Guard.HeaderMinBytes,
+		IdleDeadline:      cfg.Guard.IdleDeadline,
+		MaxConnsPerSource: cfg.Guard.MaxConnsPerSource,
+	}
 	var obs core.ObserveConfig
 	if cfg.Observe {
 		obs.Trace = trace.New().Attach(m.Net.Sim)
