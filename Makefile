@@ -11,26 +11,43 @@ test:
 	$(GO) test ./...
 
 # bench writes the committed benchmark snapshot: micro-benchmark ns/op,
-# B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run
-# and the PDES worker-scaling ladder.
-BENCH_OUT ?= BENCH_pr6.json
+# B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run,
+# the PDES worker-scaling ladder and the cluster connection ladder.
+BENCH_OUT ?= BENCH_pr8.json
 
 bench:
 	$(GO) run ./cmd/neat-benchreport -out $(BENCH_OUT)
 
 # verify is the pre-merge gate: static checks (vet + gofmt cleanliness), a
 # full build, the whole test suite, the parallel-sweep + fault-matrix +
-# traced-breakdown + steering + PDES determinism tests under the race
-# detector (the concurrent experiment runner and the PDES coordinator must
-# stay race-free AND byte-identical to a sequential run, with or without
-# tracing), and the allocation guard (tracing disabled must keep the
-# simulator's scheduling/dispatch allocation budget).
+# traced-breakdown + steering + PDES determinism + cluster determinism
+# tests under the race detector (the concurrent experiment runner and the
+# PDES coordinator must stay race-free AND byte-identical to a sequential
+# run, with or without tracing), the allocation guard (tracing disabled
+# must keep the simulator's scheduling/dispatch allocation budget), and
+# the md5 oracle pinning the default single-link campaign outputs: a
+# topology-plumbing change that shifts one byte of `neat-bench -quick` or
+# `neat-faults -matrix -quick` fails here, not in review.
 verify:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism|TestAttack'
+	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism|TestAttack|TestClusterDeterminism|TestClusterFailover'
 	$(GO) test -race ./internal/bufpool ./internal/nicdev -run 'TestSlabOwnershipProperty|TestBatchedHandoffOwnership' -count=1
 	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc' -count=1
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/neat-bench ./cmd/neat-bench; \
+	$(GO) build -o $$tmp/neat-faults ./cmd/neat-faults; \
+	got=$$($$tmp/neat-bench -quick | md5sum | cut -d' ' -f1); \
+	if [ "$$got" != "61623b9eb5fb5168fad2f800a29978d7" ]; then \
+		echo "md5 oracle: neat-bench -quick output changed ($$got)"; exit 1; fi; \
+	got=$$($$tmp/neat-faults -matrix -quick | md5sum | cut -d' ' -f1); \
+	if [ "$$got" != "eae3e80b0ca40f84c2ac060885a24f84" ]; then \
+		echo "md5 oracle: neat-faults -matrix -quick output changed ($$got)"; exit 1; fi; \
+	a=$$($$tmp/neat-bench -cluster -quick | md5sum | cut -d' ' -f1); \
+	b=$$($$tmp/neat-bench -cluster -quick -pdes 4 | md5sum | cut -d' ' -f1); \
+	if [ "$$a" != "$$b" ]; then \
+		echo "cluster campaign diverged between sequential and -pdes 4"; exit 1; fi; \
+	echo "md5 oracle: default outputs unchanged, cluster engine-identical"

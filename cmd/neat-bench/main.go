@@ -9,6 +9,7 @@
 //	neat-bench -breakdown          # traced run: per-hop latency breakdown tables
 //	neat-bench -steering           # placement policy × workload skew comparison
 //	neat-bench -attack             # hostile clients vs guarded replicas
+//	neat-bench -cluster [-scale N] # datacenter campaign: L4-balanced farms behind a switch
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "run the traced per-hop latency breakdown instead of the paper tables")
 	steering := flag.Bool("steering", false, "run the placement-policy steering campaign instead of the paper tables")
 	attack := flag.Bool("attack", false, "run the goodput-under-attack campaign instead of the paper tables")
+	cluster := flag.Bool("cluster", false, "run the cluster campaign: multi-machine farms behind a switch/L4 tier (combine with -scale and -pdes)")
 	flag.Parse()
 	defer ef.StartProfiles()()
 
@@ -49,6 +51,9 @@ func main() {
 		// Not part of the default run: the adversarial campaign measures
 		// the resource-guard extension under hostile clients.
 		"attack": experiments.GoodputUnderAttack,
+		// Not part of the default run: the cluster campaign measures the
+		// multi-machine topology, not a figure of the paper.
+		"cluster": experiments.ClusterScale,
 		// Not part of the default run: the PDES benches measure the
 		// simulator itself, not the paper. Combine with -pdes N.
 		"pdesfarm":  experiments.PDESFarm,
@@ -62,6 +67,8 @@ func main() {
 		cliutil.Emit(experiments.SteeringSkew(o))
 	case *attack:
 		cliutil.Emit(experiments.GoodputUnderAttack(o))
+	case *cluster:
+		cliutil.Emit(experiments.ClusterScale(o))
 	case *only != "":
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {

@@ -43,6 +43,18 @@ type scalingRow struct {
 	TotalKRPS   float64 `json:"total_krps"`
 }
 
+// clusterRow is one rung of the cluster campaign's connection ladder:
+// the default 3-farm topology at a per-generator connection count, with
+// the aggregate concurrent-connection total across all generators.
+type clusterRow struct {
+	ConnsPerGen int     `json:"conns_per_gen"`
+	Aggregate   int     `json:"aggregate_conns"`
+	TotalKRPS   float64 `json:"total_krps"`
+	Errors      uint64  `json:"errors"`
+	MeanLatNs   int64   `json:"mean_latency_ns"`
+	P99LatNs    int64   `json:"p99_latency_ns"`
+}
+
 type report struct {
 	Generated     string        `json:"generated"`
 	GoVersion     string        `json:"go_version"`
@@ -50,6 +62,7 @@ type report struct {
 	Benchmarks    []benchResult `json:"benchmarks"`
 	QuickWallSecs float64       `json:"neat_bench_quick_wall_seconds"`
 	PDESScaling   []scalingRow  `json:"pdes_scaling,omitempty"`
+	ClusterLadder []clusterRow  `json:"cluster_ladder,omitempty"`
 }
 
 // benchSets lists (package, -bench pattern) pairs to run. The root package
@@ -64,7 +77,7 @@ var benchSets = [][2]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -105,6 +118,22 @@ func main() {
 			row.Speedup = base / p.WallSeconds
 		}
 		rep.PDESScaling = append(rep.PDESScaling, row)
+	}
+
+	cpoints, err := experiments.ClusterLadder(
+		experiments.Options{Quick: true, Seed: 1}, []int{2, 4, 8}, 1)
+	if err != nil {
+		fatal(fmt.Errorf("cluster ladder: %w", err))
+	}
+	for _, p := range cpoints {
+		rep.ClusterLadder = append(rep.ClusterLadder, clusterRow{
+			ConnsPerGen: p.ConnsPerGen,
+			Aggregate:   p.Aggregate,
+			TotalKRPS:   p.KRPS,
+			Errors:      p.Errors,
+			MeanLatNs:   int64(p.MeanLat),
+			P99LatNs:    int64(p.P99Lat),
+		})
 	}
 
 	j, err := json.MarshalIndent(rep, "", "  ")

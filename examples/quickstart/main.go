@@ -18,23 +18,21 @@ import (
 )
 
 func main() {
-	// A deterministic network: same seed, same run, byte for byte.
-	net := neat.NewNetwork(1)
-	server := neat.NewServerMachine(net, neat.AMD12)
-	client := neat.NewClientMachine(net, 1)
-
-	// NEaT on the server: 2 single-component replicas (cores 2-3), the
-	// SYSCALL server on core 1, the NIC driver on core 0. Observe attaches
-	// the tracing layer so we can ask where the echo's time went.
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 2, Observe: true})
+	// The whole testbed as one declared value: a deterministic simulation
+	// (same seed, same run, byte for byte) of an AMD server facing a
+	// generously provisioned client over a 10G link. NEaT on the server:
+	// 2 single-component replicas (cores 2-3), the SYSCALL server on core
+	// 1, the NIC driver on core 0. Observe attaches the tracing layer so
+	// we can ask where the echo's time went.
+	tb, err := neat.TopologyConfig{
+		Seed:   1,
+		System: neat.SystemConfig{Replicas: 2, Observe: true},
+	}.Build()
 	if err != nil {
 		panic(err)
 	}
-	// The client machine runs its own (generously provisioned) stack.
-	clisys, err := neat.StartClientSystem(client, server, 1)
-	if err != nil {
-		panic(err)
-	}
+	net, server, client := tb.Net, tb.Server, tb.Client
+	sys, clisys := tb.System, tb.ClientSystem
 
 	// An echo server application. Applications are event-driven processes;
 	// the socket library hides the replication entirely (§3.2).

@@ -19,26 +19,28 @@ import (
 )
 
 func main() {
-	net := neat.NewNetwork(5)
-	server := neat.NewServerMachine(net, neat.AMD12)
-	client := neat.NewClientMachine(net, 4)
-
-	// Four slots, only one active at boot. Observe records the lifecycle
-	// timeline: every scale-up, RSS rebind and lazy collection below shows
-	// up as a timestamped event.
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 4, Observe: true})
+	// Four slots, only one active at boot (Tune retires three before the
+	// client side boots). Observe records the lifecycle timeline: every
+	// scale-up, RSS rebind and lazy collection below shows up as a
+	// timestamped event.
+	tb, err := neat.TopologyConfig{
+		Seed:         5,
+		ClientStacks: 4,
+		System:       neat.SystemConfig{Replicas: 4, Observe: true},
+		Tune: func(sys *neat.System) error {
+			for i := 0; i < 3; i++ {
+				if err := sys.ScaleDown(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}.Build()
 	if err != nil {
 		panic(err)
 	}
-	for i := 0; i < 3; i++ {
-		if err := sys.ScaleDown(); err != nil {
-			panic(err)
-		}
-	}
-	clisys, err := neat.StartClientSystem(client, server, 4)
-	if err != nil {
-		panic(err)
-	}
+	net, server, client := tb.Net, tb.Server, tb.Client
+	sys, clisys := tb.System, tb.ClientSystem
 
 	// Heavy web load: 4 lighttpd instances, far more than one replica can
 	// serve.

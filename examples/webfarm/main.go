@@ -41,18 +41,16 @@ func main() {
 // runFarm builds a fresh deterministic testbed with the given number of
 // lighttpd instances and measures the request rate.
 func runFarm(webs int, observe bool) (krps float64, errors uint64, bd neat.Breakdown) {
-	net := neat.NewNetwork(42)
-	server := neat.NewServerMachine(net, neat.AMD12)
-	client := neat.NewClientMachine(net, webs)
-
-	sys, err := neat.StartNEaT(server, client, neat.SystemConfig{Replicas: 3, Observe: observe})
+	tb, err := neat.TopologyConfig{
+		Seed:         42,
+		ClientStacks: webs,
+		System:       neat.SystemConfig{Replicas: 3, Observe: observe},
+	}.Build()
 	if err != nil {
 		panic(err)
 	}
-	clisys, err := neat.StartClientSystem(client, server, webs)
-	if err != nil {
-		panic(err)
-	}
+	net, server, client := tb.Net, tb.Server, tb.Client
+	sys, clisys := tb.System, tb.ClientSystem
 
 	var gens []*app.Loadgen
 	for i := 0; i < webs; i++ {

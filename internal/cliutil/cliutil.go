@@ -25,6 +25,7 @@ type ExperimentFlags struct {
 	Parallel *bool
 	Workers  *int
 	PDES     *int
+	Scale    *int
 
 	CPUProfile *string
 	MemProfile *string
@@ -40,6 +41,7 @@ func Experiment(defaultSeed int64) *ExperimentFlags {
 		Parallel:   flag.Bool("parallel", true, "measure independent sweep points concurrently (output is identical either way)"),
 		Workers:    flag.Int("workers", 0, "worker count for -parallel (default GOMAXPROCS)"),
 		PDES:       flag.Int("pdes", 0, "run each simulation in parallel: conservative PDES with N domain workers (0 = sequential event loop)"),
+		Scale:      flag.Int("scale", 1, "multiply the cluster campaign's connection ladder (1 fits a 1-CPU container; 8000 targets >1M aggregate connections)"),
 		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
 		MemProfile: flag.String("memprofile", "", "write a heap profile to this file on exit"),
 	}
@@ -50,7 +52,7 @@ func (f *ExperimentFlags) Options() experiments.Options {
 	return experiments.Options{
 		Quick: *f.Quick, Seed: *f.Seed,
 		Parallel: *f.Parallel, Workers: *f.Workers,
-		PDESWorkers: *f.PDES,
+		PDESWorkers: *f.PDES, Scale: *f.Scale,
 	}
 }
 
@@ -113,27 +115,28 @@ type Farm struct {
 	CliSys *neat.System
 }
 
+// BootCluster builds a multi-machine topology through the public
+// facade's declarative API, failing with the config's actionable error.
+// Tools that outgrow the two-machine BootFarm shape declare their world
+// here instead of assuming Net.Link.
+func BootCluster(cfg neat.ClusterConfig) (*neat.Cluster, error) {
+	return cfg.Build()
+}
+
 // BootFarm builds the demo topology through the public facade: an AMD
 // server running a NEaT system per cfg, a client machine with `stacks`
 // client replicas. tune, when non-nil, runs against the server system
 // before the client side boots (scale adjustments, fault arming) so its
 // events land at the same simulated time as a hand-rolled boot sequence.
+// It is a thin wrapper over the declarative neat.TopologyConfig surface,
+// which performs the historical boot sequence byte for byte.
 func BootFarm(seed int64, stacks int, cfg neat.SystemConfig, tune func(*neat.System) error) (*Farm, error) {
-	net := neat.NewNetwork(seed)
-	server := neat.NewServerMachine(net, neat.AMD12)
-	client := neat.NewClientMachine(net, stacks)
-	sys, err := neat.StartNEaT(server, client, cfg)
+	tb, err := neat.TopologyConfig{
+		Seed: seed, ClientStacks: stacks, System: cfg, Tune: tune,
+	}.Build()
 	if err != nil {
 		return nil, err
 	}
-	if tune != nil {
-		if err := tune(sys); err != nil {
-			return nil, err
-		}
-	}
-	clisys, err := neat.StartClientSystem(client, server, stacks)
-	if err != nil {
-		return nil, err
-	}
-	return &Farm{Net: net, Server: server, Client: client, Sys: sys, CliSys: clisys}, nil
+	return &Farm{Net: tb.Net, Server: tb.Server, Client: tb.Client,
+		Sys: tb.System, CliSys: tb.ClientSystem}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"neat/internal/tcpeng"
 	"neat/internal/testbed"
 	"neat/internal/trace"
+	"neat/internal/wire"
 )
 
 // MachineKind selects the system-under-test machine of §6.
@@ -44,8 +45,22 @@ type Options struct {
 	// PDES with that many domain workers (sim.EnablePDES). 0 keeps the
 	// default single global event loop. Note this changes RNG stream
 	// assignment (per-domain streams), so results are comparable across
-	// PDES worker counts but not with the sequential mode.
+	// PDES worker counts but not with the sequential mode. (The cluster
+	// campaign is the exception: its workload is RNG-free on every
+	// behavior-relevant path, so sequential and PDES runs are
+	// byte-identical.)
 	PDESWorkers int
+	// Scale multiplies the cluster campaign's connection ladder (default
+	// 1, sized for a 1-CPU container; large values target machine-room
+	// aggregate connection counts).
+	Scale int
+}
+
+func (o Options) clusterScale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
 }
 
 func (o Options) workers() int {
@@ -79,6 +94,23 @@ func (o Options) window() sim.Time {
 	return 200 * sim.Millisecond
 }
 
+// TopologyConfig shapes a bed's two-machine network. Zero fields keep
+// the defaults (10 Gb/s line rate, 1 µs propagation delay).
+type TopologyConfig struct {
+	LinkBitsPerSec int64
+	LinkPropDelay  sim.Time
+}
+
+// shape applies the declared overrides to a freshly built link.
+func (t TopologyConfig) shape(l *wire.Link) {
+	if t.LinkBitsPerSec > 0 {
+		l.BitsPerSec = t.LinkBitsPerSec
+	}
+	if t.LinkPropDelay > 0 {
+		l.PropDelay = t.LinkPropDelay
+	}
+}
+
 // BedConfig describes one measured configuration: a server system (NEaT or
 // the Linux baseline), its lighttpd instances and the matching httperf
 // load generators.
@@ -89,6 +121,12 @@ type BedConfig struct {
 	// PDESWorkers > 0 enables conservative parallel simulation with that
 	// many workers (see Options.PDESWorkers). Must be set at bed creation.
 	PDESWorkers int
+
+	// Topology declares the network between the two machines instead of
+	// assuming the hardwired link. The zero value is the historical
+	// testbed shape — one point-to-point 10 Gb/s, 1 µs DAC — byte for
+	// byte. (Multi-machine topologies are ClusterBedConfig's job.)
+	Topology TopologyConfig
 
 	// NEaT configuration (used when LinuxCores == 0).
 	Kind         stack.Kind
@@ -166,6 +204,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 		cfg.ReqPerConn = 100
 	}
 	n := testbed.New(cfg.Seed)
+	cfg.Topology.shape(n.Link)
 	if cfg.PDESWorkers > 0 {
 		// Must precede host creation: machines built afterwards get their
 		// own event-queue domains.

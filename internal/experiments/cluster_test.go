@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"testing"
+
+	"neat/internal/sim"
+	"neat/internal/testbed"
+	"neat/internal/wire"
+)
+
+// TestClusterDeterminism is the cluster determinism gate: the full
+// campaign output over the 3-farm topology must be byte-identical between
+// the sequential engine and conservative PDES with 1 and 4 workers. This
+// is stronger than the two-host PDES contract (workers=1 vs workers=N)
+// and holds because the cluster workload is RNG-free on every
+// behavior-relevant path — see the package comment in cluster.go.
+func TestClusterDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		return ClusterScale(Options{Quick: true, PDESWorkers: workers}).String()
+	}
+	seq := render(0)
+	if p1 := render(1); seq != p1 {
+		t.Fatalf("sequential and PDES-1 cluster runs diverged:\n--- sequential ---\n%s\n--- pdes 1 ---\n%s", seq, p1)
+	}
+	if p4 := render(4); seq != p4 {
+		t.Fatalf("sequential and PDES-4 cluster runs diverged:\n--- sequential ---\n%s\n--- pdes 4 ---\n%s", seq, p4)
+	}
+}
+
+// runFailover drives the default 3-farm bed; if kill is true, farm 0's
+// member 1 machine dies mid-window (hung kernel: every process livelocks,
+// the switch port goes dark). The short client timeout lets connections
+// stuck on the dead machine recycle within the window. Returns per-farm
+// (goodResponses, connErrors, discardedResponses).
+func runFailover(t *testing.T, kill bool) (*ClusterBed, [3]uint64, [3]uint64, [3]uint64) {
+	t.Helper()
+	b, err := NewClusterBed(ClusterBedConfig{
+		Seed: 1, ConnsPerGen: 2, ReqPerConn: 20,
+		Timeout: 5 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range b.Gens {
+		g.Start()
+	}
+	b.Sim.RunFor(10 * sim.Millisecond)
+	for _, g := range b.Gens {
+		g.BeginMeasure()
+	}
+	if kill {
+		// An off-beat instant: not a multiple of the watchdog probe
+		// interval or the farm controller tick.
+		b.Sim.After(3*sim.Millisecond+137*sim.Microsecond, func() {
+			b.Cluster.KillMachine(0, 1)
+		})
+	}
+	b.Sim.RunFor(40 * sim.Millisecond)
+	var good, errs, disc [3]uint64
+	for i, g := range b.Gens {
+		st := g.Stats()
+		f := b.GenFarm[i]
+		good[f] += g.GoodResponses()
+		errs[f] += st.ConnErrors
+		disc[f] += st.WindowDiscarded
+	}
+	return b, good, errs, disc
+}
+
+// TestClusterFailover kills one server machine mid-run and checks the
+// cross-machine failover contract: the farm controller declares the
+// machine dead from its stalled watchdog heartbeats, the untouched
+// tenant's farm keeps exactly the goodput of an undisturbed run, and no
+// surviving connection loses bytes — only connections pinned to the dead
+// machine are discarded.
+func TestClusterFailover(t *testing.T) {
+	_, baseGood, baseErrs, _ := runFailover(t, false)
+	b, good, errs, disc := runFailover(t, true)
+
+	// The farm controller must have declared farm 0's member 1 dead —
+	// and nothing else.
+	var declared bool
+	for _, ev := range b.Cluster.Events() {
+		if ev.Kind == testbed.FarmMemberDead {
+			if ev.Farm != "farm0" || ev.Member != 1 {
+				t.Fatalf("wrong member declared dead: %+v", ev)
+			}
+			declared = true
+		}
+	}
+	if !declared {
+		t.Fatalf("farm controller never declared the killed machine dead; events: %+v", b.Cluster.Events())
+	}
+	if b.Cluster.Farms[0].Members[1].Alive() {
+		t.Fatal("killed member still marked alive")
+	}
+	if st := b.Cluster.Farms[0].Service.BackendState(1); st != wire.BackendDown {
+		t.Fatalf("killed member's backend is %v, want down", st)
+	}
+
+	// No clean farm sees an error or a discarded (partial) response:
+	// zero lost bytes outside the blast radius.
+	for f := 1; f <= 2; f++ {
+		if errs[f] != 0 || baseErrs[f] != 0 {
+			t.Fatalf("clean farm %d saw connection errors: %d (baseline %d)", f, errs[f], baseErrs[f])
+		}
+		if disc[f] != 0 {
+			t.Fatalf("clean farm %d discarded %d responses", f, disc[f])
+		}
+	}
+	// Farm 1 belongs to the other tenant — no shared client machines, no
+	// shared farm machines, so its goodput is byte-for-byte that of the
+	// undisturbed run.
+	if good[1] != baseGood[1] {
+		t.Fatalf("isolated tenant's farm goodput %d != undisturbed %d", good[1], baseGood[1])
+	}
+	// Farm 2 shares client machines with farm 0's generators (same
+	// tenant), so retransmission work on those machines shifts its timing
+	// by a few responses either way — but every response it did serve was
+	// complete (zero discards above), and throughput stays whole.
+	if good[2] < baseGood[2]-baseGood[2]/100 {
+		t.Fatalf("same-tenant clean farm goodput %d well under undisturbed %d", good[2], baseGood[2])
+	}
+
+	// The wounded farm: connections pinned to the dead machine error
+	// (their state died with it — the paper's partitioning boundary, at
+	// machine granularity), but the survivor keeps serving.
+	if errs[0] == 0 {
+		t.Fatal("no connection errors on the wounded farm; kill had no effect")
+	}
+	if good[0] == 0 {
+		t.Fatal("wounded farm lost all goodput; the survivor should keep serving")
+	}
+	if st := b.Cluster.Farms[0].Service.Stats(); st.DropDown == 0 {
+		t.Fatal("no frames dropped toward the dead backend")
+	}
+	// New flows re-place onto the survivor; the service never reaches
+	// zero active backends.
+	if n := b.Cluster.Farms[0].Service.NumActive(); n != 1 {
+		t.Fatalf("wounded farm has %d active backends, want 1", n)
+	}
+}
+
+// TestClusterAutoscale drives one farm past its high watermark and checks
+// the controller activates standby capacity, then drains it when the load
+// falls away.
+func TestClusterAutoscale(t *testing.T) {
+	b, err := NewClusterBed(ClusterBedConfig{
+		Seed:           1,
+		Farms:          1,
+		Tenants:        1,
+		Clients:        2,
+		MembersPerFarm: 3,
+		InitialActive:  1,
+		ConnsPerGen:    8,
+		ReqPerConn:     20,
+		Control: testbed.FarmControlConfig{
+			HighWater: 4,
+			LowWater:  1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := b.Cluster.Farms[0]
+	if n := farm.Service.NumActive(); n != 1 {
+		t.Fatalf("farm starts with %d active members, want 1", n)
+	}
+	for _, g := range b.Gens {
+		g.Start()
+	}
+	b.Sim.RunFor(20 * sim.Millisecond)
+	ups := 0
+	for _, ev := range b.Cluster.Events() {
+		if ev.Kind == testbed.FarmScaleUp {
+			ups++
+		}
+	}
+	if ups == 0 {
+		t.Fatalf("no scale-up under load; events: %+v, active=%d",
+			b.Cluster.Events(), farm.Service.NumActive())
+	}
+	if n := farm.Service.NumActive(); n < 2 {
+		t.Fatalf("farm has %d active members after load, want >= 2", n)
+	}
+	// Load off: generators stop replacing finished connections. The drain
+	// run must outlive TIME_WAIT — TotalConns counts every live PCB, and
+	// the controller only sees the mean drop once reaping clears them.
+	for _, g := range b.Gens {
+		g.Stop()
+	}
+	b.Sim.RunFor(3 * sim.Second)
+	downs := 0
+	for _, ev := range b.Cluster.Events() {
+		if ev.Kind == testbed.FarmScaleDown {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Fatalf("no scale-down after load fell away; events: %+v", b.Cluster.Events())
+	}
+}
+
+// TestClusterTenantIsolation checks the steering-domain boundary: every
+// farm serves exactly its own tenant's generators (the ARP walls hold —
+// the topology cannot even express a cross-tenant connection), and each
+// service carries its tenant's label.
+func TestClusterTenantIsolation(t *testing.T) {
+	b, err := NewClusterBed(ClusterBedConfig{Seed: 1, ConnsPerGen: 2, ReqPerConn: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range b.Gens {
+		g.Start()
+	}
+	b.Sim.RunFor(5 * sim.Millisecond)
+	for _, g := range b.Gens {
+		g.BeginMeasure()
+	}
+	b.Sim.RunFor(10 * sim.Millisecond)
+	perFarm := b.FarmGoodput()
+	for fi, f := range b.Cluster.Farms {
+		var want uint64
+		for i, g := range b.Gens {
+			if b.GenFarm[i] == fi {
+				want += g.GoodResponses()
+			}
+		}
+		if perFarm[fi] != want {
+			t.Fatalf("farm %d (%s) goodput %d != its tenant's generators %d",
+				fi, f.Tenant, perFarm[fi], want)
+		}
+		if perFarm[fi] == 0 {
+			t.Fatalf("farm %d (%s) served nothing", fi, f.Tenant)
+		}
+		if f.Service.Config().Tenant != f.Tenant {
+			t.Fatalf("farm %s service belongs to tenant %q", f.Name, f.Service.Config().Tenant)
+		}
+	}
+}
+
+// TestClusterSpecValidation exercises the actionable-error surface.
+func TestClusterSpecValidation(t *testing.T) {
+	s := sim.New(1)
+	cases := []testbed.ClusterSpec{
+		{}, // no farms
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 1}}}, // no clients
+		{Farms: []testbed.FarmSpec{{Name: "", Members: 1}},
+			Clients: []testbed.ClientSpec{{}}}, // unnamed farm
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 0}},
+			Clients: []testbed.ClientSpec{{}}}, // no members
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 1}, {Name: "f", Members: 1}},
+			Clients: []testbed.ClientSpec{{}}}, // duplicate name
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 1}},
+			Clients: []testbed.ClientSpec{{Tenant: "ghost"}}}, // tenant owns no farm
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 2, InitialActive: 3}},
+			Clients: []testbed.ClientSpec{{}}}, // InitialActive > Members
+		{Farms: []testbed.FarmSpec{{Name: "f", Members: 1,
+			Control: testbed.FarmControlConfig{HighWater: 2, LowWater: 5}}},
+			Clients: []testbed.ClientSpec{{}}}, // low >= high
+	}
+	for i, spec := range cases {
+		if _, err := testbed.NewCluster(s, spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		} else if err.Error() == "" {
+			t.Errorf("case %d: empty error message", i)
+		}
+	}
+	ok := testbed.ClusterSpec{
+		Farms:   []testbed.FarmSpec{{Name: "f", Members: 1}},
+		Clients: []testbed.ClientSpec{{}},
+	}
+	if _, err := testbed.NewCluster(sim.New(1), ok); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestClusterLadderScale checks the -scale knob multiplies every rung.
+func TestClusterLadderScale(t *testing.T) {
+	o := Options{Quick: true, Scale: 3}
+	pts, err := ClusterLadder(o, []int{2}, o.clusterScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ConnsPerGen != 6 {
+		t.Fatalf("scale 3 on rung 2 gave conns/gen %d, want 6", pts[0].ConnsPerGen)
+	}
+	// 6 generators (tenant0: clients 0,2 × farms 0,2; tenant1: clients
+	// 1,3 × farm 1) × 6 connections each.
+	if pts[0].Aggregate != 36 {
+		t.Fatalf("aggregate %d, want 36", pts[0].Aggregate)
+	}
+}

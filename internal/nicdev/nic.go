@@ -113,8 +113,7 @@ type RSSPolicy interface {
 // fixed pipeline latency).
 type NIC struct {
 	sim  *sim.Simulator
-	link *wire.Link
-	side int
+	port wire.Endpoint
 
 	Name string
 	MAC  proto.MAC
@@ -169,12 +168,19 @@ type rxQueue struct {
 }
 
 // NewNIC creates a NIC with n RX/TX queue pairs attached to the given link
-// side. Initially all queues participate in RSS.
+// side. Initially all queues participate in RSS. It is the historical
+// point-to-point constructor, kept as a thin wrapper over NewNICAt.
 func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int, nQueues int) *NIC {
+	return NewNICAt(s, name, mac, l.End(side), nQueues)
+}
+
+// NewNICAt creates a NIC attached to a named wire endpoint — one side of a
+// point-to-point link or the machine-facing side of a switch access link.
+// The NIC does not care which: the endpoint is its port.
+func NewNICAt(s *sim.Simulator, name string, mac proto.MAC, port wire.Endpoint, nQueues int) *NIC {
 	n := &NIC{
 		sim:             s,
-		link:            l,
-		side:            side,
+		port:            port,
 		Name:            name,
 		MAC:             mac,
 		PipelineLatency: 500 * sim.Nanosecond,
@@ -187,7 +193,7 @@ func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int
 		n.rssQueues = append(n.rssQueues, q)
 		n.rxqHop = append(n.rxqHop, fmt.Sprintf("%s.rxq%d", name, q))
 	}
-	l.Attach(side, n)
+	port.Attach(n)
 	return n
 }
 
@@ -197,7 +203,7 @@ func NewNIC(s *sim.Simulator, name string, mac proto.MAC, l *wire.Link, side int
 // sequential mode ds is the constructing simulator and nothing changes.
 func (n *NIC) bindDomain(ds *sim.Simulator) {
 	n.sim = ds
-	n.link.BindEndpoint(n.side, ds)
+	n.port.Bind(ds)
 }
 
 // NumQueues returns the number of RX/TX queue pairs.
@@ -330,7 +336,7 @@ func (n *NIC) classify(f *proto.Frame) int {
 // Transmit puts a serialized frame on the wire.
 func (n *NIC) Transmit(raw []byte) {
 	n.stats.TxFrames++
-	n.link.Transmit(n.side, raw)
+	n.port.Transmit(raw)
 }
 
 // SendTSO performs TCP segmentation offload in "hardware": the payload is

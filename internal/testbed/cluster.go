@@ -1,0 +1,575 @@
+package testbed
+
+// Cluster assembly: the multi-machine generalization of the two-host
+// testbed. A cluster is a star topology — one store-and-forward switch,
+// one access link per machine — carrying N client machines and a set of
+// server *farms*: groups of independent NEaT machines behind a shared
+// virtual IP, steered by an L4 service on the switch. The paper's
+// partitioning argument applied one level up: replicas partition flows
+// within a machine, farms partition flows across machines, and the same
+// steer.Placer policies drive both layers.
+//
+// Tenancy: every farm and client belongs to a tenant. A tenant's clients
+// only resolve (static ARP) the VIPs of that tenant's farms, and each farm
+// has its own placer and backend set, so tenants share the physical
+// switch and links but have fully disjoint steering domains and replica
+// sets — the NetKernel-style multi-tenant arrangement.
+//
+// Failure plane: each farm machine runs its NEaT watchdog; the farm
+// controller (a control-plane loop on the root simulator) watches every
+// member watchdog's ProbesSent counter for progress. A machine whose
+// watchdog stops probing — hung kernel, pulled cable, KillMachine — is
+// declared dead, its switch backend goes Down, and new flows re-place
+// onto the surviving members; the same loop activates and drains standby
+// members on per-farm connection watermarks (farm-level autoscaling). In
+// PDES runs the controller executes at barriers with every domain
+// quiescent, so cross-machine reads and state flips stay deterministic.
+
+import (
+	"fmt"
+
+	"neat/internal/core"
+	"neat/internal/proto"
+	"neat/internal/sim"
+	"neat/internal/steer"
+	"neat/internal/tcpeng"
+	"neat/internal/wire"
+)
+
+// FarmControlConfig tunes one farm's controller loop.
+type FarmControlConfig struct {
+	// Interval between health/scale evaluations (default 250 µs).
+	Interval sim.Time
+	// HighWater activates a standby member when the mean live-connection
+	// count per active member exceeds it (0 disables autoscaling up).
+	HighWater int
+	// LowWater drains the newest-activated member when the mean falls
+	// below it and more than MinActive members are active (0 disables
+	// autoscaling down).
+	LowWater int
+	// MinActive floors scale-down (default 1).
+	MinActive int
+	// Cooldown is the minimum time between scale events (default 4×Interval).
+	Cooldown sim.Time
+}
+
+// FarmSpec describes one server farm: Members identical NEaT machines
+// behind one VIP.
+type FarmSpec struct {
+	// Name labels the farm (required, unique).
+	Name string
+	// Tenant is the owning tenant ("" = the default tenant).
+	Tenant string
+	// Members is the machine count (≥ 1).
+	Members int
+	// InitialActive is how many members start in the new-flow rotation
+	// (default all; the rest are standby capacity for the autoscaler).
+	InitialActive int
+	// VIP is the farm's virtual IP; zero assigns 10.0.0.(100+farmIndex).
+	VIP proto.Addr
+	// Host shapes each member machine. Zero value: the 12-core AMD
+	// Opteron of §6 with 8 NIC queues. Name/Side/IP/MAC are assigned by
+	// the builder (members share the VIP — direct-server-return).
+	Host HostConfig
+	// NEaT configures each member's system. Zero TCP means
+	// tcpeng.DefaultConfig(); nil Slots means two single-component
+	// replicas on cores 2-3. The watchdog is forced on: its heartbeat
+	// counters are the cross-machine liveness signal.
+	NEaT NEaTConfig
+	// Steering is the farm-level placement policy (default hash). Must be
+	// deterministic (hash or ring — not least-loaded).
+	Steering steer.Config
+	// Control tunes the farm controller.
+	Control FarmControlConfig
+}
+
+// ClientSpec describes one load-generator machine.
+type ClientSpec struct {
+	// Tenant selects which farms this client can reach ("" = default).
+	Tenant string
+	// Stacks is the client replica count (default 1). Keep 1 when
+	// sequential↔PDES byte-identity matters: a single stack makes the
+	// connect-side placer draw-free.
+	Stacks int
+	// Host optionally overrides the machine shape (zero: the oversized
+	// default load generator).
+	Host HostConfig
+}
+
+// SwitchSpec shapes the cluster switch.
+type SwitchSpec struct {
+	// Name labels the switch (default "tor").
+	Name string
+	// Latency is the store-and-forward delay (default 1 µs).
+	Latency sim.Time
+}
+
+// ClusterSpec is a resolved cluster topology. The neat facade's
+// ClusterConfig compiles to this; tests may also build it directly.
+type ClusterSpec struct {
+	Switch  SwitchSpec
+	Farms   []FarmSpec
+	Clients []ClientSpec
+	// LinkBitsPerSec / LinkPropDelay shape every access link (defaults:
+	// the 10 Gb/s, 1 µs DAC of the two-host testbed).
+	LinkBitsPerSec int64
+	LinkPropDelay  sim.Time
+}
+
+// FarmMember is one running server machine of a farm.
+type FarmMember struct {
+	Host    *Host
+	Sys     *core.System
+	Port    int // switch port index
+	Backend int // service backend index
+
+	// controller state
+	alive      bool
+	lastProbes uint64
+	sampled    bool
+}
+
+// Alive reports whether the farm controller still considers the member
+// live.
+func (m *FarmMember) Alive() bool { return m.alive }
+
+// Farm is one running server farm.
+type Farm struct {
+	Name    string
+	Tenant  string
+	VIP     proto.Addr
+	VMAC    proto.MAC
+	Service *wire.L4Service
+	Members []*FarmMember
+
+	cluster  *Cluster
+	control  FarmControlConfig
+	lastFlip sim.Time
+	flipped  bool
+}
+
+// FarmEventKind enumerates farm-controller lifecycle events.
+type FarmEventKind int
+
+// Farm controller events.
+const (
+	// FarmMemberDead: a member's watchdog stopped making progress and the
+	// backend was taken Down.
+	FarmMemberDead FarmEventKind = iota
+	// FarmScaleUp: a standby member was activated.
+	FarmScaleUp
+	// FarmScaleDown: an active member was put back to draining standby.
+	FarmScaleDown
+)
+
+// String names the event kind.
+func (k FarmEventKind) String() string {
+	switch k {
+	case FarmMemberDead:
+		return "member-dead"
+	case FarmScaleUp:
+		return "scale-up"
+	case FarmScaleDown:
+		return "scale-down"
+	default:
+		return fmt.Sprintf("FarmEventKind(%d)", int(k))
+	}
+}
+
+// FarmEvent is one farm-controller decision.
+type FarmEvent struct {
+	At     sim.Time
+	Farm   string
+	Kind   FarmEventKind
+	Member int
+}
+
+// ClusterClient is one running load-generator machine.
+type ClusterClient struct {
+	Host   *Host
+	Sys    *core.System
+	Tenant string
+	Port   int
+}
+
+// Cluster is a running cluster topology.
+type Cluster struct {
+	Sim     *sim.Simulator
+	Switch  *wire.Switch
+	Farms   []*Farm
+	Clients []*ClusterClient
+
+	// SwitchMachine is the one-core "forwarding ASIC" machine whose
+	// scheduling domain the switch runs in (its own PDES shard).
+	SwitchMachine *sim.Machine
+
+	events []FarmEvent
+}
+
+// Events returns the farm-controller lifecycle log in decision order.
+func (c *Cluster) Events() []FarmEvent { return c.events }
+
+// Farm returns the farm named name, or nil.
+func (c *Cluster) Farm(name string) *Farm {
+	for _, f := range c.Farms {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// TenantFarms returns the farms of one tenant, in spec order.
+func (c *Cluster) TenantFarms(tenant string) []*Farm {
+	var out []*Farm
+	for _, f := range c.Farms {
+		if f.Tenant == tenant {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Validate reports the first error in the spec, with enough context to
+// fix it.
+func (spec ClusterSpec) Validate() error {
+	if len(spec.Farms) == 0 {
+		return fmt.Errorf("testbed: cluster needs at least one farm")
+	}
+	if len(spec.Farms) > 64 {
+		return fmt.Errorf("testbed: %d farms exceed the VIP block 10.0.0.100-163 (max 64)", len(spec.Farms))
+	}
+	if len(spec.Clients) == 0 {
+		return fmt.Errorf("testbed: cluster needs at least one client machine")
+	}
+	if len(spec.Clients) > 54 {
+		return fmt.Errorf("testbed: %d clients exceed the address block 10.0.0.200-253 (max 54)", len(spec.Clients))
+	}
+	names := make(map[string]bool, len(spec.Farms))
+	tenants := make(map[string]bool)
+	for i, f := range spec.Farms {
+		if f.Name == "" {
+			return fmt.Errorf("testbed: farm %d has no name", i)
+		}
+		if names[f.Name] {
+			return fmt.Errorf("testbed: duplicate farm name %q", f.Name)
+		}
+		names[f.Name] = true
+		tenants[f.Tenant] = true
+		if f.Members < 1 {
+			return fmt.Errorf("testbed: farm %q has %d members; want at least 1", f.Name, f.Members)
+		}
+		if f.Members > 250 {
+			return fmt.Errorf("testbed: farm %q has %d members; the MAC plan allows 250", f.Name, f.Members)
+		}
+		if f.InitialActive < 0 || f.InitialActive > f.Members {
+			return fmt.Errorf("testbed: farm %q InitialActive %d out of range 0..%d (0 means all)",
+				f.Name, f.InitialActive, f.Members)
+		}
+		if _, err := f.Steering.NewDeterministic(); err != nil {
+			return fmt.Errorf("testbed: farm %q: %v", f.Name, err)
+		}
+		if f.Control.Interval < 0 || f.Control.Cooldown < 0 {
+			return fmt.Errorf("testbed: farm %q has a negative controller interval or cooldown", f.Name)
+		}
+		if f.Control.HighWater < 0 || f.Control.LowWater < 0 ||
+			(f.Control.HighWater > 0 && f.Control.LowWater >= f.Control.HighWater) {
+			return fmt.Errorf("testbed: farm %q watermarks (high %d, low %d) must satisfy 0 <= low < high",
+				f.Name, f.Control.HighWater, f.Control.LowWater)
+		}
+	}
+	for i, cl := range spec.Clients {
+		if cl.Stacks < 0 {
+			return fmt.Errorf("testbed: client %d has %d stacks; want 0 (default 1) or more", i, cl.Stacks)
+		}
+		if !tenants[cl.Tenant] {
+			return fmt.Errorf("testbed: client %d belongs to tenant %q, which owns no farm", i, cl.Tenant)
+		}
+	}
+	return nil
+}
+
+// farmVIP and the MAC plan give every cluster element a deterministic
+// address: farm f's VIP is 10.0.0.(100+f) with VMAC 02:FE::(f+1), its
+// member m has MAC 02:AD::(f+1):(m+1) (and the VIP as its IP —
+// direct-server-return), client k is 10.0.0.(200+k) / 02:C1::(k+1).
+func farmVIP(f int) proto.Addr { return proto.IPv4(10, 0, 0, byte(100+f)) }
+
+func farmVMAC(f int) proto.MAC { return proto.MAC{0x02, 0xFE, 0, 0, 0, byte(f + 1)} }
+
+func memberMAC(f, m int) proto.MAC { return proto.MAC{0x02, 0xAD, 0, 0, byte(f + 1), byte(m + 1)} }
+
+func clientIP(k int) proto.Addr { return proto.IPv4(10, 0, 0, byte(200+k)) }
+
+func clientMAC(k int) proto.MAC { return proto.MAC{0x02, 0xC1, 0, 0, 0, byte(k + 1)} }
+
+// NewCluster builds and boots the cluster described by spec on simulator
+// s. In PDES mode (s.EnablePDES called first) every machine — the switch
+// included — runs in its own scheduling domain. Machine creation order is
+// fixed (switch, then farms in order, then clients), so domain RNG
+// seeding and addressing are reproducible run-to-run.
+func NewCluster(s *sim.Simulator, spec ClusterSpec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	swName := spec.Switch.Name
+	if swName == "" {
+		swName = "tor"
+	}
+	// The "forwarding ASIC": a one-core machine minted only for its
+	// scheduling domain. The switch model costs no cycles on it.
+	swm := sim.NewMachine(s, swName, 1, 1, 1_000_000_000)
+	sw := wire.NewSwitch(swm.Sim(), swName)
+	if spec.Switch.Latency > 0 {
+		sw.Latency = spec.Switch.Latency
+	}
+	c := &Cluster{Sim: s, Switch: sw, SwitchMachine: swm}
+
+	link := func() *Net {
+		n := NewOn(s)
+		if spec.LinkBitsPerSec > 0 {
+			n.Link.BitsPerSec = spec.LinkBitsPerSec
+		}
+		if spec.LinkPropDelay > 0 {
+			n.Link.PropDelay = spec.LinkPropDelay
+		}
+		return n
+	}
+
+	// Client addressing first: farm members need the client ARP entries
+	// of their tenant before their stacks boot.
+	clientARP := make(map[string]map[proto.Addr]proto.MAC)
+	for k, cl := range spec.Clients {
+		if clientARP[cl.Tenant] == nil {
+			clientARP[cl.Tenant] = make(map[proto.Addr]proto.MAC)
+		}
+		clientARP[cl.Tenant][clientIP(k)] = clientMAC(k)
+	}
+
+	for fi := range spec.Farms {
+		fs := &spec.Farms[fi]
+		vip := fs.VIP
+		if vip == (proto.Addr{}) {
+			vip = farmVIP(fi)
+		}
+		vmac := farmVMAC(fi)
+		svc, err := sw.AddService(wire.L4ServiceConfig{
+			Name:     fs.Name,
+			Tenant:   fs.Tenant,
+			VIP:      vip,
+			VMAC:     vmac,
+			Steering: fs.Steering,
+		})
+		if err != nil {
+			return nil, err
+		}
+		farm := &Farm{
+			Name: fs.Name, Tenant: fs.Tenant, VIP: vip, VMAC: vmac,
+			Service: svc, cluster: c, control: fs.Control,
+		}
+		if farm.control.Interval == 0 {
+			farm.control.Interval = 250 * sim.Microsecond
+		}
+		if farm.control.Cooldown == 0 {
+			farm.control.Cooldown = 4 * farm.control.Interval
+		}
+		if farm.control.MinActive == 0 {
+			farm.control.MinActive = 1
+		}
+		initialActive := fs.InitialActive
+		if initialActive == 0 {
+			initialActive = fs.Members
+		}
+		for mi := 0; mi < fs.Members; mi++ {
+			hcfg := fs.Host
+			hcfg.Name = fmt.Sprintf("%s-m%d", fs.Name, mi)
+			hcfg.Side = 0
+			hcfg.IP = vip // DSR: every member answers from the VIP
+			hcfg.MAC = memberMAC(fi, mi)
+			if hcfg.Cores == 0 {
+				hcfg.Cores = 12
+			}
+			if hcfg.Queues == 0 {
+				hcfg.Queues = 8
+			}
+			n := link()
+			h := n.AddHost(hcfg)
+			ncfg := fs.NEaT
+			if ncfg.TCP == (tcpeng.Config{}) {
+				ncfg.TCP = tcpeng.DefaultConfig()
+			}
+			if ncfg.Slots == nil {
+				ncfg.Slots = SingleSlots(2, 2)
+				ncfg.Syscall = ThreadLoc{Core: 1}
+			}
+			// The member watchdog is the cross-machine liveness signal:
+			// the farm controller reads its probe counter for progress.
+			ncfg.Watchdog.Enabled = true
+			sys, err := h.BuildNEaTARP(clientARP[fs.Tenant], ncfg)
+			if err != nil {
+				return nil, fmt.Errorf("testbed: farm %q member %d: %w", fs.Name, mi, err)
+			}
+			port := sw.AddPort(hcfg.Name, n.Link.End(1), hcfg.MAC)
+			state := wire.BackendActive
+			if mi >= initialActive {
+				state = wire.BackendDraining // standby capacity
+			}
+			backend := svc.AddBackend(port, hcfg.MAC, state)
+			farm.Members = append(farm.Members, &FarmMember{
+				Host: h, Sys: sys, Port: port, Backend: backend, alive: true,
+			})
+		}
+		c.Farms = append(c.Farms, farm)
+	}
+
+	for k := range spec.Clients {
+		cs := &spec.Clients[k]
+		stacks := cs.Stacks
+		if stacks == 0 {
+			stacks = 1
+		}
+		hcfg := cs.Host
+		hcfg.Name = fmt.Sprintf("client%d", k)
+		hcfg.Side = 0
+		hcfg.IP = clientIP(k)
+		hcfg.MAC = clientMAC(k)
+		if hcfg.Cores == 0 {
+			hcfg.Cores = 2 + 2*stacks + 14
+			hcfg.FreqHz = 3_000_000_000
+		}
+		if hcfg.Queues == 0 {
+			hcfg.Queues = stacks
+		}
+		n := link()
+		h := n.AddHost(hcfg)
+		// A tenant's client resolves exactly its tenant's VIPs: the ARP
+		// table is the tenant boundary.
+		arp := make(map[proto.Addr]proto.MAC)
+		for _, f := range c.TenantFarms(cs.Tenant) {
+			arp[f.VIP] = f.VMAC
+		}
+		sys, err := h.BuildClientSystemARP(arp, stacks, tcpeng.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("testbed: client %d: %w", k, err)
+		}
+		port := sw.AddPort(hcfg.Name, n.Link.End(1), hcfg.MAC)
+		c.Clients = append(c.Clients, &ClusterClient{
+			Host: h, Sys: sys, Tenant: cs.Tenant, Port: port,
+		})
+	}
+
+	// Start the farm controllers: control-plane loops on the root
+	// simulator, which PDES executes at barriers with all domains
+	// quiescent. The first tick is offset from the member watchdogs'
+	// probe instants (multiples of their 100 µs interval) so counter
+	// sampling never ties with a probe event.
+	for _, f := range c.Farms {
+		farm := f
+		var tick func()
+		tick = func() {
+			farm.controlTick()
+			s.After(farm.control.Interval, tick)
+		}
+		s.At(s.Now()+farm.control.Interval+17*sim.Microsecond, tick)
+	}
+	return c, nil
+}
+
+// controlTick is one farm-controller evaluation: member health first,
+// then the scale watermarks.
+func (f *Farm) controlTick() {
+	now := f.cluster.Sim.Now()
+
+	// Health: a live member's watchdog sends probes every round; a
+	// counter that stopped moving means the machine is gone (hung kernel,
+	// dead cable, KillMachine). Backend goes Down — pinned flows to it
+	// are lost (their state died with the machine), new flows re-place
+	// onto the survivors.
+	for i, m := range f.Members {
+		if !m.alive {
+			continue
+		}
+		probes := m.Sys.Watchdog().Stats().ProbesSent
+		if m.sampled && probes == m.lastProbes {
+			m.alive = false
+			f.Service.SetBackendState(m.Backend, wire.BackendDown)
+			f.cluster.events = append(f.cluster.events, FarmEvent{
+				At: now, Farm: f.Name, Kind: FarmMemberDead, Member: i,
+			})
+			continue
+		}
+		m.lastProbes = probes
+		m.sampled = true
+	}
+
+	// Autoscale: mean live connections per active member against the
+	// watermarks, with a cooldown between flips.
+	if f.control.HighWater == 0 && f.control.LowWater == 0 {
+		return
+	}
+	if f.flipped && now-f.lastFlip < f.control.Cooldown {
+		return
+	}
+	active, conns := 0, 0
+	for _, m := range f.Members {
+		if m.alive && f.Service.BackendState(m.Backend) == wire.BackendActive {
+			active++
+			conns += m.Sys.TotalConns()
+		}
+	}
+	if active == 0 {
+		return
+	}
+	mean := conns / active
+	if f.control.HighWater > 0 && mean > f.control.HighWater {
+		for i, m := range f.Members {
+			if m.alive && f.Service.BackendState(m.Backend) == wire.BackendDraining {
+				f.Service.SetBackendState(m.Backend, wire.BackendActive)
+				f.lastFlip, f.flipped = now, true
+				f.cluster.events = append(f.cluster.events, FarmEvent{
+					At: now, Farm: f.Name, Kind: FarmScaleUp, Member: i,
+				})
+				return
+			}
+		}
+		return
+	}
+	if f.control.LowWater > 0 && mean < f.control.LowWater && active > f.control.MinActive {
+		// Drain the highest-indexed active member (the steer plane's
+		// historical retire choice, one level up).
+		for i := len(f.Members) - 1; i >= 0; i-- {
+			m := f.Members[i]
+			if m.alive && f.Service.BackendState(m.Backend) == wire.BackendActive {
+				f.Service.SetBackendState(m.Backend, wire.BackendDraining)
+				f.lastFlip, f.flipped = now, true
+				f.cluster.events = append(f.cluster.events, FarmEvent{
+					At: now, Farm: f.Name, Kind: FarmScaleDown, Member: i,
+				})
+				return
+			}
+		}
+	}
+}
+
+// KillMachine fails farm member (farm, member) completely: every process
+// on the machine livelocks (accepting deliveries, processing nothing —
+// invisible to the in-machine crash oracle, exactly a hung kernel) and
+// the machine's switch port goes down. Detection is the farm
+// controller's job. Call from a control-plane event (root-simulator
+// At/After) so PDES runs it at a barrier.
+func (c *Cluster) KillMachine(farm, member int) {
+	f := c.Farms[farm]
+	m := f.Members[member]
+	mach := m.Host.Machine
+	for ci := 0; ci < mach.NumCores(); ci++ {
+		core := mach.Core(ci)
+		for ti := 0; ti < core.NumThreads(); ti++ {
+			for _, p := range mach.Thread(ci, ti).Procs() {
+				if !p.Dead() {
+					p.Hang()
+				}
+			}
+		}
+	}
+	c.Switch.SetPortUp(m.Port, false)
+}

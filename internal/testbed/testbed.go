@@ -103,11 +103,19 @@ func (h *Host) Thread(loc ThreadLoc) *sim.HWThread {
 // StackConfig returns the replica template for this host, with static ARP
 // towards the peer host.
 func (h *Host) StackConfig(kind stack.Kind, tcp tcpeng.Config, peer *Host) stack.Config {
+	return h.StackConfigARP(kind, tcp, map[proto.Addr]proto.MAC{peer.IP: peer.MAC})
+}
+
+// StackConfigARP returns the replica template for this host with an
+// arbitrary static ARP table — the multi-peer form cluster topologies
+// need, where a farm machine answers many clients and a client resolves
+// many service VIPs.
+func (h *Host) StackConfigARP(kind stack.Kind, tcp tcpeng.Config, arp map[proto.Addr]proto.MAC) stack.Config {
 	return stack.Config{
 		Kind: kind,
 		IP: ipeng.Config{
 			Addr: h.IP, Mask: Netmask, MAC: h.MAC,
-			StaticARP: map[proto.Addr]proto.MAC{peer.IP: peer.MAC},
+			StaticARP: arp,
 		},
 		TCP:   tcp,
 		Costs: stack.DefaultCosts(),
@@ -153,7 +161,13 @@ type NEaTConfig struct {
 
 // BuildNEaT boots a NEaT system on host h talking to peer.
 func (h *Host) BuildNEaT(peer *Host, cfg NEaTConfig) (*core.System, error) {
-	scfg := h.StackConfig(cfg.Kind, cfg.TCP, peer)
+	return h.BuildNEaTARP(map[proto.Addr]proto.MAC{peer.IP: peer.MAC}, cfg)
+}
+
+// BuildNEaTARP boots a NEaT system on host h with an arbitrary static ARP
+// table (the cluster form: one server machine answering many clients).
+func (h *Host) BuildNEaTARP(arp map[proto.Addr]proto.MAC, cfg NEaTConfig) (*core.System, error) {
+	scfg := h.StackConfigARP(cfg.Kind, cfg.TCP, arp)
 	if cfg.Stack != nil {
 		scfg = *cfg.Stack
 	}
@@ -246,7 +260,13 @@ func DefaultClientHost(n *Net, side int, stacks int) *Host {
 // saturate the server, not itself (the paper's client machine runs 12
 // httperf processes that together generate >300 krps).
 func (h *Host) BuildClientSystem(peer *Host, stacks int, tcp tcpeng.Config) (*core.System, error) {
-	scfg := h.StackConfig(stack.Single, tcp, peer)
+	return h.BuildClientSystemARP(map[proto.Addr]proto.MAC{peer.IP: peer.MAC}, stacks, tcp)
+}
+
+// BuildClientSystemARP is BuildClientSystem with an arbitrary static ARP
+// table (the cluster form: one load generator resolving many service VIPs).
+func (h *Host) BuildClientSystemARP(arp map[proto.Addr]proto.MAC, stacks int, tcp tcpeng.Config) (*core.System, error) {
+	scfg := h.StackConfigARP(stack.Single, tcp, arp)
 	// Generous client: stack operations cost a tenth of the server's.
 	scfg.Costs = cheapCosts()
 	cfg := NEaTConfig{Kind: stack.Single, TCP: tcp,
@@ -254,7 +274,7 @@ func (h *Host) BuildClientSystem(peer *Host, stacks int, tcp tcpeng.Config) (*co
 		Syscall: ThreadLoc{Core: 1},
 		Stack:   &scfg,
 	}
-	return h.BuildNEaT(peer, cfg)
+	return h.BuildNEaTARP(arp, cfg)
 }
 
 // cheapCosts returns stack costs scaled down for the load generator.

@@ -130,8 +130,8 @@ func hopName(p *sim.Proc) string {
 
 // componentRank orders hops along the message path for rendering.
 var componentRank = map[string]int{
-	"wire": 0, "nic": 1, "driver": 2, "pf": 3, "ip": 4, "udp": 5,
-	"tcp": 6, "syscall": 7, "app": 8,
+	"wire": 0, "switch": 1, "nic": 2, "driver": 3, "pf": 4, "ip": 5,
+	"udp": 6, "tcp": 7, "syscall": 8, "app": 9,
 }
 
 func rank(component string) int {
@@ -146,6 +146,8 @@ func classify(hop string) string {
 	switch {
 	case strings.HasPrefix(hop, "wire"):
 		return "wire"
+	case strings.HasPrefix(hop, "switch"):
+		return "switch"
 	case strings.Contains(hop, ".nic."):
 		return "nic"
 	default:

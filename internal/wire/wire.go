@@ -117,6 +117,41 @@ func NewLink(s *sim.Simulator) *Link {
 		BitsPerSec: 10_000_000_000, PropDelay: sim.Microsecond}
 }
 
+// Endpoint is a named attachment point: one side of a link, handed to the
+// device that faces it (a NIC, a switch port). It generalizes the
+// historical (link, side) pair so topology code can wire a machine to a
+// point-to-point peer or to a switch port through the same handle, without
+// the caller tracking which integer side it was given.
+type Endpoint struct {
+	link *Link
+	side int
+}
+
+// End returns the endpoint handle for side (0 or 1) of the link.
+func (l *Link) End(side int) Endpoint { return Endpoint{link: l, side: side} }
+
+// IsZero reports whether the endpoint is unwired.
+func (e Endpoint) IsZero() bool { return e.link == nil }
+
+// Link returns the underlying link.
+func (e Endpoint) Link() *Link { return e.link }
+
+// Side returns the link side this endpoint occupies.
+func (e Endpoint) Side() int { return e.side }
+
+// Attach connects p as the receiver of frames arriving at this endpoint.
+func (e Endpoint) Attach(p Port) { e.link.Attach(e.side, p) }
+
+// Transmit sends a frame from this endpoint towards the opposite one.
+func (e Endpoint) Transmit(frame []byte) { e.link.Transmit(e.side, frame) }
+
+// Bind rebinds the endpoint to the scheduling domain ds (see
+// Link.BindEndpoint).
+func (e Endpoint) Bind(ds *sim.Simulator) { e.link.BindEndpoint(e.side, ds) }
+
+// Lookahead returns the link's PDES lookahead (see Link.Lookahead).
+func (e Endpoint) Lookahead() sim.Time { return e.link.Lookahead() }
+
 // Attach connects p as endpoint side (0 or 1).
 func (l *Link) Attach(side int, p Port) { l.ports[side] = p }
 

@@ -1,0 +1,369 @@
+package neat
+
+// Cluster facade: a declarative topology API over the multi-machine
+// testbed. A ClusterConfig names machines, links, a switch, server farms
+// and tenants; Build compiles it to a running simulated datacenter — one
+// store-and-forward switch, one access link per machine, L4 virtual
+// services steering each farm's flows across its member machines with the
+// same placement policies that steer flows across replicas within a
+// machine. The two-machine helpers (NewNetwork, NewServerMachine,
+// NewClientMachine, StartNEaT) remain the short path for single-link
+// work; a cluster is what you reach for when the question spans machines:
+// farm-level autoscaling, cross-machine failover, multi-tenant isolation.
+
+import (
+	"fmt"
+
+	"neat/internal/sim"
+	"neat/internal/steer"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+	"neat/internal/trace"
+)
+
+// Cluster is a running cluster topology (see ClusterConfig.Build).
+type Cluster = testbed.Cluster
+
+// Farm is one running server farm: member machines behind a shared VIP.
+type Farm = testbed.Farm
+
+// FarmMember is one running server machine of a farm.
+type FarmMember = testbed.FarmMember
+
+// FarmEvent is one farm-controller decision (member death, scale events).
+type FarmEvent = testbed.FarmEvent
+
+// FarmEventKind enumerates farm-controller lifecycle events.
+type FarmEventKind = testbed.FarmEventKind
+
+// Farm controller events.
+const (
+	FarmMemberDead = testbed.FarmMemberDead
+	FarmScaleUp    = testbed.FarmScaleUp
+	FarmScaleDown  = testbed.FarmScaleDown
+)
+
+// ClusterConfig declares a cluster topology. The zero values of every
+// field are a working choice; the minimum viable config is one farm and
+// one client:
+//
+//	cluster, _ := neat.ClusterConfig{
+//		Farms:   []neat.FarmConfig{{Name: "web", Members: 2}},
+//		Clients: []neat.ClientConfig{{}},
+//	}.Build()
+//	cluster.Sim.RunFor(10 * neat.Millisecond)
+type ClusterConfig struct {
+	// Seed drives the deterministic simulation (default 1).
+	Seed int64
+	// PDESWorkers > 0 runs the cluster under conservative parallel
+	// discrete-event simulation with that many workers; 0 is the
+	// sequential global event loop. Either way the run is deterministic,
+	// and a cluster built from this config behaves identically under
+	// both engines.
+	PDESWorkers int
+	// Switch shapes the one switch of the star topology.
+	Switch SwitchConfig
+	// Link shapes every machine's access link.
+	Link LinkConfig
+	// Farms are the server farms (at least one).
+	Farms []FarmConfig
+	// Clients are the load-generator machines (at least one).
+	Clients []ClientConfig
+	// Observe attaches a message tracer to the whole cluster before
+	// boot (per-hop latency spans via Cluster tracing; serializes PDES
+	// execution without changing behavior).
+	Observe bool
+}
+
+// SwitchConfig shapes the cluster switch.
+type SwitchConfig struct {
+	// Name labels the switch (default "tor").
+	Name string
+	// Latency is the store-and-forward delay per frame (default 1 µs).
+	Latency Time
+}
+
+// LinkConfig shapes the per-machine access links.
+type LinkConfig struct {
+	// BitsPerSec is the line rate (default 10 Gb/s).
+	BitsPerSec int64
+	// PropDelay is the propagation delay (default 1 µs).
+	PropDelay Time
+}
+
+// FarmConfig declares one server farm: Members identical NEaT machines
+// behind a shared virtual IP, load-balanced by an L4 service on the
+// switch (direct-server-return: the service rewrites only the destination
+// MAC, replies bypass it).
+type FarmConfig struct {
+	// Name labels the farm (required, unique across the cluster).
+	Name string
+	// Tenant is the owning tenant ("" is the default tenant). A tenant's
+	// clients can reach only its own farms' VIPs, and every farm steers
+	// with its own placer over its own members — disjoint steering
+	// domains and replica sets on shared hardware.
+	Tenant string
+	// Members is the machine count (required, ≥ 1).
+	Members int
+	// InitialActive is how many members start in the new-flow rotation
+	// (default all). The rest start as draining standby — capacity the
+	// autoscaler can activate.
+	InitialActive int
+	// System configures each member machine's NEaT system, exactly as
+	// StartNEaT would interpret it on a two-machine network. The
+	// watchdog is always on regardless of System.Watchdog: its
+	// heartbeat counters are the farm controller's cross-machine
+	// liveness signal.
+	System SystemConfig
+	// Steering is the farm-level placement policy spreading flows
+	// across member machines (default "hash"). It must be deterministic
+	// — "hash" or "ring", not "least-loaded" — so that a cluster run is
+	// engine-independent.
+	Steering SteeringConfig
+	// Autoscale tunes the farm controller's watermark autoscaling.
+	// Zero watermarks leave the farm at InitialActive members (health
+	// monitoring still runs).
+	Autoscale AutoscaleConfig
+}
+
+// AutoscaleConfig is the farm controller's scaling policy: watermark
+// rules over the mean live-connection count per active member.
+type AutoscaleConfig struct {
+	// Interval between controller evaluations (default 250 µs).
+	Interval Time
+	// HighWater activates a standby member when the mean exceeds it
+	// (0 disables scaling up).
+	HighWater int
+	// LowWater drains a member when the mean falls below it (0 disables
+	// scaling down).
+	LowWater int
+	// MinActive floors scale-down (default 1).
+	MinActive int
+	// Cooldown is the minimum time between scale events (default
+	// 4×Interval).
+	Cooldown Time
+}
+
+// ClientConfig declares one load-generator machine.
+type ClientConfig struct {
+	// Tenant selects which farms this client can reach ("" = default
+	// tenant). The tenant must own at least one farm.
+	Tenant string
+	// Stacks is the client-side replica count (default 1; keep 1 when
+	// sequential↔PDES byte-identity matters).
+	Stacks int
+}
+
+// spec compiles the declarative config to the testbed's resolved form.
+func (cfg ClusterConfig) spec() (testbed.ClusterSpec, error) {
+	spec := testbed.ClusterSpec{
+		Switch: testbed.SwitchSpec{
+			Name:    cfg.Switch.Name,
+			Latency: cfg.Switch.Latency,
+		},
+		LinkBitsPerSec: cfg.Link.BitsPerSec,
+		LinkPropDelay:  cfg.Link.PropDelay,
+	}
+	for _, f := range cfg.Farms {
+		if err := f.System.Validate(); err != nil {
+			return spec, fmt.Errorf("neat: farm %q: %v", f.Name, err)
+		}
+		nc, err := compileSystem(f.System)
+		if err != nil {
+			return spec, fmt.Errorf("neat: farm %q: %v", f.Name, err)
+		}
+		policy, err := steer.ParsePolicy(f.Steering.Policy)
+		if err != nil {
+			return spec, fmt.Errorf("neat: farm %q steering policy %q: %v; want \"\", \"hash\" or \"ring\"",
+				f.Name, f.Steering.Policy, err)
+		}
+		spec.Farms = append(spec.Farms, testbed.FarmSpec{
+			Name:          f.Name,
+			Tenant:        f.Tenant,
+			Members:       f.Members,
+			InitialActive: f.InitialActive,
+			NEaT:          nc,
+			Steering: steer.Config{
+				Policy:     policy,
+				RingVNodes: f.Steering.RingVNodes,
+			},
+			Control: testbed.FarmControlConfig{
+				Interval:  f.Autoscale.Interval,
+				HighWater: f.Autoscale.HighWater,
+				LowWater:  f.Autoscale.LowWater,
+				MinActive: f.Autoscale.MinActive,
+				Cooldown:  f.Autoscale.Cooldown,
+			},
+		})
+	}
+	for _, cl := range cfg.Clients {
+		spec.Clients = append(spec.Clients, testbed.ClientSpec{
+			Tenant: cl.Tenant,
+			Stacks: cl.Stacks,
+		})
+	}
+	return spec, nil
+}
+
+// Validate reports the first configuration error, with enough context to
+// fix it. Build calls it; call it directly to check a config assembled
+// from user input.
+func (cfg ClusterConfig) Validate() error {
+	if cfg.PDESWorkers < 0 {
+		return fmt.Errorf("neat: ClusterConfig.PDESWorkers is %d; want 0 (sequential) or a positive worker count", cfg.PDESWorkers)
+	}
+	if cfg.Switch.Latency < 0 {
+		return fmt.Errorf("neat: ClusterConfig.Switch.Latency is %v; want 0 (default 1 µs) or a positive delay", cfg.Switch.Latency)
+	}
+	if cfg.Link.BitsPerSec < 0 || cfg.Link.PropDelay < 0 {
+		return fmt.Errorf("neat: ClusterConfig.Link is %+v; rate and propagation delay must be 0 (defaults) or positive", cfg.Link)
+	}
+	spec, err := cfg.spec()
+	if err != nil {
+		return err
+	}
+	return spec.Validate()
+}
+
+// Build boots the cluster: its own simulator (sequential or PDES per
+// PDESWorkers), the switch, every farm member and client machine, the L4
+// services, and one controller loop per farm. Drive it through
+// Cluster.Sim and observe it through Cluster.Events, Farm.Service and
+// each member's System.
+func (cfg ClusterConfig) Build() (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := cfg.spec()
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := sim.New(seed)
+	if cfg.PDESWorkers > 0 {
+		s.EnablePDES(cfg.PDESWorkers)
+	}
+	if cfg.Observe {
+		trace.New().Attach(s)
+	}
+	return testbed.NewCluster(s, spec)
+}
+
+// Testbed is a built two-machine topology: the classic single-link
+// testbed, declared instead of hand-assembled.
+type Testbed struct {
+	Net          *Network
+	Server       *Machine
+	Client       *Machine
+	System       *System // NEaT on the server
+	ClientSystem *System
+}
+
+// TopologyConfig declares the classic two-machine testbed — one NEaT
+// server, one load-generator client, one point-to-point link — as a
+// single value. It is the declarative form of the
+// NewNetwork/NewServerMachine/NewClientMachine/StartNEaT sequence (which
+// remains available for incremental assembly); Build performs exactly
+// that sequence, so a migrated caller sees byte-identical simulations.
+type TopologyConfig struct {
+	// Seed drives the deterministic simulation (default 1).
+	Seed int64
+	// Server selects the system-under-test machine model (default AMD12).
+	Server MachineModel
+	// ClientStacks is the client machine's replica count (default 1).
+	ClientStacks int
+	// System configures the NEaT system on the server.
+	System SystemConfig
+	// Tune, when non-nil, runs against the server system before the
+	// client side boots (scale adjustments, fault arming), so its events
+	// land at the same simulated time as a hand-rolled boot sequence.
+	Tune func(*System) error
+}
+
+// Validate reports the first configuration error. Build calls it.
+func (cfg TopologyConfig) Validate() error {
+	if cfg.ClientStacks < 0 {
+		return fmt.Errorf("neat: TopologyConfig.ClientStacks is %d; want 0 (default 1) or a positive count", cfg.ClientStacks)
+	}
+	if cfg.Server != AMD12 && cfg.Server != Xeon8x2 {
+		return fmt.Errorf("neat: TopologyConfig.Server is %d; want neat.AMD12 or neat.Xeon8x2", cfg.Server)
+	}
+	return cfg.System.Validate()
+}
+
+// Build boots the declared testbed.
+func (cfg TopologyConfig) Build() (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	stacks := cfg.ClientStacks
+	if stacks == 0 {
+		stacks = 1
+	}
+	net := NewNetwork(seed)
+	server := NewServerMachine(net, cfg.Server)
+	client := NewClientMachine(net, stacks)
+	sys, err := StartNEaT(server, client, cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tune != nil {
+		if err := cfg.Tune(sys); err != nil {
+			return nil, err
+		}
+	}
+	clisys, err := StartClientSystem(client, server, stacks)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{Net: net, Server: server, Client: client,
+		System: sys, ClientSystem: clisys}, nil
+}
+
+// compileSystem translates the facade's per-machine SystemConfig into the
+// testbed's NEaTConfig — the same interpretation StartNEaT applies,
+// shared so a farm member is exactly a StartNEaT machine behind a switch.
+// The caller has run cfg.Validate.
+func compileSystem(cfg SystemConfig) (testbed.NEaTConfig, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.FirstCore == 0 {
+		cfg.FirstCore = 2
+	}
+	slots := testbed.SingleSlots(cfg.FirstCore, cfg.Replicas)
+	if cfg.Kind == MultiComponent {
+		slots = testbed.MultiSlots(cfg.FirstCore, cfg.Replicas)
+	}
+	tcp := tcpeng.DefaultConfig()
+	tcp.TSO = cfg.TSO
+	tcp.Guard.SynBacklog = cfg.Guard.SynBacklog
+	tcp.Guard.HeaderDeadline = cfg.Guard.HeaderDeadline
+	tcp.Guard.HeaderMinBytes = cfg.Guard.HeaderMinBytes
+	tcp.Guard.IdleDeadline = cfg.Guard.IdleDeadline
+	tcp.Guard.MaxConnsPerSource = cfg.Guard.MaxConnsPerSource
+	policy, err := steer.ParsePolicy(cfg.Steering.Policy)
+	if err != nil {
+		return testbed.NEaTConfig{}, err
+	}
+	nc := testbed.NEaTConfig{
+		Kind:    cfg.Kind,
+		TCP:     tcp,
+		Slots:   slots,
+		Syscall: testbed.ThreadLoc{Core: 1},
+		Steering: steer.Config{
+			Policy:        policy,
+			RingVNodes:    cfg.Steering.RingVNodes,
+			DrainDeadline: cfg.Steering.DrainDeadline,
+		},
+	}
+	nc.Watchdog.Enabled = cfg.Watchdog
+	return nc, nil
+}

@@ -217,6 +217,107 @@ func TestObservabilityFacade(t *testing.T) {
 	}
 }
 
+// TestClusterConfigValidate covers the declarative topology surface: the
+// minimal config builds, and each bad field produces an actionable error.
+func TestClusterConfigValidate(t *testing.T) {
+	farm := func(name string) []neat.FarmConfig {
+		return []neat.FarmConfig{{Name: name, Members: 1}}
+	}
+	clients := []neat.ClientConfig{{}}
+	cases := []struct {
+		name    string
+		cfg     neat.ClusterConfig
+		wantErr string // empty = valid
+	}{
+		{"minimal", neat.ClusterConfig{Farms: farm("web"), Clients: clients}, ""},
+		{"no-farms", neat.ClusterConfig{Clients: clients}, "farm"},
+		{"no-clients", neat.ClusterConfig{Farms: farm("web")}, "client"},
+		{"negative-workers", neat.ClusterConfig{Farms: farm("web"), Clients: clients,
+			PDESWorkers: -1}, "PDESWorkers"},
+		{"nondeterministic-steering", neat.ClusterConfig{
+			Farms: []neat.FarmConfig{{Name: "web", Members: 2,
+				Steering: neat.SteeringConfig{Policy: "least-loaded"}}},
+			Clients: clients}, "deterministic"},
+		{"ghost-tenant", neat.ClusterConfig{Farms: farm("web"),
+			Clients: []neat.ClientConfig{{Tenant: "ghost"}}}, "tenant"},
+		{"bad-member-system", neat.ClusterConfig{
+			Farms:   []neat.FarmConfig{{Name: "web", Members: 1, System: neat.SystemConfig{Replicas: 9}}},
+			Clients: clients}, "queue pairs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestClusterFacadeRoundTrip drives a connection through the whole
+// declarative topology: client machine → access link → switch L4 service
+// → a farm member's NEaT stack → echo app, with the reply returning
+// direct-server-return.
+func TestClusterFacadeRoundTrip(t *testing.T) {
+	cluster, err := neat.ClusterConfig{
+		Farms:   []neat.FarmConfig{{Name: "web", Members: 2}},
+		Clients: []neat.ClientConfig{{}},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := cluster.Farm("web")
+	if farm == nil || len(farm.Members) != 2 {
+		t.Fatalf("farm missing or wrong size: %+v", farm)
+	}
+
+	// An echo server on every member (any of them may get the flow).
+	for _, m := range farm.Members {
+		srv := apiApp(m.Host.AppThread(5), m.Sys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+			ln := lib.Listen(ctx, 4000, 8)
+			ln.OnAccept = func(ctx *sim.Context, s *socketlib.Socket) {
+				s.OnData = func(ctx *sim.Context, data []byte, eof bool) {
+					if len(data) > 0 {
+						s.Send(ctx, data)
+					}
+				}
+			}
+		})
+		srv.Deliver("go")
+	}
+	cluster.Sim.RunFor(neat.Millisecond)
+
+	var echoed string
+	cl := cluster.Clients[0]
+	cli := apiApp(cl.Host.AppThread(4), cl.Sys.SyscallProc(), func(ctx *sim.Context, lib *socketlib.Lib) {
+		s := lib.Connect(ctx, farm.VIP, 4000)
+		s.OnConnect = func(ctx *sim.Context, err error) {
+			if err == nil {
+				s.Send(ctx, []byte("roundtrip"))
+			}
+		}
+		s.OnData = func(ctx *sim.Context, data []byte, eof bool) { echoed += string(data) }
+	})
+	cli.Deliver("go")
+	cluster.Sim.RunFor(50 * neat.Millisecond)
+
+	if echoed != "roundtrip" {
+		t.Fatalf("echoed %q", echoed)
+	}
+	if st := farm.Service.Stats(); st.NewFlows == 0 {
+		t.Fatalf("the L4 service placed no flows: %+v", st)
+	}
+	if conns := farm.Members[0].Sys.TotalConns() + farm.Members[1].Sys.TotalConns(); conns == 0 {
+		t.Fatal("no connection established on any farm member")
+	}
+}
+
 // apiApp builds a minimal event-driven app process around a socket lib.
 func apiApp(th *sim.HWThread, syscall *sim.Proc, start func(*sim.Context, *socketlib.Lib)) *sim.Proc {
 	var lib *socketlib.Lib
