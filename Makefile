@@ -12,8 +12,9 @@ test:
 
 # bench writes the committed benchmark snapshot: micro-benchmark ns/op,
 # B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run,
-# the PDES worker-scaling ladder and the cluster connection ladder.
-BENCH_OUT ?= BENCH_pr8.json
+# the PDES worker-scaling ladder, the cluster connection ladder and the
+# connection-scale ladder (the 1M rung rides in as BenchmarkMillionConns).
+BENCH_OUT ?= BENCH_pr9.json
 
 bench:
 	$(GO) run ./cmd/neat-benchreport -out $(BENCH_OUT)
@@ -34,9 +35,10 @@ verify:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism|TestAttack|TestClusterDeterminism|TestClusterFailover'
+	$(GO) test -race -timeout 1800s ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism|TestAttack|TestClusterDeterminism|TestClusterFailover'
 	$(GO) test -race ./internal/bufpool ./internal/nicdev -run 'TestSlabOwnershipProperty|TestBatchedHandoffOwnership' -count=1
-	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc' -count=1
+	$(GO) test -race ./internal/sim -run 'TestTimerWheelMatchesReferenceScheduler' -count=1
+	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc|TestTimerArmStopZeroAlloc|TestTimerStatsPendingAndCascades' -count=1
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/neat-bench ./cmd/neat-bench; \
 	$(GO) build -o $$tmp/neat-faults ./cmd/neat-faults; \

@@ -10,6 +10,7 @@
 //	neat-bench -steering           # placement policy × workload skew comparison
 //	neat-bench -attack             # hostile clients vs guarded replicas
 //	neat-bench -cluster [-scale N] # datacenter campaign: L4-balanced farms behind a switch
+//	neat-bench -connscale          # connection-scale ladder: ~1M conns on one replica engine
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	steering := flag.Bool("steering", false, "run the placement-policy steering campaign instead of the paper tables")
 	attack := flag.Bool("attack", false, "run the goodput-under-attack campaign instead of the paper tables")
 	cluster := flag.Bool("cluster", false, "run the cluster campaign: multi-machine farms behind a switch/L4 tier (combine with -scale and -pdes)")
+	connscale := flag.Bool("connscale", false, "run the connection-scale ladder: up to ~1M established conns on one replica's engine, wheel vs event timer backends")
 	flag.Parse()
 	defer ef.StartProfiles()()
 
@@ -54,6 +56,9 @@ func main() {
 		// Not part of the default run: the cluster campaign measures the
 		// multi-machine topology, not a figure of the paper.
 		"cluster": experiments.ClusterScale,
+		// Not part of the default run: the connection-scale ladder measures
+		// the million-connection engine refactor (timer wheel + pooled PCBs).
+		"connscale": experiments.ConnScale,
 		// Not part of the default run: the PDES benches measure the
 		// simulator itself, not the paper. Combine with -pdes N.
 		"pdesfarm":  experiments.PDESFarm,
@@ -69,6 +74,8 @@ func main() {
 		cliutil.Emit(experiments.GoodputUnderAttack(o))
 	case *cluster:
 		cliutil.Emit(experiments.ClusterScale(o))
+	case *connscale:
+		cliutil.Emit(experiments.ConnScale(o))
 	case *only != "":
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {

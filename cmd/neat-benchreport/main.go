@@ -55,14 +55,34 @@ type clusterRow struct {
 	P99LatNs    int64   `json:"p99_latency_ns"`
 }
 
+// connScaleRow is one rung of the connection-scale ladder: a single replica
+// engine holding N established connections, each with an armed idle timer.
+// PendingEvents stays O(wheel levels) regardless of N when the hierarchical
+// timer wheel is the backend; the event backend would hold one calendar
+// event per armed timer. The 1M rung is covered by BenchmarkMillionConns in
+// the benchmarks section; the ladder here stops at 100k to keep snapshot
+// wall time sane.
+type connScaleRow struct {
+	Conns         int     `json:"conns"`
+	Backend       string  `json:"backend"`
+	Established   int     `json:"established"`
+	PendingEvents int     `json:"pending_events"`
+	PendingTimers int     `json:"pending_timers"`
+	Cascades      uint64  `json:"cascades,omitempty"`
+	BytesPerConn  float64 `json:"bytes_per_conn"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	PDESIdentical bool    `json:"pdes_identical,omitempty"`
+}
+
 type report struct {
-	Generated     string        `json:"generated"`
-	GoVersion     string        `json:"go_version"`
-	HostCPUs      int           `json:"host_cpus"`
-	Benchmarks    []benchResult `json:"benchmarks"`
-	QuickWallSecs float64       `json:"neat_bench_quick_wall_seconds"`
-	PDESScaling   []scalingRow  `json:"pdes_scaling,omitempty"`
-	ClusterLadder []clusterRow  `json:"cluster_ladder,omitempty"`
+	Generated     string         `json:"generated"`
+	GoVersion     string         `json:"go_version"`
+	HostCPUs      int            `json:"host_cpus"`
+	Benchmarks    []benchResult  `json:"benchmarks"`
+	QuickWallSecs float64        `json:"neat_bench_quick_wall_seconds"`
+	PDESScaling   []scalingRow   `json:"pdes_scaling,omitempty"`
+	ClusterLadder []clusterRow   `json:"cluster_ladder,omitempty"`
+	ConnScale     []connScaleRow `json:"conn_scale_ladder,omitempty"`
 }
 
 // benchSets lists (package, -bench pattern) pairs to run. The root package
@@ -74,10 +94,13 @@ var benchSets = [][2]string{
 	{"./internal/proto", "."},
 	{"./internal/bufpool", "."},
 	{"./internal/wire", "."},
+	// The million-connection rung of the conn-scale campaign: one engine,
+	// 1M established conns, 1M armed timers, O(levels) calendar events.
+	{"./internal/experiments", "^BenchmarkMillionConns$"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -133,6 +156,21 @@ func main() {
 			Errors:      p.Errors,
 			MeanLatNs:   int64(p.MeanLat),
 			P99LatNs:    int64(p.P99Lat),
+		})
+	}
+
+	for _, p := range experiments.ConnScaleLadder(
+		experiments.Options{Quick: true, Seed: 1}, []int{10_000, 100_000}) {
+		rep.ConnScale = append(rep.ConnScale, connScaleRow{
+			Conns:         p.Conns,
+			Backend:       p.Backend,
+			Established:   p.Established,
+			PendingEvents: p.PendingEvents,
+			PendingTimers: p.PendingTimers,
+			Cascades:      p.Cascades,
+			BytesPerConn:  p.BytesPerConn,
+			WallSeconds:   p.WallSeconds,
+			PDESIdentical: p.PDESIdentical,
 		})
 	}
 

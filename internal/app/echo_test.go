@@ -1,0 +1,106 @@
+package app
+
+import (
+	"testing"
+
+	"neat/internal/ipc"
+	"neat/internal/sim"
+	"neat/internal/stack"
+	"neat/internal/tcpeng"
+	"neat/internal/testbed"
+)
+
+// echoBed pairs an EchoServer behind NEaT with Talker conversation clients.
+func echoBed(t *testing.T, replicas, talkers int, ecfg EchoConfig, tcfg TalkerConfig) (*testbed.Net, *EchoServer, []*Talker) {
+	t.Helper()
+	n := testbed.New(17)
+	server := testbed.DefaultAMDHost(n, 0, replicas)
+	client := testbed.DefaultClientHost(n, 1, talkers)
+	sys, err := server.BuildNEaT(client, testbed.NEaTConfig{
+		Kind: stack.Single, TCP: tcpeng.DefaultConfig(),
+		Slots:   testbed.SingleSlots(2, replicas),
+		Syscall: testbed.ThreadLoc{Core: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clisys, err := client.BuildClientSystem(server, talkers, tcpeng.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecfg.Port == 0 {
+		ecfg.Port = 7 // the traditional echo port
+	}
+	es := NewEchoServer(server.AppThread(2+replicas), "echod", sys.SyscallProc(),
+		ipc.DefaultCosts(), ecfg)
+	es.Start()
+	n.Sim.RunFor(sim.Millisecond)
+	if !es.Ready() {
+		t.Fatal("echo server not ready")
+	}
+	tcfg.Target = server.IP
+	if tcfg.Port == 0 {
+		tcfg.Port = ecfg.Port
+	}
+	var tks []*Talker
+	for i := 0; i < talkers; i++ {
+		tk := NewTalker(client.AppThread(2+talkers+i), "talker", clisys.SyscallProc(),
+			ipc.DefaultCosts(), tcfg)
+		tks = append(tks, tk)
+	}
+	return n, es, tks
+}
+
+func TestEchoConversationEndToEnd(t *testing.T) {
+	const rounds = 12
+	n, es, tks := echoBed(t, 2, 1, EchoConfig{},
+		TalkerConfig{Conns: 4, Rounds: rounds, MsgSize: 384})
+	tks[0].Start()
+	n.Sim.RunFor(300 * sim.Millisecond)
+
+	st := tks[0].Stats()
+	if st.SessionsDone < 8 {
+		t.Fatalf("sessions=%d (errors=%d)", st.SessionsDone, st.Errors)
+	}
+	if st.Errors != 0 || st.Mismatches != 0 {
+		t.Fatalf("errors=%d mismatches=%d", st.Errors, st.Mismatches)
+	}
+	// Every completed session is exactly `rounds` request/reply exchanges on
+	// ONE connection: rounds completed must line up with sessions and the
+	// number of connections the server accepted.
+	if st.RoundsCompleted < st.SessionsDone*rounds {
+		t.Fatalf("rounds=%d for %d sessions", st.RoundsCompleted, st.SessionsDone)
+	}
+	if st.BytesIn != st.RoundsCompleted*384 {
+		t.Fatalf("bytes in=%d for %d rounds", st.BytesIn, st.RoundsCompleted)
+	}
+	ss := es.Stats()
+	if ss.Accepted < st.SessionsDone || ss.Accepted > uint64(st.ConnsOpened) {
+		t.Fatalf("server accepted %d, client opened %d, %d sessions done",
+			ss.Accepted, st.ConnsOpened, st.SessionsDone)
+	}
+	if ss.BytesIn < st.BytesIn {
+		t.Fatalf("server echoed %d bytes, client received %d", ss.BytesIn, st.BytesIn)
+	}
+	// Conversation latency histogram is populated.
+	if tks[0].Latency().Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+// TestEchoConversationWithThinkTime keeps connections long-lived and mostly
+// idle — the shape the per-connection idle guard must not reap as long as
+// think time stays under the deadline.
+func TestEchoConversationWithThinkTime(t *testing.T) {
+	n, _, tks := echoBed(t, 1, 1, EchoConfig{},
+		TalkerConfig{Conns: 3, Rounds: 6, MsgSize: 128, ThinkTime: 10 * sim.Millisecond})
+	tks[0].Start()
+	n.Sim.RunFor(400 * sim.Millisecond)
+	st := tks[0].Stats()
+	if st.SessionsDone < 3 {
+		t.Fatalf("sessions=%d (errors=%d)", st.SessionsDone, st.Errors)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors=%d", st.Errors)
+	}
+}

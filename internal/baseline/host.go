@@ -64,12 +64,9 @@ type udpSockCtx struct {
 	sock *udpeng.Socket
 }
 
-// tickMsg and tcpTimerMsg mirror the stack package's internal messages.
+// tickMsg mirrors the stack package's internal deferred-closure message;
+// TCP timers fire as *tcpeng.ConnTimer nodes.
 type tickMsg struct{ fn func() }
-type tcpTimerMsg struct {
-	c *tcpeng.Conn
-	k tcpeng.TimerKind
-}
 
 func newKernelHost(s *System) *kernelHost {
 	h := &kernelHost{
@@ -137,10 +134,10 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		h.sys.cfg.NIC.RearmQueueIRQ(m.Queue)
 	case tickMsg:
 		m.fn()
-	case tcpTimerMsg:
+	case *tcpeng.ConnTimer:
 		h.charge(h.costs.TimerOp)
 		h.lock()
-		h.tcp.OnTimer(m.c, m.k)
+		h.tcp.OnTimer(m.C, m.Kind)
 	case stack.OpListen:
 		h.charge(h.costs.SyscallOp)
 		h.lock()
@@ -334,29 +331,17 @@ func (h *kernelHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 	h.ip.OutputFrame(seg.Dst, proto.ProtoTCP, frame)
 }
 
-// timerSlot is the per-(connection, timer-kind) state kept in TimerCtx: one
-// reusable Timer plus the prebuilt (boxed once) timer message.
-type timerSlot struct {
-	t   sim.Timer
-	msg sim.Message
-}
-
 // ArmTimer implements tcpeng.Env. Timers fire on whichever kernel context
-// armed them, as in Linux.
+// armed them, as in Linux. The connection's intrusive node is its own fire
+// message, so the arm/stop path allocates nothing.
 func (h *kernelHost) ArmTimer(c *tcpeng.Conn, k tcpeng.TimerKind, d sim.Time) {
-	slot, ok := c.TimerCtx[k].(*timerSlot)
-	if !ok {
-		slot = &timerSlot{msg: tcpTimerMsg{c: c, k: k}}
-		c.TimerCtx[k] = slot
-	}
-	h.ctx.Retimer(&slot.t, d, slot.msg)
+	t := &c.Timers[k]
+	h.ctx.Retimer(&t.Timer, d, t)
 }
 
 // StopTimer implements tcpeng.Env.
 func (h *kernelHost) StopTimer(c *tcpeng.Conn, k tcpeng.TimerKind) {
-	if slot, ok := c.TimerCtx[k].(*timerSlot); ok {
-		slot.t.Stop() // the slot stays for reuse on the next arm
-	}
+	c.Timers[k].Stop()
 }
 
 // Accepted implements tcpeng.Env: contended accept from the single shared

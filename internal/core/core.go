@@ -408,6 +408,7 @@ func (sys *System) Metrics() *metrics.Registry {
 	// gauges; the totals here are what the goodput-under-attack campaign
 	// asserts on.
 	var synShed, slowReaped, srcCapped uint64
+	var cookiesSent, cookiesValidated, cookiesRejected uint64
 	for _, sl := range sys.slots {
 		if sl.replica == nil {
 			continue
@@ -416,18 +417,32 @@ func (sys *System) Metrics() *metrics.Registry {
 		synShed += ts.SynShed
 		slowReaped += ts.SlowlorisReaped
 		srcCapped += ts.SrcCapped
+		cookiesSent += ts.SynCookiesSent
+		cookiesValidated += ts.SynCookiesValidated
+		cookiesRejected += ts.SynCookiesRejected
 	}
 	r.SetCounter("stack.syn_shed", synShed)
 	r.SetCounter("stack.slowloris_reaped", slowReaped)
 	r.SetCounter("stack.src_capped", srcCapped)
+	r.SetCounter("stack.syn_cookies_sent", cookiesSent)
+	r.SetCounter("stack.syn_cookies_validated", cookiesValidated)
+	r.SetCounter("stack.syn_cookies_rejected", cookiesRejected)
 
 	// Per-replica live connection gauges: the load signal the least-loaded
 	// steering policy balances on, exported so experiments can report
-	// placement imbalance.
+	// placement imbalance — plus the PCB pool occupancy split (hot compact
+	// structs vs buffer-attached ones, and the recycled free lists).
 	for i, sl := range sys.slots {
 		if sl.state == SlotActive || sl.state == SlotTerminating {
 			r.SetGauge(fmt.Sprintf("core.replica%d.connections", i),
 				float64(sys.slotConns(i)))
+		}
+		if sl.replica != nil {
+			ps := sl.replica.TCP().PoolStats()
+			r.SetGauge(fmt.Sprintf("core.replica%d.pcb_hot", i), float64(ps.LiveHot))
+			r.SetGauge(fmt.Sprintf("core.replica%d.pcb_full", i), float64(ps.LiveFull))
+			r.SetGauge(fmt.Sprintf("core.replica%d.pcb_free", i),
+				float64(ps.FreeConns))
 		}
 	}
 

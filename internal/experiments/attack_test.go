@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"neat/internal/sim"
 	"neat/internal/steer"
 )
 
@@ -43,6 +44,42 @@ func TestAttackContainment(t *testing.T) {
 					kind, out.guard.DroppedSynBacklog)
 			}
 		}
+	}
+}
+
+// TestSynCookieOffload is the handshake-offload acceptance criterion: under
+// a flood hot enough to defeat backlog shedding, stateless cookies leave the
+// victim's PCB table free of embryonic entries and win back goodput on the
+// attacked replica.
+func TestSynCookieOffload(t *testing.T) {
+	o := Options{Quick: true}
+	shed := attackGuard()
+	shed.SynBacklog = 16
+	cookie := shed
+	cookie.SynCookies = true
+	cookie.SynCookieWatermark = -1
+	tune := attackTuning{floodBurst: 4, floodInterval: 25 * sim.Microsecond}
+
+	a := attackRunGuard(o, attackSynFlood, steer.PolicyHash, shed, tune)
+	b := attackRunGuard(o, attackSynFlood, steer.PolicyHash, cookie, tune)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errs: %v / %v", a.err, b.err)
+	}
+	if b.embryonic != 0 {
+		t.Fatalf("cookies left %d embryonic PCBs on the victim", b.embryonic)
+	}
+	if a.embryonic == 0 {
+		t.Fatal("shed baseline shows no embryonic pressure — the flood never engaged")
+	}
+	if b.guard.SynCookiesSent == 0 || b.guard.SynCookiesValidated == 0 {
+		t.Fatalf("cookie path inactive: %+v", b.guard)
+	}
+	if b.attackedKRPS < 2*a.attackedKRPS || b.attackedKRPS <= 0 {
+		t.Fatalf("cookies did not improve attacked-replica goodput: %.1f vs %.1f krps",
+			b.attackedKRPS, a.attackedKRPS)
+	}
+	if b.total.Errors >= a.total.Errors {
+		t.Fatalf("cookie cell errors %d not below shed cell %d", b.total.Errors, a.total.Errors)
 	}
 }
 

@@ -408,6 +408,10 @@ func (b *Bed) Registry() *metrics.Registry {
 			r.SetCounter("sim.pdes.domain."+d.Name+".events", d.Events)
 		}
 	}
+	ts := b.Net.Sim.TimerStats()
+	r.SetCounter("sim.timers.pending", uint64(ts.Pending))
+	r.SetCounter("sim.timers.cascades", ts.Cascades)
+	r.SetCounter("sim.timers.fired", ts.Fired)
 	return r
 }
 

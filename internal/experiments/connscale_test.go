@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"neat/internal/sim"
+)
+
+// TestConnScaleSmallRung checks the bed itself at a small rung: every
+// requested connection establishes, PDES reproduces the sequential digest,
+// and the two timer backends differ exactly where they should — calendar
+// residency.
+func TestConnScaleSmallRung(t *testing.T) {
+	const conns = 768
+	wheel := connScaleRun(7, conns, 0, sim.TimerBackendWheel)
+	if wheel.Established != conns {
+		t.Fatalf("wheel: established %d of %d", wheel.Established, conns)
+	}
+	if wheel.PendingTimers != conns {
+		t.Fatalf("wheel: %d resident timers, want %d idle guards", wheel.PendingTimers, conns)
+	}
+	if wheel.PendingEvents >= conns/2 {
+		t.Fatalf("wheel: %d calendar events pending — timers are leaking into the queue", wheel.PendingEvents)
+	}
+
+	pdes := connScaleRun(7, conns, 2, sim.TimerBackendWheel)
+	if pdes.Established != conns {
+		t.Fatalf("pdes: established %d of %d", pdes.Established, conns)
+	}
+	if pdes.digest != wheel.digest {
+		t.Fatalf("digest mismatch: seq=%s pdes2=%s", wheel.digest, pdes.digest)
+	}
+
+	event := connScaleRun(7, conns, 0, sim.TimerBackendEvent)
+	if event.Established != conns {
+		t.Fatalf("event: established %d of %d", event.Established, conns)
+	}
+	// The legacy backend plants one calendar event per armed idle guard.
+	if event.PendingEvents < conns {
+		t.Fatalf("event backend: %d pending events, want >= %d", event.PendingEvents, conns)
+	}
+}
+
+func TestConnScaleQuickLadderReport(t *testing.T) {
+	res := ConnScale(Options{Quick: true, Seed: 11})
+	if len(res.Tables) != 1 {
+		t.Fatalf("tables: %d", len(res.Tables))
+	}
+	if rows := len(res.Tables[0].Rows); rows != 4 { // 2 rungs x {wheel, event}
+		t.Fatalf("rows: %d", rows)
+	}
+	for _, p := range ConnScaleLadder(Options{Quick: true, Seed: 11}, []int{600}) {
+		if p.Backend == "wheel" && !p.PDESIdentical {
+			t.Fatal("wheel rung not PDES-identical")
+		}
+		if p.Established != 600 {
+			t.Fatalf("%s rung established %d of 600", p.Backend, p.Established)
+		}
+	}
+}
+
+// BenchmarkMillionConns is the headline number: one replica's TCP engine
+// holding a million established connections, each with an armed idle-guard
+// timer, while the simulator's calendar queue stays effectively empty.
+// Run with -benchtime=1x; one iteration is one full establishment storm.
+func BenchmarkMillionConns(b *testing.B) {
+	const conns = 1_000_000
+	for i := 0; i < b.N; i++ {
+		p := connScaleRun(int64(42+i), conns, 0, sim.TimerBackendWheel)
+		if p.Established != conns {
+			b.Fatalf("established %d of %d", p.Established, conns)
+		}
+		if p.PendingTimers != conns {
+			b.Fatalf("resident timers %d, want %d", p.PendingTimers, conns)
+		}
+		// The point of the wheel: calendar residency is O(levels), not
+		// O(conns). 1024 is generous — typically it is single digits.
+		if p.PendingEvents >= 1024 {
+			b.Fatalf("calendar queue holds %d events with %d armed timers", p.PendingEvents, conns)
+		}
+		if p.Cascades == 0 {
+			b.Fatal("no cascades: the ladder never exercised upper wheel levels")
+		}
+		b.ReportMetric(float64(p.PendingEvents), "pending-events")
+		b.ReportMetric(p.BytesPerConn, "B/conn")
+		b.ReportMetric(float64(p.Cascades), "cascades")
+	}
+}

@@ -93,11 +93,12 @@ func (s *Simulator) PDESEnabled() bool { return s.pdes != nil && s.parent == nil
 // independent of the runtime interleaving.
 func (s *Simulator) newDomain() *Simulator {
 	d := &Simulator{
-		rng:    rand.New(rand.NewSource(s.rng.Int63())),
-		tracer: s.tracer,
-		pdes:   s.pdes,
-		parent: s,
-		domID:  len(s.pdes.domains),
+		rng:          rand.New(rand.NewSource(s.rng.Int63())),
+		tracer:       s.tracer,
+		pdes:         s.pdes,
+		parent:       s,
+		domID:        len(s.pdes.domains),
+		timerBackend: s.timerBackend,
 	}
 	s.pdes.domains = append(s.pdes.domains, d)
 	return d
@@ -193,10 +194,10 @@ func (s *Simulator) runPDES(limit Time, drain bool) {
 	}
 	for {
 		c.flush()
-		ctrlAt, hasCtrl := s.q.peekTime()
+		ctrlAt, hasCtrl := s.peekTime()
 		next := maxTime
 		for _, d := range doms {
-			if t, ok := d.q.peekTime(); ok && t < next {
+			if t, ok := d.peekTime(); ok && t < next {
 				next = t
 			}
 		}
@@ -216,8 +217,7 @@ func (s *Simulator) runPDES(limit Time, drain bool) {
 			// at barriers with all domains quiescent, so they may touch any
 			// domain (deliver messages, kill processes, read stats).
 			s.advanceDomains(ctrlAt)
-			e, _ := s.q.pop(0, false)
-			s.run(e)
+			s.stepNext(0, false)
 			continue
 		}
 		// Parallel window [T, W]: every domain runs its events with

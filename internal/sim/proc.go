@@ -173,6 +173,11 @@ type outMsg struct {
 	// message finished processing; the send is released at that point of
 	// the dispatch, not at the end of the whole batch.
 	cyclesAt int64
+	// timer, when non-nil, marks a timer arm for the wheel backend: msg is
+	// the unboxed user message and tgen the generation to fire with. The
+	// flush routes these to the timer wheel instead of the event queue.
+	timer *Timer
+	tgen  uint64
 }
 
 // ProcConfig carries optional knobs for NewProc.
@@ -436,7 +441,7 @@ func (p *Proc) runDispatch() {
 		out := &pend[i]
 		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + out.delay
 		j := i + 1
-		for j < len(pend) && pend[j].dst == out.dst {
+		for j < len(pend) && pend[j].dst == out.dst && (pend[j].timer != nil) == (out.timer != nil) {
 			next := &pend[j]
 			at2 := t0 + Time(float64(p.machine.Cycles(next.cyclesAt))*factor) + next.delay
 			if at2 != at {
@@ -444,9 +449,16 @@ func (p *Proc) runDispatch() {
 			}
 			j++
 		}
-		if j == i+1 {
+		switch {
+		case out.timer != nil:
+			// A run of timer arms to one release time goes to the wheel
+			// under a single shared sequence number — exactly the sequence
+			// a batched delivery of the boxed firings would have consumed,
+			// so merged pop order matches the legacy backend byte for byte.
+			p.sim.armTimers(at, pend[i:j])
+		case j == i+1:
 			p.sim.DeliverAt(at, out.dst, out.msg)
-		} else {
+		default:
 			b := p.sim.getBatch()
 			for k := i; k < j; k++ {
 				b.msgs = append(b.msgs, pend[k].msg)
@@ -567,7 +579,17 @@ func (c *Context) Retimer(t *Timer, d Time, msg Message) {
 	t.gen++
 	t.fired = false
 	p := c.Proc
-	p.pending = append(p.pending, outMsg{dst: p, msg: p.sim.newTimerFire(t, t.gen, msg), delay: d})
+	if p.sim.timerBackend == TimerBackendEvent {
+		// Legacy reference path: box the firing now and schedule it as an
+		// ordinary delivery event at flush.
+		p.pending = append(p.pending, outMsg{dst: p, msg: p.sim.newTimerFire(t, t.gen, msg), delay: d})
+		return
+	}
+	// Wheel path: record the arm unboxed; the flush inserts it into the
+	// timer wheel and the firing box is built only at delivery. Appending to
+	// the recycled pending slice and inserting into a recycled wheel slot
+	// allocate nothing in steady state.
+	p.pending = append(p.pending, outMsg{dst: p, msg: msg, delay: d, timer: t, tgen: t.gen})
 }
 
 // timerFire wraps a timer delivery; runDispatch unwraps it transparently

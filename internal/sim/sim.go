@@ -229,19 +229,22 @@ func (q *eventQueue) firstSlot() int64 {
 	panic("sim: occupancy bitmap empty with count > 0")
 }
 
-// pop removes and returns the earliest event. If bounded, events after
-// limit are left in place and ok is false.
-func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
+// peekPos advances the horizon to the first occupied bucket and returns the
+// position and (at, seq) key of the earliest event without removing it. The
+// horizon advance and far-heap migration it performs are order-neutral, so a
+// peek whose event is not taken (the merged pop chose the timer wheel, or a
+// bounded run stopped) leaves behavior unchanged.
+func (q *eventQueue) peekPos() (slot int64, idx int, at Time, seq uint64, ok bool) {
 	if q.count == 0 {
 		if len(q.far) == 0 {
-			return event{}, false
+			return 0, 0, 0, 0, false
 		}
 		// The wheel drained with far events pending: jump the horizon to
 		// the earliest far bucket and migrate.
 		q.cur = int64(q.far[0].at) >> bucketShift
 		q.migrate()
 	}
-	slot := q.firstSlot()
+	slot = q.firstSlot()
 	// Advance cur to the bucket index the slot represents, then migrate:
 	// far events that the advance brought inside the horizon land in
 	// buckets strictly after this one, preserving order.
@@ -255,19 +258,32 @@ func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
 			min = i
 		}
 	}
-	if bounded && b[min].at > limit {
-		return event{}, false
-	}
-	e = b[min]
+	return slot, min, b[min].at, b[min].seq, true
+}
+
+// take removes and returns the event a peekPos located.
+func (q *eventQueue) take(slot int64, idx int) event {
+	b := q.wheel[slot]
+	e := b[idx]
 	last := len(b) - 1
-	b[min] = b[last]
+	b[idx] = b[last]
 	b[last] = event{} // release references for GC; slot capacity is reused
 	q.wheel[slot] = b[:last]
 	if last == 0 {
 		q.occ[slot>>6] &^= 1 << uint(slot&63)
 	}
 	q.count--
-	return e, true
+	return e
+}
+
+// pop removes and returns the earliest event. If bounded, events after
+// limit are left in place and ok is false.
+func (q *eventQueue) pop(limit Time, bounded bool) (e event, ok bool) {
+	slot, idx, at, _, ok := q.peekPos()
+	if !ok || (bounded && at > limit) {
+		return event{}, false
+	}
+	return q.take(slot, idx), true
 }
 
 // peekTime returns the timestamp of the earliest pending event without
@@ -349,6 +365,11 @@ type Simulator struct {
 	// reason. Boxes that die in flight (crash, drop injection) are simply
 	// collected; the freelist only ever shrinks by reuse.
 	tfFree []*timerFire
+
+	// tw holds armed timers outside the event queue (see timerwheel.go);
+	// timerBackend selects between it and the legacy per-event path.
+	tw           timerWheel
+	timerBackend TimerBackend
 
 	// Stats
 	eventsRun uint64
@@ -516,18 +537,18 @@ func (s *Simulator) run(e event) {
 // must only be called at a barrier.
 func (s *Simulator) Idle() bool {
 	if s.pdes != nil && s.parent == nil {
-		if !s.q.empty() {
+		if !s.idleLocal() {
 			return false
 		}
 		s.pdes.flush()
 		for _, d := range s.pdes.domains {
-			if !d.q.empty() {
+			if !d.idleLocal() {
 				return false
 			}
 		}
 		return true
 	}
-	return s.q.empty()
+	return s.idleLocal()
 }
 
 // Step executes the next event, if any, and reports whether one ran.
@@ -537,12 +558,7 @@ func (s *Simulator) Step() bool {
 	if s.pdes != nil && s.parent == nil {
 		panic("sim: Step is not supported in PDES mode; use RunUntil")
 	}
-	e, ok := s.q.pop(0, false)
-	if !ok {
-		return false
-	}
-	s.run(e)
-	return true
+	return s.stepNext(0, false)
 }
 
 // RunUntil executes events until the clock reaches t or the queue drains.
@@ -553,12 +569,7 @@ func (s *Simulator) RunUntil(t Time) {
 		s.runPDES(t, false)
 		return
 	}
-	for {
-		e, ok := s.q.pop(t, true)
-		if !ok {
-			break
-		}
-		s.run(e)
+	for s.stepNext(t, true) {
 	}
 	if s.now < t {
 		s.now = t

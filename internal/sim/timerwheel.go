@@ -1,0 +1,453 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timer wheel.
+//
+// Armed timers (TCP retransmission, delayed ACK, TIME_WAIT expiry, keepalive
+// guards) used to be ordinary event-queue entries: one calendar-queue event
+// per armed timer. At millions of connections that is millions of pending
+// simulator events, almost all of which are stopped or re-armed before they
+// fire. The wheel moves timers out of the event queue entirely: they live in
+// a three-level hierarchy of slot arrays beside the queue, and the
+// simulator's pop merges the two sources by (time, sequence), so a run is
+// byte-identical to the per-event scheduling it replaced while the event
+// queue's pending count stays independent of the number of armed timers.
+//
+// Determinism. Every arm records the (deadline, sequence) the legacy path
+// would have stamped on its delivery event — a run of timer arms flushed by
+// one dispatch to the same deadline shares one sequence number, exactly like
+// a batched delivery — plus a wheel-global arm order for same-(at, seq)
+// ties. The merged pop compares the queue head and the wheel head
+// lexicographically by (at, seq); within the wheel, entries order by
+// (at, seq, ord). A popped entry is delivered through Proc.Deliver like any
+// scheduled message, so drop injection, dead-process drops and trace stamps
+// behave identically to the event path.
+//
+// Stops are lazy: Timer.Stop only bumps the generation, and the entry stays
+// resident until its deadline, when it pops and is dropped as stale by the
+// dispatch unwrap — the same observable lifecycle a stale in-flight event
+// had. Pending counts therefore include stale entries, just as the event
+// queue's length did.
+//
+// Geometry. Level 0 shares the calendar queue's 4096 ns bucket and spans
+// ~4.2 ms; each higher level covers twSlots slots of the one below (L1
+// ~4.3 s — every RTO and TIME_WAIT in practice — and L2 ~73 min). Entries
+// beyond the L2 horizon wait in a small overflow heap. Cascades are lazy:
+// a higher-level slot is scattered downward only when the wheel position
+// crosses into it while searching for the next deadline.
+const (
+	twLevels   = 3
+	twSlotBits = wheelBits // 1024 slots per level, matching the event queue
+	twSlots    = 1 << twSlotBits
+	twSlotMask = twSlots - 1
+)
+
+// twEntry is one armed timer. Entries are stored by value in slot slices
+// (whose capacity is recycled like calendar-queue buckets), so arming in
+// steady state allocates nothing.
+type twEntry struct {
+	at   Time
+	seq  uint64 // sequence the legacy event path would have used
+	ord  uint64 // wheel-global arm order, tie-break within one (at, seq)
+	t    *Timer
+	gen  uint64
+	msg  Message
+	proc *Proc
+}
+
+func twLess(a, b *twEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.ord < b.ord
+}
+
+// twHeap is a binary min-heap by (at, seq, ord) holding entries beyond the
+// L2 horizon.
+type twHeap []twEntry
+
+func (h *twHeap) push(e twEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !twLess(&(*h)[i], &(*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *twHeap) pop() twEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = twEntry{} // release references for GC
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && twLess(&old[l], &old[smallest]) {
+			smallest = l
+		}
+		if r < n && twLess(&old[r], &old[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+}
+
+type timerWheel struct {
+	slots  [twLevels][twSlots][]twEntry
+	occ    [twLevels][twSlots / 64]uint64
+	counts [twLevels]int
+	cur    int64 // monotonic L0 bucket counter; L0 horizon is [cur, cur+twSlots)
+	far    twHeap
+	armOrd uint64
+
+	// Cached minimum: valid between a peek and the pop (or insert of a
+	// smaller entry) that follows it, so the merged pop's wheel peek is O(1)
+	// on the hot path. The cached min always resides in an L0 slot.
+	minValid bool
+	min      twEntry
+	minSlot  int64
+	minIdx   int
+
+	cascaded uint64 // entries scattered down a level by lazy cascade
+	fired    uint64 // entries popped for delivery (including stale ones)
+}
+
+func (w *timerWheel) pending() int {
+	return w.counts[0] + w.counts[1] + w.counts[2] + len(w.far)
+}
+
+func (w *timerWheel) empty() bool { return w.pending() == 0 }
+
+// insert arms one entry. seq is shared by every arm of one flushed run;
+// the wheel-global arm order disambiguates within it.
+func (w *timerWheel) insert(at Time, seq uint64, t *Timer, gen uint64, msg Message, p *Proc) {
+	e := twEntry{at: at, seq: seq, ord: w.armOrd, t: t, gen: gen, msg: msg, proc: p}
+	w.armOrd++
+	lvl, slot := w.place(e)
+	if w.minValid && lvl == 0 && twLess(&e, &w.min) {
+		w.min = e
+		w.minSlot = slot
+		w.minIdx = len(w.slots[0][slot]) - 1
+	}
+}
+
+// place routes an entry to the innermost level whose horizon contains it.
+// Entries whose bucket already passed park in the current L0 slot: the
+// per-slot (at, seq, ord) scan still pops them first, and the position never
+// advances past a non-empty current slot.
+func (w *timerWheel) place(e twEntry) (level int, slot int64) {
+	b0 := int64(e.at) >> bucketShift
+	if b0 < w.cur {
+		b0 = w.cur
+	}
+	if b0-w.cur < twSlots {
+		s := b0 & twSlotMask
+		w.put(0, s, e)
+		return 0, s
+	}
+	b1 := b0 >> twSlotBits
+	if b1-w.cur>>twSlotBits < twSlots {
+		s := b1 & twSlotMask
+		w.put(1, s, e)
+		return 1, s
+	}
+	b2 := b1 >> twSlotBits
+	if b2-w.cur>>(2*twSlotBits) < twSlots {
+		s := b2 & twSlotMask
+		w.put(2, s, e)
+		return 2, s
+	}
+	w.far.push(e)
+	return -1, 0
+}
+
+func (w *timerWheel) put(level int, slot int64, e twEntry) {
+	w.slots[level][slot] = append(w.slots[level][slot], e)
+	w.occ[level][slot>>6] |= 1 << uint(slot&63)
+	w.counts[level]++
+}
+
+// firstSlot returns the first occupied slot of level at or after from,
+// wrapping. Only valid when the level is non-empty.
+func (w *timerWheel) firstSlot(level int, from int64) int64 {
+	start := from & twSlotMask
+	occ := &w.occ[level]
+	wd := start >> 6
+	if b := occ[wd] &^ ((1 << uint(start&63)) - 1); b != 0 {
+		return wd<<6 | int64(bits.TrailingZeros64(b))
+	}
+	for i := int64(1); i <= int64(len(occ)); i++ {
+		wi := (wd + i) & (int64(len(occ)) - 1)
+		if occ[wi] != 0 {
+			return wi<<6 | int64(bits.TrailingZeros64(occ[wi]))
+		}
+	}
+	panic("sim: timer wheel occupancy bitmap empty with entries resident")
+}
+
+// cascade scatters one higher-level slot down through place. Runs when the
+// wheel position enters the slot's range, so every entry lands at or after
+// the current position.
+func (w *timerWheel) cascade(level int, slot int64) {
+	b := w.slots[level][slot]
+	if len(b) == 0 {
+		return
+	}
+	w.slots[level][slot] = b[:0]
+	w.occ[level][slot>>6] &^= 1 << uint(slot&63)
+	w.counts[level] -= len(b)
+	w.cascaded += uint64(len(b))
+	for i := range b {
+		w.place(b[i])
+		b[i] = twEntry{} // release references; slot capacity is recycled
+	}
+}
+
+// migrateFar pulls overflow entries that now fit the L2 horizon.
+func (w *timerWheel) migrateFar() {
+	cur2 := w.cur >> (2 * twSlotBits)
+	for len(w.far) > 0 && int64(w.far[0].at)>>(bucketShift+2*twSlotBits)-cur2 < twSlots {
+		w.place(w.far.pop())
+	}
+}
+
+// settle advances the wheel position — cascading higher-level slots as their
+// boundaries are crossed — until the earliest resident entry sits in the
+// current L0 slot. Reports false when the wheel holds nothing at all.
+func (w *timerWheel) settle() bool {
+	for {
+		if w.counts[0] > 0 {
+			slot := w.firstSlot(0, w.cur)
+			d := (slot - w.cur) & twSlotMask
+			boundary := (w.cur>>twSlotBits + 1) << twSlotBits
+			if w.cur+d < boundary || (w.counts[1] == 0 && w.counts[2] == 0 && len(w.far) == 0) {
+				// No cascade can produce an earlier entry: advance and stop.
+				w.cur += d
+				return true
+			}
+		} else if w.counts[1] == 0 && w.counts[2] == 0 {
+			if len(w.far) == 0 {
+				return false
+			}
+			// Everything resident is beyond the L2 horizon: jump straight to
+			// the earliest overflow entry and pull the heap in.
+			w.cur = int64(w.far[0].at) >> bucketShift
+			w.migrateFar()
+			continue
+		}
+		// Advance to the next L1 boundary and cascade the slot it opens.
+		w.cur = (w.cur>>twSlotBits + 1) << twSlotBits
+		cur1 := w.cur >> twSlotBits
+		if cur1&twSlotMask == 0 {
+			// Crossed an L2 boundary too: open its slot first, so its
+			// entries are in place before the L1 slot scatters.
+			w.cascade(2, (cur1>>twSlotBits)&twSlotMask)
+			w.migrateFar()
+		}
+		w.cascade(1, cur1&twSlotMask)
+	}
+}
+
+// peek returns the earliest pending (at, seq) without removing it, settling
+// cascades as needed. The result is cached until the next pop.
+func (w *timerWheel) peek() (Time, uint64, bool) {
+	if w.minValid {
+		return w.min.at, w.min.seq, true
+	}
+	if !w.settle() {
+		return 0, 0, false
+	}
+	slot := w.cur & twSlotMask // settle leaves cur at the first occupied slot
+	b := w.slots[0][slot]
+	min := 0
+	for i := 1; i < len(b); i++ {
+		if twLess(&b[i], &b[min]) {
+			min = i
+		}
+	}
+	w.minValid = true
+	w.min = b[min]
+	w.minSlot = slot
+	w.minIdx = min
+	return w.min.at, w.min.seq, true
+}
+
+// pop removes and returns the earliest entry. Callers peek first; pop
+// re-peeks only defensively.
+func (w *timerWheel) pop() twEntry {
+	if !w.minValid {
+		if _, _, ok := w.peek(); !ok {
+			panic("sim: pop from an empty timer wheel")
+		}
+	}
+	slot, idx := w.minSlot, w.minIdx
+	b := w.slots[0][slot]
+	e := b[idx]
+	last := len(b) - 1
+	b[idx] = b[last]
+	b[last] = twEntry{} // release references; slot capacity is reused
+	w.slots[0][slot] = b[:last]
+	if last == 0 {
+		w.occ[0][slot>>6] &^= 1 << uint(slot&63)
+	}
+	w.counts[0]--
+	w.minValid = false
+	w.fired++
+	return e
+}
+
+// TimerBackend selects how armed timers are scheduled.
+type TimerBackend uint8
+
+const (
+	// TimerBackendWheel (the default) keeps armed timers in the
+	// hierarchical timer wheel: pending event-queue entries stay
+	// independent of the number of armed timers.
+	TimerBackendWheel TimerBackend = iota
+	// TimerBackendEvent is the legacy reference path: every arm schedules
+	// one delivery event on the calendar queue. Byte-identical to the wheel
+	// by construction; kept as the oracle for the equivalence property test
+	// and the conn-scale sweep's backend axis.
+	TimerBackendEvent
+)
+
+// SetTimerBackend selects the timer scheduling backend. Call it before the
+// simulation runs; switching while timers are armed is unsupported. In PDES
+// mode call it before machines are created so domains inherit the choice.
+func (s *Simulator) SetTimerBackend(b TimerBackend) {
+	s.timerBackend = b
+	if s.pdes != nil && s.parent == nil {
+		for _, d := range s.pdes.domains {
+			d.timerBackend = b
+		}
+	}
+}
+
+// armTimers inserts one flushed run of timer arms sharing a single sequence
+// number, mirroring what a batched delivery of the boxed firings would have
+// consumed on the legacy path.
+func (s *Simulator) armTimers(at Time, arms []outMsg) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	for k := range arms {
+		o := &arms[k]
+		s.tw.insert(at, s.seq, o.timer, o.tgen, o.msg, o.dst)
+	}
+}
+
+// fireTimer delivers one popped wheel entry. The boxed firing is built only
+// now, from the freelist, and travels through Proc.Deliver exactly like a
+// scheduled delivery event: drop injection, dead-process drops, tracer
+// arrival stamps and wake scheduling all behave identically.
+func (s *Simulator) fireTimer(e twEntry) {
+	s.now = e.at
+	s.eventsRun++
+	e.proc.Deliver(s.newTimerFire(e.t, e.gen, e.msg))
+}
+
+// stepNext runs the earliest of the event-queue head and the timer-wheel
+// head, merged by (at, seq). If bounded, work after limit is left in place
+// and false is returned.
+func (s *Simulator) stepNext(limit Time, bounded bool) bool {
+	wa, wseq, wok := s.tw.peek()
+	if !wok {
+		e, ok := s.q.pop(limit, bounded)
+		if !ok {
+			return false
+		}
+		s.run(e)
+		return true
+	}
+	slot, idx, qa, qseq, qok := s.q.peekPos()
+	if qok && (qa < wa || (qa == wa && qseq < wseq)) {
+		if bounded && qa > limit {
+			return false
+		}
+		s.run(s.q.take(slot, idx))
+		return true
+	}
+	if bounded && wa > limit {
+		return false
+	}
+	s.fireTimer(s.tw.pop())
+	return true
+}
+
+// peekTime returns the earliest pending timestamp across the event queue and
+// the timer wheel. The PDES coordinator uses this at every barrier.
+func (s *Simulator) peekTime() (Time, bool) {
+	qt, qok := s.q.peekTime()
+	wt, _, wok := s.tw.peek()
+	switch {
+	case qok && wok:
+		if wt < qt {
+			return wt, true
+		}
+		return qt, true
+	case qok:
+		return qt, true
+	case wok:
+		return wt, true
+	}
+	return 0, false
+}
+
+// idleLocal reports whether this simulator (queue and wheel) has no pending
+// work of its own.
+func (s *Simulator) idleLocal() bool { return s.q.empty() && s.tw.empty() }
+
+// TimerStats reports timer-wheel counters: entries resident (including
+// lazily-stopped ones awaiting their deadline), entries scattered down a
+// level by cascades, and entries popped for delivery. On a PDES control
+// plane it totals across all domains; call it only at a barrier.
+type TimerStats struct {
+	Pending  int
+	Cascades uint64
+	Fired    uint64
+}
+
+// TimerStats returns the simulator's timer-wheel counters.
+func (s *Simulator) TimerStats() TimerStats {
+	st := TimerStats{Pending: s.tw.pending(), Cascades: s.tw.cascaded, Fired: s.tw.fired}
+	if s.pdes != nil && s.parent == nil {
+		for _, d := range s.pdes.domains {
+			st.Pending += d.tw.pending()
+			st.Cascades += d.tw.cascaded
+			st.Fired += d.tw.fired
+		}
+	}
+	return st
+}
+
+// PendingEvents returns the number of events resident in the calendar
+// queue(s), excluding wheel-resident timers. With the wheel backend this
+// stays independent of the number of armed timers — the conn-scale
+// experiments assert exactly that. On a PDES control plane it totals across
+// all domains; call it only at a barrier.
+func (s *Simulator) PendingEvents() int {
+	n := s.q.len()
+	if s.pdes != nil && s.parent == nil {
+		for _, d := range s.pdes.domains {
+			n += d.q.len()
+		}
+	}
+	return n
+}

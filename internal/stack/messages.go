@@ -72,12 +72,6 @@ func newIPOutputTSO(dst proto.Addr, hdr proto.TCPHeader, payload []byte, mss int
 // reassembly expiry).
 type tickMsg struct{ fn func() }
 
-// tcpTimerMsg fires a TCP connection timer on the owning process.
-type tcpTimerMsg struct {
-	c *tcpeng.Conn
-	k tcpeng.TimerKind
-}
-
 // ---- Application-facing socket protocol ----
 //
 // Handles: the application names its own sockets with ReqIDs; the stack

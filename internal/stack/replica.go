@@ -317,7 +317,7 @@ func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		r.iph.inputFrame(ctx, m)
 	case tickMsg:
 		r.iph.withCtx(ctx, m.fn)
-	case tcpTimerMsg:
+	case *tcpeng.ConnTimer:
 		r.tcph.onTimer(ctx, m)
 	default:
 		if !r.tcph.handleOp(ctx, msg) {
@@ -367,7 +367,7 @@ func (th *tcpHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		h.tcp.Input(m.f)
 		h.ctx = prev
 		m.f.Release()
-	case tcpTimerMsg:
+	case *tcpeng.ConnTimer:
 		h.onTimer(ctx, m)
 	case tickMsg:
 		h.withCtx(ctx, m.fn)

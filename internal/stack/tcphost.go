@@ -56,19 +56,12 @@ func (h *tcpHost) withCtx(ctx *sim.Context, fn func()) {
 	h.ctx = prev
 }
 
-func (h *tcpHost) onTimer(ctx *sim.Context, m tcpTimerMsg) {
+func (h *tcpHost) onTimer(ctx *sim.Context, m *tcpeng.ConnTimer) {
 	ctx.Charge(h.costs.TimerOp)
 	prev := h.ctx
 	h.ctx = ctx
-	h.tcp.OnTimer(m.c, m.k)
+	h.tcp.OnTimer(m.C, m.Kind)
 	h.ctx = prev
-}
-
-// timerSlot is the per-(connection, timer-kind) state kept in TimerCtx: one
-// reusable Timer plus the prebuilt (boxed once) timer message.
-type timerSlot struct {
-	t   sim.Timer
-	msg sim.Message
 }
 
 // handleOp processes TCP socket operations; reports whether msg was one.
@@ -252,21 +245,16 @@ func (h *tcpHost) SendSegment(c *tcpeng.Conn, seg tcpeng.OutSegment) {
 	h.outFrame(h.ctx, seg.Dst, proto.ProtoTCP, frame)
 }
 
-// ArmTimer implements tcpeng.Env.
+// ArmTimer implements tcpeng.Env: (re)arm the connection's intrusive timer
+// node. The node doubles as the fire message, so arming allocates nothing.
 func (h *tcpHost) ArmTimer(c *tcpeng.Conn, k tcpeng.TimerKind, d sim.Time) {
-	slot, ok := c.TimerCtx[k].(*timerSlot)
-	if !ok {
-		slot = &timerSlot{msg: tcpTimerMsg{c: c, k: k}}
-		c.TimerCtx[k] = slot
-	}
-	h.ctx.Retimer(&slot.t, d, slot.msg)
+	t := &c.Timers[k]
+	h.ctx.Retimer(&t.Timer, d, t)
 }
 
 // StopTimer implements tcpeng.Env.
 func (h *tcpHost) StopTimer(c *tcpeng.Conn, k tcpeng.TimerKind) {
-	if slot, ok := c.TimerCtx[k].(*timerSlot); ok {
-		slot.t.Stop() // the slot stays for reuse on the next arm
-	}
+	c.Timers[k].Stop()
 }
 
 // Accepted implements tcpeng.Env.

@@ -84,8 +84,8 @@ func (e *Engine) Snapshot() *Snapshot {
 			State: c.state, MSS: c.mss,
 			SndUna: c.snd.una, SndWnd: c.snd.wnd, SndWndShift: c.snd.wndShift,
 			RcvNxt: c.rcv.nxt, RcvWndShift: c.rcv.wndShift,
-			SndBuf: append([]byte(nil), c.snd.buf...),
-			RcvBuf: append([]byte(nil), c.rcv.buf...),
+			SndBuf: append([]byte(nil), c.sndBuf()...),
+			RcvBuf: append([]byte(nil), c.rcvBuf()...),
 			ConnID: c.ID,
 			Ctx:    c.Ctx,
 		})
@@ -140,11 +140,14 @@ func (e *Engine) Restore(s *Snapshot) int {
 		c.snd.nxt = cs.SndUna + uint32(len(cs.SndBuf))
 		c.snd.wnd = cs.SndWnd
 		c.snd.wndShift = cs.SndWndShift
-		c.snd.buf = append([]byte(nil), cs.SndBuf...)
 		c.snd.cwnd = uint32(e.cfg.InitialCwndMSS * c.mss)
 		c.rcv.nxt = cs.RcvNxt
 		c.rcv.wndShift = cs.RcvWndShift
-		c.rcv.buf = append([]byte(nil), cs.RcvBuf...)
+		if len(cs.SndBuf) > 0 || len(cs.RcvBuf) > 0 {
+			b := c.ensureBufs()
+			b.snd = append(b.snd, cs.SndBuf...)
+			b.rcv = append(b.rcv, cs.RcvBuf...)
+		}
 		c.rto = e.cfg.InitialRTO
 		restored++
 		// Kick resynchronization: if data is outstanding, the RTO will

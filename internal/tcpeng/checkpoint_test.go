@@ -149,6 +149,48 @@ func TestRestorePreservesConnIDAndCtx(t *testing.T) {
 	}
 }
 
+// TestRestoreRebindSingleRexmitFiring is the regression test for the
+// timer-leak across checkpoint/restore re-binds: the old engine's armed
+// rexmit timer survives the swap (this harness does NOT invalidate it, unlike
+// swapEngineB) and fires into the respawned engine with the old conn. The
+// engine-identity guard in OnTimer must reject that stale firing, so exactly
+// one retransmission — the restored conn's own — happens at the first RTO.
+func TestRestoreRebindSingleRexmitFiring(t *testing.T) {
+	h := newHarness(44)
+	h.build(defCfg(), defCfg())
+	h.b.engine.Listen(proto.Addr{}, 80, 16)
+	cli, srv := h.connectPair(80)
+
+	// Unacked data in flight: the server's rexmit timer is pending.
+	h.Drop = func(from *fakeEnv, f *proto.Frame) bool { return true }
+	srv.Send(bytes.Repeat([]byte("z"), 1000))
+	snap := h.b.engine.Snapshot()
+
+	// Crash + respawn WITHOUT invalidating the old engine's timers: the
+	// leaked firing must be neutralized by the engine itself.
+	fresh := NewEngine(h.b, h.b.addr, defCfg())
+	h.b.engine = fresh
+	fresh.Restore(snap)
+
+	// Both the leaked timer and the restored conn's timer fire at +50ms
+	// (InitialRTO). Keep the wire black-holed and count firings.
+	h.run(h.now + 60*sim.Millisecond)
+	st := fresh.Stats()
+	if st.Retransmits != 1 {
+		t.Fatalf("want exactly 1 rexmit firing after restore, got %d", st.Retransmits)
+	}
+	if st.SpuriousTimerFirings == 0 {
+		t.Fatal("leaked old-engine timer was not rejected")
+	}
+
+	// Unplug: the restored conn resynchronizes and delivers everything.
+	h.Drop = nil
+	h.run(h.now + 2*sim.Second)
+	if got := len(h.a.recvData[cli]); got != 1000 {
+		t.Fatalf("client received %d of 1000 after rebind", got)
+	}
+}
+
 func TestRetriesExceededKillsStalledConn(t *testing.T) {
 	cfg := defCfg()
 	cfg.MaxRetries = 3

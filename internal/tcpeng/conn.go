@@ -18,6 +18,10 @@ type Conn struct {
 
 	// Listener that spawned this connection (passive opens only).
 	Listener *Listener
+	// Intrusive links in the listener's embryonic arrival list, live only
+	// while state == SYN_RCVD. O(1) unlink keeps mass handshake completion
+	// linear — a slice queue made million-connection storms quadratic.
+	embPrev, embNext *Conn
 	// Ctx is opaque owner context (socket bookkeeping in the stack).
 	Ctx interface{}
 
@@ -34,7 +38,6 @@ type Conn struct {
 		recover        uint32 // recovery point for Reno
 		dupAcks        int
 
-		buf    []byte // unacked+unsent bytes; buf[0] is seq una
 		bufMax int
 
 		finQueued bool // app closed; FIN after buffer drains
@@ -45,13 +48,17 @@ type Conn struct {
 	rcv struct {
 		nxt               uint32
 		wndShift          uint8
-		buf               []byte // in-order data awaiting Recv
 		bufMax            int
-		oo                []ooSeg // out-of-order segments, sorted by seq
 		finSeen           bool
 		finSeq            uint32
 		lastWndAdvertised uint32
 	}
+
+	// bufs is the lazily attached buffer block (send/receive buffers and
+	// the reassembly list). It stays nil until the connection buffers its
+	// first byte, so embryonic, idle and TIME_WAIT connections cost only
+	// this compact struct; on removal the block returns to the engine pool.
+	bufs *connBufs
 
 	// RTT estimation (RFC 6298).
 	srtt, rttvar sim.Time
@@ -65,8 +72,11 @@ type Conn struct {
 	ackPending  int // segments received since last ACK sent
 	delAckArmed bool
 
-	// Timers owned by the Env, indexed by TimerKind.
-	TimerCtx [NumTimers]interface{}
+	// Timers are the intrusive per-connection timer nodes, indexed by
+	// TimerKind. The Env arms and stops through them with zero allocations:
+	// each node carries its own simulator timer and doubles as the fire
+	// message (see ConnTimer).
+	Timers [NumTimers]ConnTimer
 
 	// Resource-guard bookkeeping (server side only; see GuardConfig).
 	guardPhase   guardPhase
@@ -82,6 +92,51 @@ type Conn struct {
 type ooSeg struct {
 	seq  uint32
 	data []byte
+}
+
+// connBufs is a connection's buffer block: send/receive byte buffers plus
+// the out-of-order reassembly list. Blocks are pooled per engine and
+// attached to a Conn only when it first buffers data.
+type connBufs struct {
+	snd []byte  // unacked+unsent bytes; snd[0] is seq snd.una
+	rcv []byte  // in-order data awaiting Recv
+	oo  []ooSeg // out-of-order segments, sorted by seq
+}
+
+// recycle empties the block for reuse. Slices already handed out (Recv
+// results, marshalled segments) live strictly before the current bases or
+// were copied by the env, so reusing the remaining capacity is safe.
+func (b *connBufs) recycle() {
+	b.snd = b.snd[:0]
+	b.rcv = b.rcv[:0]
+	for i := range b.oo {
+		b.oo[i] = ooSeg{}
+	}
+	b.oo = b.oo[:0]
+}
+
+// sndBuf returns the send buffer (nil when no block is attached).
+func (c *Conn) sndBuf() []byte {
+	if c.bufs == nil {
+		return nil
+	}
+	return c.bufs.snd
+}
+
+// rcvBuf returns the receive buffer (nil when no block is attached).
+func (c *Conn) rcvBuf() []byte {
+	if c.bufs == nil {
+		return nil
+	}
+	return c.bufs.rcv
+}
+
+// ensureBufs attaches the buffer block, recycling a pooled one if possible.
+func (c *Conn) ensureBufs() *connBufs {
+	if c.bufs == nil {
+		c.bufs = c.engine.getBufs()
+	}
+	return c.bufs
 }
 
 // guardPhase tracks which resource-guard deadline a connection is under.
@@ -143,6 +198,15 @@ func (e *Engine) Input(f *proto.Frame) {
 			return
 		}
 	}
+	// An ACK with no PCB may complete a stateless SYN-cookie handshake.
+	if e.cfg.Guard.SynCookies &&
+		h.Flags&proto.TCPAck != 0 && h.Flags&(proto.TCPSyn|proto.TCPRst) == 0 {
+		if l := e.lookupListener(f.IP.Dst, h.DstPort); l != nil && !l.closed {
+			if e.completeCookie(l, k, h, f.Payload) {
+				return
+			}
+		}
+	}
 	e.stats.SegsToClosedPort++
 	if h.Flags&proto.TCPRst == 0 {
 		e.sendRST(k, h)
@@ -152,6 +216,10 @@ func (e *Engine) Input(f *proto.Frame) {
 // passiveOpen handles a SYN to a listening port.
 func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
 	g := e.cfg.Guard
+	if g.SynCookies && l.embryonic >= g.SynCookieWatermark {
+		e.sendSynCookie(k, h) // stateless: no PCB until the ACK validates
+		return
+	}
 	if g.MaxConnsPerSource > 0 && e.perSource[k.remoteAddr] >= g.MaxConnsPerSource {
 		e.stats.SrcCapped++
 		return // drop the SYN; a legitimate client retransmits
@@ -162,7 +230,7 @@ func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
 		// completes), so recycle its slot for the newcomer. Shed silently —
 		// the victim's source is probably spoofed, and an RST would only
 		// burn an ARP lookup.
-		old := l.embryonicQ[0]
+		old := l.embHead
 		e.stats.SynShed++
 		old.destroy(ErrConnClosed, false)
 	}
@@ -173,7 +241,7 @@ func (e *Engine) passiveOpen(l *Listener, k connKey, h *proto.TCPHeader) {
 	c := e.newConn(k)
 	c.Listener = l
 	l.embryonic++
-	l.embryonicQ = append(l.embryonicQ, c)
+	l.pushEmbryonic(c)
 	e.perSource[k.remoteAddr]++
 	c.lastActivity = e.env.Now()
 	c.state = StateSynRcvd
@@ -425,10 +493,12 @@ func (c *Conn) advanceSendBuffer(acked, ack uint32) {
 	if c.snd.finSent && ack == c.snd.nxt {
 		dataAcked-- // final byte was the FIN
 	}
-	if int(dataAcked) > len(c.snd.buf) {
-		dataAcked = uint32(len(c.snd.buf))
+	if int(dataAcked) > len(c.sndBuf()) {
+		dataAcked = uint32(len(c.sndBuf()))
 	}
-	c.snd.buf = c.snd.buf[dataAcked:]
+	if dataAcked > 0 {
+		c.bufs.snd = c.bufs.snd[dataAcked:]
+	}
 	c.snd.una = ack
 	if dataAcked > 0 {
 		c.engine.env.SendSpace(c)
@@ -476,14 +546,15 @@ func (c *Conn) processData(h *proto.TCPHeader, payload []byte) {
 
 // appendInOrder moves in-order payload into the receive buffer.
 func (c *Conn) appendInOrder(payload []byte) {
-	space := c.rcv.bufMax - len(c.rcv.buf)
+	b := c.ensureBufs()
+	space := c.rcv.bufMax - len(b.rcv)
 	if space < len(payload) {
 		payload = payload[:space] // peer overran our window; drop excess
 	}
 	if len(payload) == 0 {
 		return
 	}
-	c.rcv.buf = append(c.rcv.buf, payload...)
+	b.rcv = append(b.rcv, payload...)
 	c.rcv.nxt += uint32(len(payload))
 	c.engine.stats.DataBytesIn += uint64(len(payload))
 	c.ackPending++
@@ -492,30 +563,35 @@ func (c *Conn) appendInOrder(payload []byte) {
 
 // insertOutOfOrder stores a future segment sorted by sequence.
 func (c *Conn) insertOutOfOrder(seq uint32, payload []byte) {
-	if len(c.rcv.oo) > 64 {
+	b := c.ensureBufs()
+	if len(b.oo) > 64 {
 		return // bound memory; peer will retransmit
 	}
 	data := append([]byte(nil), payload...)
-	at := len(c.rcv.oo)
-	for i, s := range c.rcv.oo {
+	at := len(b.oo)
+	for i, s := range b.oo {
 		if proto.SeqLT(seq, s.seq) {
 			at = i
 			break
 		}
 	}
-	c.rcv.oo = append(c.rcv.oo, ooSeg{})
-	copy(c.rcv.oo[at+1:], c.rcv.oo[at:])
-	c.rcv.oo[at] = ooSeg{seq: seq, data: data}
+	b.oo = append(b.oo, ooSeg{})
+	copy(b.oo[at+1:], b.oo[at:])
+	b.oo[at] = ooSeg{seq: seq, data: data}
 }
 
 // mergeOutOfOrder pulls newly contiguous segments into the buffer.
 func (c *Conn) mergeOutOfOrder() {
-	for len(c.rcv.oo) > 0 {
-		s := c.rcv.oo[0]
+	b := c.bufs
+	if b == nil {
+		return
+	}
+	for len(b.oo) > 0 {
+		s := b.oo[0]
 		if proto.SeqGT(s.seq, c.rcv.nxt) {
 			return
 		}
-		c.rcv.oo = c.rcv.oo[1:]
+		b.oo = b.oo[1:]
 		if proto.SeqLEQ(s.seq+uint32(len(s.data)), c.rcv.nxt) {
 			continue // fully duplicate
 		}

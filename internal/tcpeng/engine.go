@@ -68,6 +68,18 @@ const (
 	NumTimers
 )
 
+// ConnTimer is the intrusive timer node embedded in a Conn, one per
+// TimerKind. It owns a reusable simulator timer and identifies itself, so
+// the Env can arm it with `Retimer(&t.Timer, d, t)` — the node is its own
+// fire message and the arm/stop path allocates nothing. The embedded
+// sim.Timer generation survives PCB recycling, which is what keeps a fire
+// from a previous incarnation of a pooled Conn stale.
+type ConnTimer struct {
+	sim.Timer
+	C    *Conn
+	Kind TimerKind
+}
+
 // OutSegment is a TCP segment handed to the IP layer for transmission.
 // When TSO is set the payload may exceed MSS and the NIC performs the
 // segmentation (§4); MSS tells the NIC where to cut.
@@ -176,6 +188,18 @@ type GuardConfig struct {
 	// established) per remote address; SYNs beyond the cap are dropped.
 	// 0 disables.
 	MaxConnsPerSource int
+	// SynCookies switches a listener to stateless SYN-cookie handshakes
+	// once its embryonic count reaches SynCookieWatermark: the SYN|ACK's
+	// ISN encodes a verifiable cookie, no PCB is created, and the
+	// connection materializes (directly ESTABLISHED) only when the
+	// completing ACK validates. A SYN flood above the watermark therefore
+	// never touches the PCB table. Cookie connections lose window scaling
+	// and quantize the MSS, exactly like real stacks.
+	SynCookies bool
+	// SynCookieWatermark is the embryonic count at which cookies engage
+	// (default: SynBacklog when set, else 64). Negative values force
+	// cookies for every SYN (full handshake offload).
+	SynCookieWatermark int
 }
 
 // Enabled reports whether any guard is configured.
@@ -228,6 +252,13 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Guard.HeaderDeadline != 0 && c.Guard.HeaderMinBytes == 0 {
 		c.Guard.HeaderMinBytes = 64
+	}
+	if c.Guard.SynCookies && c.Guard.SynCookieWatermark == 0 {
+		if c.Guard.SynBacklog > 0 {
+			c.Guard.SynCookieWatermark = c.Guard.SynBacklog
+		} else {
+			c.Guard.SynCookieWatermark = 64
+		}
 	}
 }
 
@@ -294,6 +325,11 @@ type Stats struct {
 	SynShed         uint64 // oldest embryonic conns shed to admit new SYNs
 	SlowlorisReaped uint64 // conns reaped by header-progress or idle deadline
 	SrcCapped       uint64 // SYNs dropped by the per-source connection cap
+
+	// SYN-cookie activity (always zero with Guard.SynCookies off).
+	SynCookiesSent      uint64 // stateless SYN|ACKs minted above the watermark
+	SynCookiesValidated uint64 // ACKs whose cookie verified (PCB materialized)
+	SynCookiesRejected  uint64 // ACKs whose cookie failed validation
 }
 
 // Engine is one TCP instance: the per-replica partition of TCP state.
@@ -310,6 +346,19 @@ type Engine struct {
 	// perSource counts live server-side (passively opened) connections by
 	// remote address, for the MaxConnsPerSource guard.
 	perSource map[proto.Addr]int
+
+	// PCB pool: removed connections park their compact structs on connFree
+	// and their buffer blocks on bufsFree; newConn recycles them, so conn
+	// churn at steady state allocates nothing. Timer generations inside the
+	// recycled structs keep increasing across incarnations (see ConnTimer).
+	connFree   []*Conn
+	bufsFree   []*connBufs
+	poolReused uint64
+
+	// SYN-cookie secret, drawn lazily from the Env RNG on first use so
+	// engines that never mint a cookie consume an identical RNG stream.
+	cookieSecret    uint32
+	cookieSecretSet bool
 
 	stats Stats
 }
@@ -361,11 +410,13 @@ type Listener struct {
 	backlog int
 	// acceptQ holds established, not-yet-accepted connections.
 	acceptQ []*Conn
-	// embryonic counts connections still in SYN_RCVD; embryonicQ holds
-	// them in arrival order for the guard's oldest-first shedding.
-	embryonic  int
-	embryonicQ []*Conn
-	closed     bool
+	// embryonic counts connections still in SYN_RCVD; embHead/embTail
+	// anchor an intrusive doubly-linked list of them in arrival order for
+	// the guard's oldest-first shedding. Intrusive links make both insert
+	// and removal O(1), so a storm of completing handshakes stays linear.
+	embryonic        int
+	embHead, embTail *Conn
+	closed           bool
 	// Ctx is opaque owner context (the stack stores socket bookkeeping).
 	Ctx interface{}
 }
@@ -482,14 +533,30 @@ func (e *Engine) ConnectFrom(remote proto.Addr, port, localPort uint16) (*Conn, 
 	return c, nil
 }
 
-// newConn allocates a PCB and registers it.
+// newConn allocates (or recycles) a PCB and registers it.
 func (e *Engine) newConn(k connKey) *Conn {
 	e.nextID++
-	c := &Conn{
-		engine: e,
-		ID:     e.nextID,
-		key:    k,
-		mss:    e.cfg.MSS,
+	var c *Conn
+	if n := len(e.connFree); n > 0 {
+		c = e.connFree[n-1]
+		e.connFree[n-1] = nil
+		e.connFree = e.connFree[:n-1]
+		e.poolReused++
+		// Full field reset, preserving the timer nodes: their sim.Timer
+		// generations must keep increasing across incarnations so that any
+		// in-flight fire from the previous owner stays stale.
+		timers := c.Timers
+		*c = Conn{Timers: timers}
+	} else {
+		c = &Conn{}
+	}
+	c.engine = e
+	c.ID = e.nextID
+	c.key = k
+	c.mss = e.cfg.MSS
+	for i := range c.Timers {
+		c.Timers[i].C = c
+		c.Timers[i].Kind = TimerKind(i)
 	}
 	c.rcv.bufMax = e.cfg.RecvBuf
 	c.snd.bufMax = e.cfg.SendBuf
@@ -509,7 +576,7 @@ func windowShift(buf int) uint8 {
 	return s
 }
 
-// remove deletes a PCB and fires ConnRemoved.
+// remove deletes a PCB, fires ConnRemoved and recycles the struct.
 func (e *Engine) remove(c *Conn) {
 	if c.removed {
 		return
@@ -528,16 +595,77 @@ func (e *Engine) remove(c *Conn) {
 	}
 	e.stats.ConnsRemoved++
 	e.env.ConnRemoved(c)
+	// Recycle after the upcall: the env reads c.ID/addresses synchronously.
+	// Stopping the timers above bumped every node's generation, so fires
+	// already in flight stay stale no matter who reuses the struct.
+	if b := c.bufs; b != nil {
+		c.bufs = nil
+		b.recycle()
+		e.bufsFree = append(e.bufsFree, b)
+	}
+	e.connFree = append(e.connFree, c)
 }
 
-// dropEmbryonic removes c from the listener's embryonic arrival queue.
-func (l *Listener) dropEmbryonic(c *Conn) {
-	for i, qc := range l.embryonicQ {
-		if qc == c {
-			l.embryonicQ = append(l.embryonicQ[:i], l.embryonicQ[i+1:]...)
-			return
+// getBufs takes a buffer block from the free list or allocates one.
+func (e *Engine) getBufs() *connBufs {
+	if n := len(e.bufsFree); n > 0 {
+		b := e.bufsFree[n-1]
+		e.bufsFree[n-1] = nil
+		e.bufsFree = e.bufsFree[:n-1]
+		return b
+	}
+	return &connBufs{}
+}
+
+// PoolStats reports PCB pool occupancy.
+type PoolStats struct {
+	LiveHot   int    // live PCBs with no buffer block attached (compact)
+	LiveFull  int    // live PCBs with buffers attached
+	FreeConns int    // recycled PCB structs awaiting reuse
+	FreeBufs  int    // recycled buffer blocks awaiting reuse
+	Reused    uint64 // cumulative PCB recycles
+}
+
+// PoolStats returns a snapshot of the PCB pool occupancy.
+func (e *Engine) PoolStats() PoolStats {
+	ps := PoolStats{FreeConns: len(e.connFree), FreeBufs: len(e.bufsFree), Reused: e.poolReused}
+	for _, c := range e.conns {
+		if c.bufs != nil {
+			ps.LiveFull++
+		} else {
+			ps.LiveHot++
 		}
 	}
+	return ps
+}
+
+// pushEmbryonic appends c to the listener's embryonic arrival list.
+func (l *Listener) pushEmbryonic(c *Conn) {
+	c.embPrev, c.embNext = l.embTail, nil
+	if l.embTail != nil {
+		l.embTail.embNext = c
+	} else {
+		l.embHead = c
+	}
+	l.embTail = c
+}
+
+// dropEmbryonic unlinks c from the listener's embryonic arrival list.
+func (l *Listener) dropEmbryonic(c *Conn) {
+	if c.embPrev == nil && c.embNext == nil && l.embHead != c {
+		return // not linked
+	}
+	if c.embPrev != nil {
+		c.embPrev.embNext = c.embNext
+	} else {
+		l.embHead = c.embNext
+	}
+	if c.embNext != nil {
+		c.embNext.embPrev = c.embPrev
+	} else {
+		l.embTail = c.embPrev
+	}
+	c.embPrev, c.embNext = nil, nil
 }
 
 // Flow returns the flow (local as source) of a connection key.
@@ -557,6 +685,17 @@ func (e *Engine) LookupListener(port uint16) *Listener {
 		}
 	}
 	return nil
+}
+
+// EmbryonicConns returns the number of half-open (SYN_RCVD) connections
+// across all listeners — the PCB-table footprint a SYN flood inflates and
+// SYN-cookie offload keeps at zero.
+func (e *Engine) EmbryonicConns() int {
+	n := 0
+	for _, l := range e.listeners {
+		n += l.embryonic
+	}
+	return n
 }
 
 // LookupByID returns the live connection with the given ID, or nil.

@@ -12,32 +12,34 @@ func (c *Conn) Send(data []byte) int {
 	if c.userClosed || (c.state != StateEstablished && c.state != StateCloseWait) {
 		return 0
 	}
-	space := c.snd.bufMax - len(c.snd.buf)
+	b := c.ensureBufs()
+	space := c.snd.bufMax - len(b.snd)
 	if space <= 0 {
 		return 0
 	}
 	if len(data) > space {
 		data = data[:space]
 	}
-	c.snd.buf = append(c.snd.buf, data...)
+	b.snd = append(b.snd, data...)
 	c.trySend()
 	return len(data)
 }
 
 // SendSpaceFree returns the free bytes in the send buffer.
-func (c *Conn) SendSpaceFree() int { return c.snd.bufMax - len(c.snd.buf) }
+func (c *Conn) SendSpaceFree() int { return c.snd.bufMax - len(c.sndBuf()) }
 
 // Recv takes up to max bytes of in-order received data. A growing receive
 // window is re-advertised opportunistically by the next outbound segment.
 func (c *Conn) Recv(max int) []byte {
-	if max <= 0 || max > len(c.rcv.buf) {
-		max = len(c.rcv.buf)
+	avail := len(c.rcvBuf())
+	if max <= 0 || max > avail {
+		max = avail
 	}
 	if max == 0 {
 		return nil
 	}
-	out := c.rcv.buf[:max:max]
-	c.rcv.buf = c.rcv.buf[max:]
+	out := c.bufs.rcv[:max:max]
+	c.bufs.rcv = c.bufs.rcv[max:]
 	// If the window was closed and now reopened substantially, send a
 	// window update so the peer resumes.
 	if c.rcv.lastWndAdvertised == 0 && c.recvWindow() >= uint32(c.mss) {
@@ -47,12 +49,12 @@ func (c *Conn) Recv(max int) []byte {
 }
 
 // RecvAvailable returns buffered in-order bytes not yet taken by Recv.
-func (c *Conn) RecvAvailable() int { return len(c.rcv.buf) }
+func (c *Conn) RecvAvailable() int { return len(c.rcvBuf()) }
 
 // EOF reports whether the peer's FIN has been fully received and all data
 // consumed.
 func (c *Conn) EOF() bool {
-	return c.rcv.finSeen && c.rcv.nxt == c.rcv.finSeq+1 && len(c.rcv.buf) == 0
+	return c.rcv.finSeen && c.rcv.nxt == c.rcv.finSeq+1 && len(c.rcvBuf()) == 0
 }
 
 // Close performs an orderly close: any buffered data is still delivered,
@@ -99,7 +101,7 @@ func (c *Conn) Abort() {
 
 // recvWindow returns the receive window we can advertise.
 func (c *Conn) recvWindow() uint32 {
-	w := c.rcv.bufMax - len(c.rcv.buf)
+	w := c.rcv.bufMax - len(c.rcvBuf())
 	if w < 0 {
 		w = 0
 	}
@@ -194,7 +196,7 @@ func (c *Conn) trySend() {
 		if wnd > inFlight {
 			avail = wnd - inFlight
 		}
-		unsent := uint32(len(c.snd.buf)) - inFlight
+		unsent := uint32(len(c.sndBuf())) - inFlight
 		if unsent == 0 && !c.snd.finQueued {
 			break
 		}
@@ -259,7 +261,7 @@ func (c *Conn) trySend() {
 func (c *Conn) emitData(seq, n uint32, fin bool) {
 	e := c.engine
 	off := seq - c.snd.una
-	payload := c.snd.buf[off : off+n]
+	payload := c.sndBuf()[off : off+n]
 	var hdr proto.TCPHeader
 	hdr.SrcPort, hdr.DstPort = c.key.localPort, c.key.remotePort
 	hdr.Flags = proto.TCPAck | proto.TCPPsh
@@ -294,7 +296,7 @@ func (c *Conn) retransmit() {
 	if inFlightSeq == 0 {
 		return
 	}
-	n := uint32(len(c.snd.buf))
+	n := uint32(len(c.sndBuf()))
 	if n > uint32(c.mss) {
 		n = uint32(c.mss)
 	}
@@ -407,9 +409,12 @@ func (c *Conn) onDupAck() {
 }
 
 // OnTimer must be called by the Env owner when a previously armed timer
-// fires. It dispatches to the protocol action for the timer kind.
+// fires. It dispatches to the protocol action for the timer kind. The
+// engine-identity check rejects fires that leaked across a checkpoint/
+// restore re-bind: a timer armed by a previous engine incarnation must not
+// drive protocol actions against the engine that restored the connection.
 func (e *Engine) OnTimer(c *Conn, k TimerKind) {
-	if c.state == StateClosed || c.removed {
+	if c.engine != e || c.state == StateClosed || c.removed {
 		e.stats.SpuriousTimerFirings++
 		return
 	}
@@ -547,7 +552,7 @@ func (e *Engine) onPersist(c *Conn) {
 		return
 	}
 	inFlight := c.snd.nxt - c.snd.una
-	if uint32(len(c.snd.buf)) <= inFlight {
+	if uint32(len(c.sndBuf())) <= inFlight {
 		return // nothing unsent to probe with
 	}
 	e.stats.PersistProbes++
