@@ -14,7 +14,7 @@ test:
 # B/op and allocs/op plus the wall-clock of a full `neat-bench -quick` run,
 # the PDES worker-scaling ladder, the cluster connection ladder and the
 # connection-scale ladder (the 1M rung rides in as BenchmarkMillionConns).
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
 bench:
 	$(GO) run ./cmd/neat-benchreport -out $(BENCH_OUT)
@@ -24,11 +24,13 @@ bench:
 # traced-breakdown + steering + PDES determinism + cluster determinism
 # tests under the race detector (the concurrent experiment runner and the
 # PDES coordinator must stay race-free AND byte-identical to a sequential
-# run, with or without tracing), the allocation guard (tracing disabled
-# must keep the simulator's scheduling/dispatch allocation budget), and
+# run, with or without tracing), the IPC ring semantics under the race
+# detector, the allocation guards (scheduling/dispatch and the IPC
+# send/recv fast path must stay allocation-free in steady state), and
 # the md5 oracle pinning the default single-link campaign outputs: a
 # topology-plumbing change that shifts one byte of `neat-bench -quick` or
-# `neat-faults -matrix -quick` fails here, not in review.
+# `neat-faults -matrix -quick` fails here, not in review. The cluster and
+# ipc campaigns are additionally diffed sequential vs PDES 4-worker.
 verify:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -38,7 +40,9 @@ verify:
 	$(GO) test -race -timeout 1800s ./internal/experiments -run 'TestParallel|TestFaultMatrix|TestBreakdown|TestSteering|TestPDESDeterminism|TestAttack|TestClusterDeterminism|TestClusterFailover'
 	$(GO) test -race ./internal/bufpool ./internal/nicdev -run 'TestSlabOwnershipProperty|TestBatchedHandoffOwnership' -count=1
 	$(GO) test -race ./internal/sim -run 'TestTimerWheelMatchesReferenceScheduler' -count=1
+	$(GO) test -race ./internal/ipc -run 'TestIPCRingOverflowStalls|TestIPCInjectOrdering|TestIPCCoalescedRideFIFO|TestIPCDepthHighWater|TestFastPathLatency|TestSlowPathWhenColocated|TestRebindAfterCrash' -count=1
 	$(GO) test ./internal/sim -run 'TestScheduleZeroAlloc|TestUntracedDispatchAllocBudget|TestTracedDispatchNoExtraAllocs|TestBatchedDeliveryZeroAlloc|TestTimerArmStopZeroAlloc|TestTimerStatsPendingAndCascades' -count=1
+	$(GO) test ./internal/ipc -run 'TestIPCSendRecvZeroAlloc|TestIPCBatchDrainZeroAlloc' -count=1
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/neat-bench ./cmd/neat-bench; \
 	$(GO) build -o $$tmp/neat-faults ./cmd/neat-faults; \
@@ -52,4 +56,8 @@ verify:
 	b=$$($$tmp/neat-bench -cluster -quick -pdes 4 | md5sum | cut -d' ' -f1); \
 	if [ "$$a" != "$$b" ]; then \
 		echo "cluster campaign diverged between sequential and -pdes 4"; exit 1; fi; \
-	echo "md5 oracle: default outputs unchanged, cluster engine-identical"
+	a=$$($$tmp/neat-bench -ipc -quick | md5sum | cut -d' ' -f1); \
+	b=$$($$tmp/neat-bench -ipc -quick -pdes 4 | md5sum | cut -d' ' -f1); \
+	if [ "$$a" != "$$b" ]; then \
+		echo "ipc campaign diverged between sequential and -pdes 4"; exit 1; fi; \
+	echo "md5 oracle: default outputs unchanged, cluster and ipc engine-identical"

@@ -11,6 +11,7 @@
 //	neat-bench -attack             # hostile clients vs guarded replicas
 //	neat-bench -cluster [-scale N] # datacenter campaign: L4-balanced farms behind a switch
 //	neat-bench -connscale          # connection-scale ladder: ~1M conns on one replica engine
+//	neat-bench -ipc                # IPC fast path: message rings, per-message vs coalesced wakes
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	attack := flag.Bool("attack", false, "run the goodput-under-attack campaign instead of the paper tables")
 	cluster := flag.Bool("cluster", false, "run the cluster campaign: multi-machine farms behind a switch/L4 tier (combine with -scale and -pdes)")
 	connscale := flag.Bool("connscale", false, "run the connection-scale ladder: up to ~1M established conns on one replica's engine, wheel vs event timer backends")
+	ipcfp := flag.Bool("ipc", false, "run the IPC fast-path campaign: message-ring activity under per-message vs coalesced wakes across pipeline shapes (combine with -pdes)")
 	flag.Parse()
 	defer ef.StartProfiles()()
 
@@ -59,6 +61,9 @@ func main() {
 		// Not part of the default run: the connection-scale ladder measures
 		// the million-connection engine refactor (timer wheel + pooled PCBs).
 		"connscale": experiments.ConnScale,
+		// Not part of the default run: the IPC campaign measures the modeled
+		// message rings and wake coalescing, not a figure of the paper.
+		"ipc": experiments.IPCFastPath,
 		// Not part of the default run: the PDES benches measure the
 		// simulator itself, not the paper. Combine with -pdes N.
 		"pdesfarm":  experiments.PDESFarm,
@@ -76,6 +81,8 @@ func main() {
 		cliutil.Emit(experiments.ClusterScale(o))
 	case *connscale:
 		cliutil.Emit(experiments.ConnScale(o))
+	case *ipcfp:
+		cliutil.Emit(experiments.IPCFastPath(o))
 	case *only != "":
 		fn, ok := drivers[strings.ToLower(*only)]
 		if !ok {

@@ -3,6 +3,11 @@
 // `neat-bench -quick` wall-clock run, measures the PDES worker-scaling
 // ladder, and writes the result as JSON. The `make bench` target drives
 // it; the output file is committed so PRs carry a before/after record.
+//
+// `neat-benchreport -delta` compares the two most recent committed
+// snapshots (numeric suffix order: BENCH_pr9.json before BENCH_pr10.json)
+// — or exactly the two files given as arguments — and prints the ns/op,
+// allocs/op and wall-clock movement per benchmark.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -100,8 +106,17 @@ var benchSets = [][2]string{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path")
+	delta := flag.Bool("delta", false,
+		"compare the two most recent BENCH_*.json snapshots (or the two files passed as arguments) instead of generating a new one")
 	flag.Parse()
+
+	if *delta {
+		if err := runDelta(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rep := report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -236,6 +251,106 @@ func runOrDie(name string, args ...string) string {
 		fatal(fmt.Errorf("%s %s: %w", name, strings.Join(args, " "), err))
 	}
 	return buf.String()
+}
+
+// runDelta diffs two snapshots: the pair passed as args, or the two most
+// recent BENCH_*.json in the working directory (ordered by the numeric
+// suffix in the file name, so pr10 follows pr9; non-numeric names sort
+// lexically before numeric ones).
+func runDelta(args []string) error {
+	var oldPath, newPath string
+	switch len(args) {
+	case 2:
+		oldPath, newPath = args[0], args[1]
+	case 0:
+		snaps, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(snaps) < 2 {
+			return fmt.Errorf("need at least two BENCH_*.json snapshots to diff (found %d)", len(snaps))
+		}
+		sort.Slice(snaps, func(i, j int) bool {
+			ni, oki := snapshotSeq(snaps[i])
+			nj, okj := snapshotSeq(snaps[j])
+			if oki != okj {
+				return !oki // non-numeric names first (oldest)
+			}
+			if oki && ni != nj {
+				return ni < nj
+			}
+			return snaps[i] < snaps[j]
+		})
+		oldPath, newPath = snaps[len(snaps)-2], snaps[len(snaps)-1]
+	default:
+		return fmt.Errorf("-delta takes zero or exactly two snapshot paths, got %d", len(args))
+	}
+
+	var oldRep, newRep report
+	for _, l := range []struct {
+		path string
+		into *report
+	}{{oldPath, &oldRep}, {newPath, &newRep}} {
+		raw, err := os.ReadFile(l.path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, l.into); err != nil {
+			return fmt.Errorf("%s: %w", l.path, err)
+		}
+	}
+
+	fmt.Printf("delta %s -> %s\n\n", oldPath, newPath)
+	fmt.Printf("%-34s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "ns/op old", "ns/op new", "Δ", "allocs old", "allocs new", "Δ")
+	prev := map[string]benchResult{}
+	for _, b := range oldRep.Benchmarks {
+		prev[b.Name] = b
+	}
+	for _, b := range newRep.Benchmarks {
+		o, ok := prev[b.Name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %8s %12s %12d %8s\n",
+				b.Name, "-", b.NsPerOp, "new", "-", b.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %8s %12d %12d %8s\n",
+			b.Name, o.NsPerOp, b.NsPerOp, pct(o.NsPerOp, b.NsPerOp),
+			o.AllocsPerOp, b.AllocsPerOp,
+			pct(float64(o.AllocsPerOp), float64(b.AllocsPerOp)))
+		delete(prev, b.Name)
+	}
+	for name := range prev {
+		fmt.Printf("%-34s (dropped from %s)\n", name, newPath)
+	}
+	fmt.Printf("\nneat-bench -quick wall: %.2fs -> %.2fs %s\n",
+		oldRep.QuickWallSecs, newRep.QuickWallSecs,
+		pct(oldRep.QuickWallSecs, newRep.QuickWallSecs))
+	return nil
+}
+
+// snapshotSeq extracts the trailing integer of a BENCH_<name><N>.json file
+// name (ok=false when there is none).
+func snapshotSeq(path string) (int, bool) {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	i := len(base)
+	for i > 0 && base[i-1] >= '0' && base[i-1] <= '9' {
+		i--
+	}
+	if i == len(base) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(base[i:])
+	return n, err == nil
+}
+
+// pct renders the relative movement from old to new ("-12.3%"; "=" for no
+// change, "?" when the old value is zero).
+func pct(old, new float64) string {
+	if old == new {
+		return "="
+	}
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
 func fatal(err error) {

@@ -170,23 +170,13 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 		}
 		c.Ctx = &sockCtx{app: m.App, reqID: m.ReqID, home: h.curProc}
 		h.conns[c.ID] = c
+	case *stack.OpSend:
+		// Pooled fast-path form (socketlib): recycle the box after the
+		// bytes are absorbed and the Ref released.
+		h.opSend(m.ConnID, m.Data, m.Ref, m.WantSpace)
+		m.Recycle()
 	case stack.OpSend:
-		c, ok := h.conns[m.ConnID]
-		if !ok {
-			m.Ref.Release()
-			return
-		}
-		h.charge(h.costs.SyscallOp)
-		h.lock()
-		h.stats.SyscallsIn++
-		sc := c.Ctx.(*sockCtx)
-		sc.pending = append(sc.pending, m.Data...)
-		m.Ref.Release() // data now lives in sc.pending
-		if m.WantSpace {
-			sc.wantSpace = true
-		}
-		h.drainPending(c, sc)
-		h.maybeAdvertiseSpace(c, sc)
+		h.opSend(m.ConnID, m.Data, m.Ref, m.WantSpace)
 	case stack.OpClose:
 		if c, ok := h.conns[m.ConnID]; ok {
 			h.charge(h.costs.SyscallOp)
@@ -226,6 +216,27 @@ func (kh *kernelHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 			delete(h.udpSocks, m.UDPID)
 		}
 	}
+}
+
+// opSend appends send-stream bytes to a connection: the shared body of the
+// pooled (*stack.OpSend) and value (stack.OpSend) message forms.
+func (h *kernelHost) opSend(connID uint64, data []byte, ref bufpool.Ref, wantSpace bool) {
+	c, ok := h.conns[connID]
+	if !ok {
+		ref.Release()
+		return
+	}
+	h.charge(h.costs.SyscallOp)
+	h.lock()
+	h.stats.SyscallsIn++
+	sc := c.Ctx.(*sockCtx)
+	sc.pending = append(sc.pending, data...)
+	ref.Release() // data now lives in sc.pending
+	if wantSpace {
+		sc.wantSpace = true
+	}
+	h.drainPending(c, sc)
+	h.maybeAdvertiseSpace(c, sc)
 }
 
 func (h *kernelHost) drainPending(c *tcpeng.Conn, sc *sockCtx) {

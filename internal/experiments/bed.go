@@ -153,6 +153,10 @@ type BedConfig struct {
 	// are never guarded.
 	Guard tcpeng.GuardConfig
 
+	// IPC tunes the server system's modeled message rings (ring depth,
+	// doorbell coalescing). Zero value: calibrated per-message doorbells.
+	IPC testbed.IPCTuning
+
 	// Workload.
 	WebLocs     []testbed.ThreadLoc // lighttpd i at WebLocs[i], port 8000+i
 	FileSize    int                 // default 20 bytes
@@ -257,6 +261,7 @@ func NewBed(cfg BedConfig) (*Bed, error) {
 			Watchdog: cfg.Watchdog,
 			Observe:  core.ObserveConfig{Trace: tr},
 			Steering: cfg.Steering,
+			IPC:      cfg.IPC,
 		})
 		if err != nil {
 			return nil, err
@@ -412,6 +417,19 @@ func (b *Bed) Registry() *metrics.Registry {
 	r.SetCounter("sim.timers.pending", uint64(ts.Pending))
 	r.SetCounter("sim.timers.cascades", ts.Cascades)
 	r.SetCounter("sim.timers.fired", ts.Fired)
+	is := b.Net.Sim.IPCStats()
+	r.SetCounter("sim.ipc.sends", is.Sends)
+	r.SetCounter("sim.ipc.slow_path", is.SlowPath)
+	r.SetCounter("sim.ipc.wakes_saved", is.WakesSaved)
+	r.SetCounter("sim.ipc.stalls", is.Stalls)
+	r.SetCounter("sim.ipc.depth_hw", uint64(is.DepthHW))
+	r.SetCounter("sim.ipc.batches", is.Batches)
+	r.SetCounter("sim.ipc.batch_msgs", is.BatchMsgs)
+	for i, n := range is.BatchHist {
+		if n > 0 {
+			r.SetCounter("sim.ipc.batch."+sim.IPCBatchBucketLabel(i), n)
+		}
+	}
 	return r
 }
 

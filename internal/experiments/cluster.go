@@ -60,6 +60,10 @@ type ClusterBedConfig struct {
 
 	// Observe attaches the message tracer (per-tier latency breakdowns).
 	Observe bool
+
+	// IPC tunes every member's modeled message rings (ring depth, doorbell
+	// coalescing). Zero value: calibrated per-message doorbells.
+	IPC testbed.IPCTuning
 }
 
 func (cfg *ClusterBedConfig) fillDefaults() {
@@ -150,6 +154,7 @@ func NewClusterBed(cfg ClusterBedConfig) (*ClusterBed, error) {
 			NEaT: testbed.NEaTConfig{
 				Slots:   testbed.SingleSlots(2, cfg.ReplicasPerMember),
 				Syscall: testbed.ThreadLoc{Core: 1},
+				IPC:     cfg.IPC,
 			},
 			Control: cfg.Control,
 		})

@@ -1,0 +1,144 @@
+package sim
+
+// IPC instrumentation. The ipc package (and the dispatch flush itself)
+// report ring activity to the owning simulator through the Note* methods
+// below; the counters live per domain shard in PDES mode — every write
+// happens domain-locked, exactly like eventsRun — and IPCStats aggregates
+// them on the control plane at a barrier.
+
+// ipcBatchBuckets is the number of vector-size histogram buckets: exact
+// sizes 1..8, then power-of-two ranges 9-16, 17-32, 33-64 and 65+.
+const ipcBatchBuckets = 12
+
+// IPCBatchBucketLabel names histogram bucket i.
+func IPCBatchBucketLabel(i int) string {
+	switch {
+	case i < 8:
+		return [...]string{"1", "2", "3", "4", "5", "6", "7", "8"}[i]
+	case i == 8:
+		return "9-16"
+	case i == 9:
+		return "17-32"
+	case i == 10:
+		return "33-64"
+	default:
+		return "65+"
+	}
+}
+
+func ipcBatchBucket(n int) int {
+	switch {
+	case n <= 8:
+		return n - 1
+	case n <= 16:
+		return 8
+	case n <= 32:
+		return 9
+	case n <= 64:
+		return 10
+	default:
+		return 11
+	}
+}
+
+// ipcCounters is the per-simulator (per-domain) IPC instrumentation state.
+type ipcCounters struct {
+	sends      uint64
+	slowPath   uint64
+	wakesSaved uint64
+	stalls     uint64
+	depthHW    int
+	batches    uint64
+	batchMsgs  uint64
+	batchHist  [ipcBatchBuckets]uint64
+}
+
+// IPCStats is the aggregated view of the simulator's IPC instrumentation.
+type IPCStats struct {
+	// Sends counts messages sent over modeled IPC channels; SlowPath the
+	// subset that paid the kernel-assisted (colocated-endpoint) latency.
+	Sends    uint64
+	SlowPath uint64
+	// WakesSaved counts sends that rode an already-armed ring doorbell
+	// instead of paying their own (ipc wake coalescing, opt-in).
+	WakesSaved uint64
+	// Stalls counts sends that found their ring full and waited for the
+	// head slot to free (sender-side backpressure).
+	Stalls uint64
+	// DepthHW is the highest in-flight ring occupancy observed on any
+	// single connection.
+	DepthHW int
+	// Batches counts delivery vectors emitted by dispatch flushes;
+	// BatchMsgs counts the messages they carried.
+	Batches   uint64
+	BatchMsgs uint64
+	// BatchHist is the vector-size histogram (see IPCBatchBucketLabel).
+	BatchHist [ipcBatchBuckets]uint64
+}
+
+// NoteIPCSend records one message sent over an IPC channel; slow marks the
+// kernel-assisted path (sender and receiver sharing a hardware thread).
+func (s *Simulator) NoteIPCSend(slow bool) {
+	s.ipc.sends++
+	if slow {
+		s.ipc.slowPath++
+	}
+}
+
+// NoteIPCWakeSaved records one coalesced (ridden) doorbell.
+func (s *Simulator) NoteIPCWakeSaved() { s.ipc.wakesSaved++ }
+
+// NoteIPCStall records one full-ring sender stall.
+func (s *Simulator) NoteIPCStall() { s.ipc.stalls++ }
+
+// NoteIPCDepth records a ring occupancy observation for the high-water mark.
+func (s *Simulator) NoteIPCDepth(d int) {
+	if d > s.ipc.depthHW {
+		s.ipc.depthHW = d
+	}
+}
+
+// noteIPCBatch records one emitted delivery vector of n messages.
+func (s *Simulator) noteIPCBatch(n int) {
+	s.ipc.batches++
+	s.ipc.batchMsgs += uint64(n)
+	s.ipc.batchHist[ipcBatchBucket(n)]++
+}
+
+// IPCStats aggregates the IPC instrumentation. On a PDES control plane it
+// totals across all domains (high-water marks take the max); call it only
+// at a barrier.
+func (s *Simulator) IPCStats() IPCStats {
+	out := s.ipc.stats()
+	if s.pdes != nil && s.parent == nil {
+		for _, d := range s.pdes.domains {
+			ds := d.ipc.stats()
+			out.Sends += ds.Sends
+			out.SlowPath += ds.SlowPath
+			out.WakesSaved += ds.WakesSaved
+			out.Stalls += ds.Stalls
+			if ds.DepthHW > out.DepthHW {
+				out.DepthHW = ds.DepthHW
+			}
+			out.Batches += ds.Batches
+			out.BatchMsgs += ds.BatchMsgs
+			for i := range out.BatchHist {
+				out.BatchHist[i] += ds.BatchHist[i]
+			}
+		}
+	}
+	return out
+}
+
+func (c *ipcCounters) stats() IPCStats {
+	return IPCStats{
+		Sends:      c.sends,
+		SlowPath:   c.slowPath,
+		WakesSaved: c.wakesSaved,
+		Stalls:     c.stalls,
+		DepthHW:    c.depthHW,
+		Batches:    c.batches,
+		BatchMsgs:  c.batchMsgs,
+		BatchHist:  c.batchHist,
+	}
+}

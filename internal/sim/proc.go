@@ -25,6 +25,19 @@ type HandlerFunc func(ctx *Context, msg Message)
 // HandleMessage implements Handler.
 func (f HandlerFunc) HandleMessage(ctx *Context, msg Message) { f(ctx, msg) }
 
+// BatchHandler is an optional extension of Handler. When a process's
+// handler implements it, the dispatch loop brackets every inbox batch with
+// BeginBatch/EndBatch: the handler learns it is draining a vector of n
+// messages in one activation and can hoist per-activation state (its
+// Context, connection lookups) out of the per-message path. The bracket is
+// bookkeeping only — implementations must not charge cycles or send
+// messages from it, so a handler with or without the extension produces a
+// byte-identical simulation.
+type BatchHandler interface {
+	BeginBatch(ctx *Context, n int)
+	EndBatch()
+}
+
 // CostCategory classifies where a process's cycles went. The driver CPU
 // breakdown of the paper's Table 2 (kernel suspend/resume vs polling vs
 // useful processing) is reconstructed from these.
@@ -118,6 +131,9 @@ type Proc struct {
 	machine *Machine
 	thread  *HWThread
 	handler Handler
+	// bh is handler's BatchHandler extension, asserted once at creation so
+	// the dispatch loop pays a nil check instead of a type assertion.
+	bh BatchHandler
 
 	// Name identifies the process in logs and topology dumps, e.g.
 	// "neat2.tcp" or "nicdrv0".
@@ -154,6 +170,9 @@ type Proc struct {
 	charged      int64
 	chargedByCat [numCostCategories]int64
 	pending      []outMsg // sends buffered during the current dispatch
+	// groups is the flush's open-vector scratch space, recycled like
+	// pending so vectorized release allocates nothing in steady state.
+	groups []flushGroup
 	// ctx is the reusable handler context. Handlers receive *Context, which
 	// would force a heap allocation per dispatch if the Context lived on the
 	// runDispatch stack; hoisting it into the Proc makes the escape free.
@@ -178,6 +197,16 @@ type outMsg struct {
 	// flush routes these to the timer wheel instead of the event queue.
 	timer *Timer
 	tgen  uint64
+}
+
+// flushGroup tracks one open delivery vector while the dispatch flush
+// walks the pending sends: every non-timer send sharing a release time
+// joins the same simulator event, whatever its destination. A nil batch
+// marks a group closed by a timer barrier (its event is already scheduled;
+// later sends at the same time must sequence after the firing).
+type flushGroup struct {
+	at Time
+	b  *msgBatch
 }
 
 // ProcConfig carries optional knobs for NewProc.
@@ -207,6 +236,7 @@ func NewProc(t *HWThread, name string, h Handler, cfg ProcConfig) *Proc {
 	if p.Component == "" {
 		p.Component = name
 	}
+	p.bh, _ = h.(BatchHandler)
 	p.ctx = Context{Sim: m.sim, Proc: p}
 	t.procs = append(t.procs, p)
 	m.sim.addProc(p)
@@ -359,6 +389,10 @@ func (p *Proc) runDispatch() {
 	// arrival stamp; such mixed batches are skipped rather than mismatched.
 	traced := tr != nil && len(batchAt) == len(batch)
 	ctx := &p.ctx
+	bracket := p.bh != nil && len(batch) > 0
+	if bracket {
+		p.bh.BeginBatch(ctx, len(batch))
+	}
 	for i, msg := range batch {
 		if p.state == procDead {
 			break
@@ -406,6 +440,9 @@ func (p *Proc) runDispatch() {
 			tr.OnMessage(p, msg, batchAt[i], start, end)
 		}
 	}
+	if bracket {
+		p.bh.EndBatch()
+	}
 	for i := range batch {
 		batch[i] = nil // drop message references before recycling
 	}
@@ -429,47 +466,78 @@ func (p *Proc) runDispatch() {
 	}
 
 	// Release buffered sends at each message's completion point within the
-	// dispatch. Consecutive sends to the same destination at the same
-	// release time — a burst of RX frames forwarded to one replica, a TCP
-	// window's worth of segments to the IP component — coalesce into one
-	// batched delivery event. The sends hold consecutive sequence numbers,
-	// so nothing could have interleaved between them: batching them behind
-	// the first send's sequence position is observationally identical to N
-	// separate deliveries.
+	// dispatch. All sends sharing a release time — a burst of RX frames
+	// forwarded to one replica, a TCP window's worth of segments to the IP
+	// component, a syscall reply next to a driver doorbell — coalesce into
+	// one delivery vector carried by a single simulator event, whatever
+	// their destinations. The vector delivers in buffered order under the
+	// sequence number of its first send, and every sequence number between
+	// two sends of one flush belongs to this same flush, so the global
+	// delivery order is exactly what per-send events would have produced:
+	// batching changes the container, not the deliveries.
 	pend := p.pending
+	groups := p.groups[:0]
 	for i := 0; i < len(pend); {
 		out := &pend[i]
 		at := t0 + Time(float64(p.machine.Cycles(out.cyclesAt))*factor) + out.delay
-		j := i + 1
-		for j < len(pend) && pend[j].dst == out.dst && (pend[j].timer != nil) == (out.timer != nil) {
-			next := &pend[j]
-			at2 := t0 + Time(float64(p.machine.Cycles(next.cyclesAt))*factor) + next.delay
-			if at2 != at {
-				break
-			}
-			j++
-		}
-		switch {
-		case out.timer != nil:
+		if out.timer != nil {
 			// A run of timer arms to one release time goes to the wheel
 			// under a single shared sequence number — exactly the sequence
 			// a batched delivery of the boxed firings would have consumed,
 			// so merged pop order matches the legacy backend byte for byte.
-			p.sim.armTimers(at, pend[i:j])
-		case j == i+1:
-			p.sim.DeliverAt(at, out.dst, out.msg)
-		default:
-			b := p.sim.getBatch()
-			for k := i; k < j; k++ {
-				b.msgs = append(b.msgs, pend[k].msg)
+			j := i + 1
+			for j < len(pend) && pend[j].timer != nil {
+				next := &pend[j]
+				if t0+Time(float64(p.machine.Cycles(next.cyclesAt))*factor)+next.delay != at {
+					break
+				}
+				j++
 			}
+			// Timer barrier: an open vector at this release time must close
+			// before the run consumes its sequence number. Its event already
+			// holds an earlier sequence — it delivers before the firing —
+			// and sends buffered after this run must deliver after it.
+			for gi := range groups {
+				if groups[gi].b != nil && groups[gi].at == at {
+					p.sim.noteIPCBatch(len(groups[gi].b.msgs))
+					groups[gi].b = nil
+				}
+			}
+			p.sim.armTimers(at, pend[i:j])
+			for k := i; k < j; k++ {
+				pend[k] = outMsg{} // drop references; the slice is recycled
+			}
+			i = j
+			continue
+		}
+		var b *msgBatch
+		for gi := range groups {
+			if groups[gi].b != nil && groups[gi].at == at {
+				b = groups[gi].b
+				break
+			}
+		}
+		if b == nil {
+			b = p.sim.getBatch()
+			// Scheduling at group creation fixes the vector's sequence
+			// position; messages appended afterwards ride in the same event
+			// (the batch is only read when the event pops, strictly after
+			// this flush completes).
 			p.sim.schedule(at, event{kind: evDeliverBatch, proc: out.dst, msg: b})
+			groups = append(groups, flushGroup{at: at, b: b})
 		}
-		for k := i; k < j; k++ {
-			pend[k] = outMsg{} // drop references; the slice is recycled
-		}
-		i = j
+		b.msgs = append(b.msgs, out.msg)
+		b.dsts = append(b.dsts, out.dst)
+		pend[i] = outMsg{}
+		i++
 	}
+	for gi := range groups {
+		if groups[gi].b != nil {
+			p.sim.noteIPCBatch(len(groups[gi].b.msgs))
+		}
+		groups[gi] = flushGroup{}
+	}
+	p.groups = groups[:0]
 	p.pending = p.pending[:0]
 
 	if p.state == procDead {

@@ -373,11 +373,21 @@ type Simulator struct {
 
 	// Stats
 	eventsRun uint64
+	// ipc holds the IPC ring instrumentation (see ipcstats.go); per-domain
+	// in PDES mode, aggregated by IPCStats.
+	ipc ipcCounters
 }
 
 // msgBatch carries the messages of one batched delivery. The simulation is
-// single-threaded, so a plain freelist suffices.
-type msgBatch struct{ msgs []Message }
+// single-threaded, so a plain freelist suffices. dsts, when non-empty, is
+// parallel to msgs and carries a per-message destination (the flush-vector
+// form: one simulator event delivering to several inboxes); empty means
+// every message goes to the event's proc (the single-destination form used
+// by DeliverBatchAt).
+type msgBatch struct {
+	msgs []Message
+	dsts []*Proc
+}
 
 func (s *Simulator) getBatch() *msgBatch {
 	if n := len(s.batchFree); n > 0 {
@@ -523,9 +533,20 @@ func (s *Simulator) run(e event) {
 		// events so EventsRun (and everything reported from it) is
 		// independent of how deliveries were grouped.
 		s.eventsRun += uint64(len(b.msgs)) - 1
-		for i, m := range b.msgs {
-			e.proc.Deliver(m)
-			b.msgs[i] = nil
+		if len(b.dsts) > 0 {
+			// Flush-vector form: deliveries land in slice order, exactly
+			// the order the sends were buffered, whatever their targets.
+			for i, m := range b.msgs {
+				b.dsts[i].Deliver(m)
+				b.msgs[i] = nil
+				b.dsts[i] = nil
+			}
+			b.dsts = b.dsts[:0]
+		} else {
+			for i, m := range b.msgs {
+				e.proc.Deliver(m)
+				b.msgs[i] = nil
+			}
 		}
 		b.msgs = b.msgs[:0]
 		s.batchFree = append(s.batchFree, b)

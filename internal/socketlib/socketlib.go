@@ -192,7 +192,7 @@ func (s *Socket) Send(ctx *sim.Context, data []byte) bool {
 	}
 	s.credit -= len(data)
 	want := s.credit < SendLowWater
-	s.lib.stackConn(s.stack).Send(ctx, stack.OpSend{ConnID: s.connID, Data: data, WantSpace: want})
+	s.lib.stackConn(s.stack).Send(ctx, stack.NewOpSend(s.connID, data, bufpool.Ref{}, want))
 	return true
 }
 
@@ -208,7 +208,7 @@ func (s *Socket) SendRef(ctx *sim.Context, ref bufpool.Ref) bool {
 	}
 	s.credit -= len(ref.B)
 	want := s.credit < SendLowWater
-	s.lib.stackConn(s.stack).Send(ctx, stack.OpSend{ConnID: s.connID, Data: ref.B, Ref: ref, WantSpace: want})
+	s.lib.stackConn(s.stack).Send(ctx, stack.NewOpSend(s.connID, ref.B, ref, want))
 	return true
 }
 

@@ -32,8 +32,9 @@ func (f *fakeStack) HandleMessage(ctx *sim.Context, msg sim.Message) {
 			return
 		}
 		f.appConn.Send(ctx, stack.EvConnected{ReqID: m.ReqID, ConnID: 77, Stack: f.proc, SendBuf: 1000})
-	case stack.OpSend:
-		// Echo the data back.
+	case *stack.OpSend:
+		// Echo the data back. The box is retained in f.ops for the tests'
+		// op-sequence assertions, so it is deliberately not recycled.
 		f.appConn.Send(ctx, stack.EvData{Stack: f.proc, ConnID: m.ConnID, Data: m.Data})
 		if m.WantSpace {
 			f.appConn.Send(ctx, stack.EvSendSpace{Stack: f.proc, ConnID: m.ConnID, Available: 1000})

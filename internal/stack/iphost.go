@@ -39,14 +39,9 @@ type udpSockCtx struct {
 	sock *udpeng.Socket
 }
 
-// withCtx runs fn with the dispatch context installed so engine callbacks
-// can charge cycles and emit messages.
-func (h *ipHost) withCtx(ctx *sim.Context, fn func()) {
-	prev := h.ctx
-	h.ctx = ctx
-	fn()
-	h.ctx = prev
-}
+// The host's dispatch context (h.ctx) is installed for the whole
+// activation by the owning handler's BeginBatch, so engine callbacks can
+// charge cycles and emit messages without a per-message context swap.
 
 // inputFrame is the RX entry point of the replica.
 func (h *ipHost) inputFrame(ctx *sim.Context, f *proto.Frame) {
@@ -56,11 +51,7 @@ func (h *ipHost) inputFrame(ctx *sim.Context, f *proto.Frame) {
 		return
 	}
 	ctx.Charge(h.costs.IPIn)
-	// Inlined withCtx: this runs once per received packet.
-	prev := h.ctx
-	h.ctx = ctx
 	h.ip.Input(f)
-	h.ctx = prev
 }
 
 // handleOp processes UDP socket operations.
@@ -86,7 +77,7 @@ func (h *ipHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 			return true
 		}
 		ctx.Charge(h.costs.UDPOut)
-		h.withCtx(ctx, func() { sc.sock.SendTo(m.Addr, m.Port, m.Data) })
+		sc.sock.SendTo(m.Addr, m.Port, m.Data)
 		return true
 	case OpUDPClose:
 		if sc, ok := h.udpSocks[m.UDPID]; ok {

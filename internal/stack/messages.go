@@ -26,10 +26,11 @@ import (
 )
 
 // ---- Intra-stack messages (between components of one replica) ----
-
-// tcpInput carries an inbound TCP frame from the IP process to the TCP
-// process of a multi-component replica.
-type tcpInput struct{ f *proto.Frame }
+//
+// Inbound TCP frames cross the IP→TCP boundary of a multi-component
+// replica as bare *proto.Frame messages — the frame is already a pooled
+// reference-counted box, so wrapping it would only add a per-segment
+// allocation.
 
 // ipOutput carries a headroom TX frame — the transport segment marshalled
 // at proto.TxHeadroom — from the TCP process to the IP process, which fills
@@ -122,6 +123,27 @@ type OpSend struct {
 	Data      []byte
 	Ref       bufpool.Ref
 	WantSpace bool
+}
+
+// opSendPool recycles *OpSend boxes so the per-send fast path (socketlib →
+// replica) allocates nothing in steady state. The value form of OpSend
+// remains a valid message for callers that don't pool.
+var opSendPool = sync.Pool{New: func() any { return new(OpSend) }}
+
+// NewOpSend returns a pooled OpSend box. Ownership transfers with the
+// message; the consuming stack recycles the box (and releases Ref) after
+// absorbing Data into the connection's send stream.
+func NewOpSend(connID uint64, data []byte, ref bufpool.Ref, wantSpace bool) *OpSend {
+	m := opSendPool.Get().(*OpSend)
+	m.ConnID, m.Data, m.Ref, m.WantSpace = connID, data, ref, wantSpace
+	return m
+}
+
+// Recycle returns the box to the pool. Callers must have consumed Data and
+// released Ref; the box must not be touched afterwards.
+func (m *OpSend) Recycle() {
+	*m = OpSend{}
+	opSendPool.Put(m)
 }
 
 // OpClose performs an orderly close of a connection.

@@ -142,28 +142,19 @@ func (r *Replica) buildSingle(th *sim.HWThread) {
 	r.procs = []*sim.Proc{p}
 	r.iph.proc, r.tcph.proc = p, p
 	costs := r.cfg.Costs
-	// Direct in-process calls between the layers. These run once per
-	// segment, so the context swaps are inlined rather than going through
-	// withCtx (whose func-literal argument would allocate per call).
+	// Direct in-process calls between the layers. Both hosts' dispatch
+	// contexts are installed for the whole activation by the handler's
+	// BeginBatch, so no per-call context swap is needed.
 	r.iph.toTCP = func(ctx *sim.Context, f *proto.Frame) {
 		ctx.Charge(costs.TCPSegIn)
-		prev := r.tcph.ctx
-		r.tcph.ctx = ctx
 		r.tcph.tcp.Input(f)
-		r.tcph.ctx = prev
 		f.Release() // TCP input copies payload into engine buffers
 	}
 	r.tcph.outFrame = func(ctx *sim.Context, dst proto.Addr, p proto.IPProto, frame []byte) {
-		prev := r.iph.ctx
-		r.iph.ctx = ctx
 		r.iph.ip.OutputFrame(dst, p, frame)
-		r.iph.ctx = prev
 	}
 	r.tcph.outTSO = func(ctx *sim.Context, t ipeng.TSO) {
-		prev := r.iph.ctx
-		r.iph.ctx = ctx
 		r.iph.ip.OutputTSO(t)
-		r.iph.ctx = prev
 	}
 }
 
@@ -180,7 +171,9 @@ func (r *Replica) buildIPHost(th *sim.HWThread) {
 	r.connToIP.Rebind(r.iph.proc)
 	toTCP := r.connToTCP
 	r.iph.toTCP = func(ctx *sim.Context, f *proto.Frame) {
-		toTCP.Send(ctx, tcpInput{f})
+		// The frame box crosses the component boundary as-is: it is already
+		// pooled and reference-counted, so no wrapper message is needed.
+		toTCP.Send(ctx, f)
 	}
 }
 
@@ -306,9 +299,28 @@ func (r *Replica) String() string {
 }
 
 // ---- process handlers ----
+//
+// Every handler implements sim.BatchHandler: deliveries now arrive as
+// vectors (one simulator event per same-timestamp ring flush), and the
+// bracket installs the hosts' dispatch context once per activation instead
+// of once per message. The per-message context swaps — and the allocating
+// withCtx func literals on the OpSend path — are gone; engine callbacks
+// reach the context through the host for the whole drain. The bracket is
+// bookkeeping only: it charges no cycles and sends no messages, so batched
+// and unbatched delivery produce byte-identical simulations.
 
 // singleHandler runs the entire stack in one process.
 type singleHandler struct{ r *Replica }
+
+// BeginBatch implements sim.BatchHandler.
+func (h *singleHandler) BeginBatch(ctx *sim.Context, n int) {
+	h.r.iph.ctx, h.r.tcph.ctx = ctx, ctx
+}
+
+// EndBatch implements sim.BatchHandler.
+func (h *singleHandler) EndBatch() {
+	h.r.iph.ctx, h.r.tcph.ctx = nil, nil
+}
 
 func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	r := h.r
@@ -316,7 +328,7 @@ func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	case *proto.Frame:
 		r.iph.inputFrame(ctx, m)
 	case tickMsg:
-		r.iph.withCtx(ctx, m.fn)
+		m.fn()
 	case *tcpeng.ConnTimer:
 		r.tcph.onTimer(ctx, m)
 	default:
@@ -329,26 +341,27 @@ func (h *singleHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 // ipHandler is the multi-component PF+IP(+UDP) process.
 type ipHandler struct{ h *ipHost }
 
+// BeginBatch implements sim.BatchHandler.
+func (ih *ipHandler) BeginBatch(ctx *sim.Context, n int) { ih.h.ctx = ctx }
+
+// EndBatch implements sim.BatchHandler.
+func (ih *ipHandler) EndBatch() { ih.h.ctx = nil }
+
 func (ih *ipHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	h := ih.h
 	switch m := msg.(type) {
 	case *proto.Frame:
 		h.inputFrame(ctx, m)
 	case *ipOutput:
-		prev := h.ctx
-		h.ctx = ctx
 		h.ip.OutputFrame(m.dst, m.proto, m.frame) // takes ownership of the frame
-		h.ctx = prev
 		*m = ipOutput{}
 		ipOutputPool.Put(m)
 	case *ipOutputTSO:
-		h.withCtx(ctx, func() {
-			h.ip.OutputTSO(ipeng.TSO{TCP: m.hdr, Dst: m.dst, Payload: m.payload, MSS: m.mss})
-		})
+		h.ip.OutputTSO(ipeng.TSO{TCP: m.hdr, Dst: m.dst, Payload: m.payload, MSS: m.mss})
 		*m = ipOutputTSO{}
 		ipOutputTSOPool.Put(m)
 	case tickMsg:
-		h.withCtx(ctx, m.fn)
+		m.fn()
 	default:
 		h.handleOp(ctx, msg)
 	}
@@ -357,20 +370,24 @@ func (ih *ipHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 // tcpHandler is the multi-component TCP process.
 type tcpHandler struct{ h *tcpHost }
 
+// BeginBatch implements sim.BatchHandler.
+func (th *tcpHandler) BeginBatch(ctx *sim.Context, n int) { th.h.ctx = ctx }
+
+// EndBatch implements sim.BatchHandler.
+func (th *tcpHandler) EndBatch() { th.h.ctx = nil }
+
 func (th *tcpHandler) HandleMessage(ctx *sim.Context, msg sim.Message) {
 	h := th.h
 	switch m := msg.(type) {
-	case tcpInput:
+	case *proto.Frame:
+		// Inbound segment from the IP process.
 		ctx.Charge(h.costs.TCPSegIn)
-		prev := h.ctx
-		h.ctx = ctx
-		h.tcp.Input(m.f)
-		h.ctx = prev
-		m.f.Release()
+		h.tcp.Input(m)
+		m.Release()
 	case *tcpeng.ConnTimer:
 		h.onTimer(ctx, m)
 	case tickMsg:
-		h.withCtx(ctx, m.fn)
+		m.fn()
 	default:
 		h.handleOp(ctx, msg)
 	}

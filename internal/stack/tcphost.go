@@ -49,19 +49,13 @@ type listenCtx struct {
 	reqID uint64
 }
 
-func (h *tcpHost) withCtx(ctx *sim.Context, fn func()) {
-	prev := h.ctx
-	h.ctx = ctx
-	fn()
-	h.ctx = prev
-}
+// The host's dispatch context (h.ctx) is installed for the whole
+// activation by the owning handler's BeginBatch, so methods invoked from
+// HandleMessage run with it already in place.
 
 func (h *tcpHost) onTimer(ctx *sim.Context, m *tcpeng.ConnTimer) {
 	ctx.Charge(h.costs.TimerOp)
-	prev := h.ctx
-	h.ctx = ctx
 	h.tcp.OnTimer(m.C, m.Kind)
-	h.ctx = prev
 }
 
 // handleOp processes TCP socket operations; reports whether msg was one.
@@ -69,15 +63,11 @@ func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 	switch m := msg.(type) {
 	case OpListen:
 		ctx.Charge(h.costs.SockOp)
-		var err error
-		h.withCtx(ctx, func() {
-			var l *tcpeng.Listener
-			l, err = h.tcp.Listen(proto.Addr{}, m.Port, m.Backlog)
-			if err == nil {
-				l.Ctx = &listenCtx{app: m.App, reqID: m.ReqID}
-				h.listeners[m.ReqID] = l
-			}
-		})
+		l, err := h.tcp.Listen(proto.Addr{}, m.Port, m.Backlog)
+		if err == nil {
+			l.Ctx = &listenCtx{app: m.App, reqID: m.ReqID}
+			h.listeners[m.ReqID] = l
+		}
 		ackTo := m.App
 		if m.ReplyTo != nil {
 			ackTo = m.ReplyTo
@@ -86,54 +76,43 @@ func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 		return true
 	case OpConnect:
 		ctx.Charge(h.costs.TCPConnSetup)
-		h.withCtx(ctx, func() {
-			c, err := h.tcp.ConnectFrom(m.Addr, m.Port, m.LocalPort)
-			if err != nil {
-				h.sendApp(ctx, m.App, EvConnected{ReqID: m.ReqID, Stack: h.proc, Err: err})
-				return
-			}
-			c.Ctx = &sockCtx{app: m.App, reqID: m.ReqID}
-			h.conns[c.ID] = c
-			if h.r.OnConnCreated != nil {
-				h.r.OnConnCreated(h.r, c)
-			}
-		})
+		c, err := h.tcp.ConnectFrom(m.Addr, m.Port, m.LocalPort)
+		if err != nil {
+			h.sendApp(ctx, m.App, EvConnected{ReqID: m.ReqID, Stack: h.proc, Err: err})
+			return true
+		}
+		c.Ctx = &sockCtx{app: m.App, reqID: m.ReqID}
+		h.conns[c.ID] = c
+		if h.r.OnConnCreated != nil {
+			h.r.OnConnCreated(h.r, c)
+		}
+		return true
+	case *OpSend:
+		// Pooled fast-path form (socketlib): recycle the box once Data has
+		// been absorbed and Ref released.
+		h.opSend(ctx, m.ConnID, m.Data, m.Ref, m.WantSpace)
+		m.Recycle()
 		return true
 	case OpSend:
-		c, ok := h.conns[m.ConnID]
-		if !ok {
-			m.Ref.Release()
-			return true // connection already gone; app learns via EvClosed
-		}
-		sc := c.Ctx.(*sockCtx)
-		sc.pending = append(sc.pending, m.Data...)
-		m.Ref.Release() // data now lives in sc.pending
-		if m.WantSpace {
-			sc.wantSpace = true
-		}
-		ctx.Charge(h.costs.SockOp)
-		h.withCtx(ctx, func() {
-			h.drainPending(c, sc)
-			h.maybeAdvertiseSpace(c, sc)
-		})
+		h.opSend(ctx, m.ConnID, m.Data, m.Ref, m.WantSpace)
 		return true
 	case OpClose:
 		if c, ok := h.conns[m.ConnID]; ok {
 			ctx.Charge(h.costs.SockOp)
-			h.withCtx(ctx, func() { c.Close() })
+			c.Close()
 		}
 		return true
 	case OpAbort:
 		if c, ok := h.conns[m.ConnID]; ok {
 			ctx.Charge(h.costs.SockOp)
-			h.withCtx(ctx, func() { c.Abort() })
+			c.Abort()
 		}
 		return true
 	case OpCloseListener:
 		if l, ok := h.listeners[m.ReqID]; ok {
 			ctx.Charge(h.costs.SockOp)
 			delete(h.listeners, m.ReqID)
-			h.withCtx(ctx, func() { l.Close() })
+			l.Close()
 		}
 		return true
 	case OpCheckpoint:
@@ -148,10 +127,29 @@ func (h *tcpHost) handleOp(ctx *sim.Context, msg sim.Message) bool {
 		}
 		return true
 	case OpRestore:
-		h.withCtx(ctx, func() { h.restore(ctx, m.Snap) })
+		h.restore(ctx, m.Snap)
 		return true
 	}
 	return false
+}
+
+// opSend appends send-stream bytes to a connection: the shared body of the
+// pooled (*OpSend) and value (OpSend) message forms.
+func (h *tcpHost) opSend(ctx *sim.Context, connID uint64, data []byte, ref bufpool.Ref, wantSpace bool) {
+	c, ok := h.conns[connID]
+	if !ok {
+		ref.Release()
+		return // connection already gone; app learns via EvClosed
+	}
+	sc := c.Ctx.(*sockCtx)
+	sc.pending = append(sc.pending, data...)
+	ref.Release() // data now lives in sc.pending
+	if wantSpace {
+		sc.wantSpace = true
+	}
+	ctx.Charge(h.costs.SockOp)
+	h.drainPending(c, sc)
+	h.maybeAdvertiseSpace(c, sc)
 }
 
 // restore loads a checkpoint into this (fresh) TCP host: PCBs come back

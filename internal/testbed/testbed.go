@@ -154,9 +154,31 @@ type NEaTConfig struct {
 	// Stack optionally overrides the full replica template (built from
 	// StackConfig when nil).
 	Stack *stack.Config
+	// IPC tunes the modeled message rings of the system's channels; it
+	// composes with Stack (applied on top of whichever template is used).
+	// The zero value keeps the calibrated per-message doorbell behaviour.
+	IPC IPCTuning
 	// Observe attaches the observability layer (lifecycle events; combine
 	// with trace.Tracer.Attach on the simulator for message tracing).
 	Observe core.ObserveConfig
+}
+
+// IPCTuning adjusts the ring knobs of the channel costs a NEaT system is
+// built with: RingDepth bounds the in-flight messages per channel (0 =
+// package default) and CoalesceWakes enables doorbell coalescing.
+type IPCTuning struct {
+	RingDepth     int
+	CoalesceWakes bool
+}
+
+// apply overlays the tuning on a channel cost template.
+func (t IPCTuning) apply(c *ipc.Costs) {
+	if t.RingDepth > 0 {
+		c.RingDepth = t.RingDepth
+	}
+	if t.CoalesceWakes {
+		c.CoalesceWakes = true
+	}
 }
 
 // BuildNEaT boots a NEaT system on host h talking to peer.
@@ -171,6 +193,7 @@ func (h *Host) BuildNEaTARP(arp map[proto.Addr]proto.MAC, cfg NEaTConfig) (*core
 	if cfg.Stack != nil {
 		scfg = *cfg.Stack
 	}
+	cfg.IPC.apply(&scfg.IPC)
 	threads := make([][]*sim.HWThread, len(cfg.Slots))
 	for i, slot := range cfg.Slots {
 		for _, loc := range slot {

@@ -31,6 +31,7 @@ import (
 
 	"neat/internal/core"
 	"neat/internal/experiments"
+	"neat/internal/ipc"
 	"neat/internal/metrics"
 	"neat/internal/proto"
 	"neat/internal/report"
@@ -197,6 +198,27 @@ type SystemConfig struct {
 	// per-source connection caps). The zero value disables every guard,
 	// preserving the paper's behaviour exactly; see GuardConfig.
 	Guard GuardConfig
+	// IPC tunes the modeled shared-memory message rings of every channel
+	// the system creates (replica↔replica, replica↔application, SYSCALL
+	// server). The zero value keeps the calibrated per-message doorbell
+	// behaviour; see IPCConfig.
+	IPC IPCConfig
+}
+
+// IPCConfig tunes the bounded SPSC message rings of §3.2's user-space
+// channels. The zero value is the paper's calibrated behaviour: a
+// per-message doorbell and the package-default ring depth.
+type IPCConfig struct {
+	// RingDepth bounds the in-flight messages per channel; a sender
+	// finding its ring full stalls until the receiver frees the head slot
+	// (counted as sim.ipc.stalls). 0 selects the package default (8192).
+	RingDepth int
+	// CoalesceWakes enables doorbell/wake coalescing: a sender touching an
+	// already-armed ring skips the wake cost and the receiver drains the
+	// ring until empty before re-arming — the fast-channel batching the
+	// paper's scalability rests on. Off by default so results stay
+	// byte-identical to the calibrated per-message model.
+	CoalesceWakes bool
 }
 
 // GuardConfig bounds the resources one remote peer can pin inside a
@@ -300,6 +322,9 @@ func (cfg SystemConfig) Validate() error {
 	if cfg.Guard.MaxConnsPerSource < 0 {
 		return fmt.Errorf("neat: SystemConfig.Guard.MaxConnsPerSource is %d; want 0 (guard off) or a positive per-source cap", cfg.Guard.MaxConnsPerSource)
 	}
+	if cfg.IPC.RingDepth < 0 {
+		return fmt.Errorf("neat: SystemConfig.IPC.RingDepth is %d; want 0 (default %d) or a positive in-flight bound", cfg.IPC.RingDepth, ipc.DefaultRingDepth)
+	}
 	return nil
 }
 
@@ -350,6 +375,10 @@ func StartNEaT(m, peer *Machine, cfg SystemConfig) (*System, error) {
 			Policy:        policy,
 			RingVNodes:    cfg.Steering.RingVNodes,
 			DrainDeadline: cfg.Steering.DrainDeadline,
+		},
+		IPC: testbed.IPCTuning{
+			RingDepth:     cfg.IPC.RingDepth,
+			CoalesceWakes: cfg.IPC.CoalesceWakes,
 		},
 	})
 }
